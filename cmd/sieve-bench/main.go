@@ -1,0 +1,102 @@
+// Command sieve-bench regenerates the paper's evaluation tables and
+// figures (§7) on the embedded engine and prints them in the paper's
+// layout. Use -list to see the experiment ids, -scale to pick corpus size.
+//
+//	sieve-bench -scale test -run all
+//	sieve-bench -scale bench -run fig5,fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/experiment"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+type exp struct {
+	id   string
+	desc string
+	run  func(experiment.Config) (*experiment.Table, error)
+}
+
+var experiments = []exp{
+	{"fig2", "Figure 2: guard generation cost", experiment.GuardGenCost},
+	{"table6", "Table 6: guard quality statistics", experiment.GuardQuality},
+	{"table7", "Table 7: guard-count × cardinality quadrants", experiment.GuardQuadrants},
+	{"fig3", "Figure 3: Inline vs Δ operator", experiment.InlineVsDelta},
+	{"fig4", "Figure 4: IndexQuery vs IndexGuards", experiment.IndexChoice},
+	{"table8", "Table 8: overall comparison (Q1–Q3)", experiment.OverallComparison},
+	{"table9", "Table 9: Q1 by querier profile", func(c experiment.Config) (*experiment.Table, error) {
+		return experiment.OverallByProfile(c, workload.Q1)
+	}},
+	{"table10", "Table 10: Q2 by querier profile", func(c experiment.Config) (*experiment.Table, error) {
+		return experiment.OverallByProfile(c, workload.Q2)
+	}},
+	{"table11", "Table 11: Q3 by querier profile", func(c experiment.Config) (*experiment.Table, error) {
+		return experiment.OverallByProfile(c, workload.Q3)
+	}},
+	{"fig5", "Figure 5: MySQL vs PostgreSQL dialects", experiment.PostgresComparison},
+	{"fig6", "Figure 6: Mall scalability", experiment.MallScalability},
+	{"ablation", "Ablations of SIEVE's design choices", experiment.Ablations},
+	{"dynamic", "Section 6: eager vs deferred regeneration", func(c experiment.Config) (*experiment.Table, error) {
+		return experiment.DynamicRegeneration(c, 10)
+	}},
+}
+
+func main() {
+	scale := flag.String("scale", "test", "corpus scale: test | medium | bench")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	var cfg experiment.Config
+	switch *scale {
+	case "test":
+		cfg = experiment.TestConfig()
+	case "medium":
+		cfg = experiment.MediumConfig()
+	case "bench":
+		cfg = experiment.BenchConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	wanted := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fmt.Printf("sieve-bench scale=%s (devices=%d days=%d)\n\n", *scale, cfg.Campus.Devices, cfg.Campus.Days)
+	failed := 0
+	for _, e := range experiments {
+		if len(wanted) > 0 && !wanted[e.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

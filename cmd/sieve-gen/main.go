@@ -1,0 +1,126 @@
+// Command sieve-gen generates the evaluation corpora and prints their
+// statistics — the §7.1 numbers (population by profile, events, policies
+// per owner and per querier) for the chosen scale.
+//
+//	sieve-gen -dataset campus -scale bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "campus", "dataset: campus | mall")
+	scale := flag.String("scale", "test", "scale: test | bench")
+	flag.Parse()
+
+	switch *dataset {
+	case "campus":
+		campusStats(*scale)
+	case "mall":
+		mallStats(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+}
+
+func campusStats(scale string) {
+	cfg := workload.TestCampusConfig()
+	pcfg := workload.TestPolicyConfig()
+	if scale == "bench" {
+		cfg = workload.BenchCampusConfig()
+		pcfg = workload.BenchPolicyConfig()
+	}
+	campus, err := workload.BuildCampus(cfg, sieve.MySQL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TIPPERS-like campus (seed %d)\n", cfg.Seed)
+	fmt.Printf("  devices: %d   APs: %d   days: %d   events: %d\n",
+		cfg.Devices, cfg.APs, cfg.Days, campus.NumEvents)
+	byProfile := map[workload.Profile]int{}
+	for _, u := range campus.Users {
+		byProfile[u.Profile]++
+	}
+	fmt.Printf("  profiles: visitor=%d staff=%d faculty=%d undergrad=%d grad=%d\n",
+		byProfile[workload.Visitor], byProfile[workload.Staff], byProfile[workload.Faculty],
+		byProfile[workload.Undergrad], byProfile[workload.Grad])
+
+	ps := campus.GeneratePolicies(pcfg)
+	fmt.Printf("  policies: %d\n", len(ps))
+	perOwner := map[int64]int{}
+	for _, p := range ps {
+		perOwner[p.Owner]++
+	}
+	fmt.Printf("  owners with policies: %d (avg %.1f policies/owner)\n",
+		len(perOwner), avgInt(perOwner))
+	counts := workload.QuerierCounts(ps)
+	fmt.Printf("  distinct queriers: %d (avg %.1f policies/querier)\n",
+		len(counts), avgStr(counts))
+	top := workload.TopQueriers(ps, 10, 1)
+	fmt.Println("  busiest queriers:")
+	for _, q := range top {
+		fmt.Printf("    %-16s %d policies\n", q, counts[q])
+	}
+}
+
+func mallStats(scale string) {
+	cfg := workload.TestMallConfig()
+	per := 6
+	if scale == "bench" {
+		cfg = workload.BenchMallConfig()
+		per = 8
+	}
+	mall, err := workload.BuildMall(cfg, sieve.Postgres())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mall dataset (seed %d)\n", cfg.Seed)
+	fmt.Printf("  customers: %d   shops: %d   days: %d   events: %d\n",
+		cfg.Customers, cfg.Shops, cfg.Days, mall.NumEvents)
+	ps := mall.GeneratePolicies(cfg.Seed+1, per)
+	counts := workload.QuerierCounts(ps)
+	fmt.Printf("  policies: %d across %d shop queriers (avg %.1f/shop)\n",
+		len(ps), len(counts), avgStr(counts))
+	var shops []string
+	for q := range counts {
+		shops = append(shops, q)
+	}
+	sort.Slice(shops, func(i, j int) bool { return counts[shops[i]] > counts[shops[j]] })
+	for i, s := range shops {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("    %-12s %d policies\n", s, counts[s])
+	}
+}
+
+func avgInt(m map[int64]int) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return float64(t) / float64(len(m))
+}
+
+func avgStr(m map[string]int) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return float64(t) / float64(len(m))
+}

@@ -1,0 +1,157 @@
+// Command sieve-repl is an interactive shell over a generated demo campus:
+// type SQL, see policy-compliant results as a chosen querier. Middleware
+// meta-commands start with a backslash.
+//
+//	\querier u:42        switch querier identity
+//	\purpose analytics   switch query purpose
+//	\rewrite             toggle printing the rewritten SQL
+//	\policies            count policies for the current metadata
+//	\guards              show the cached guarded expression
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+func main() {
+	dialect := flag.String("dialect", "mysql", "engine dialect: mysql | postgres")
+	flag.Parse()
+
+	var d sieve.Dialect
+	switch *dialect {
+	case "mysql":
+		d = sieve.MySQL()
+	case "postgres":
+		d = sieve.Postgres()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dialect %q\n", *dialect)
+		os.Exit(2)
+	}
+
+	campus, err := workload.BuildCampus(workload.TestCampusConfig(), d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies := campus.GeneratePolicies(workload.TestPolicyConfig())
+	store, err := sieve.NewStore(campus.DB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.BulkLoad(policies); err != nil {
+		log.Fatal(err)
+	}
+	m, err := sieve.New(store, sieve.WithGroups(campus.Groups()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Protect(workload.TableWiFi); err != nil {
+		log.Fatal(err)
+	}
+
+	qm := sieve.Metadata{
+		Querier: workload.TopQueriers(policies, 1, 1)[0],
+		Purpose: "analytics",
+	}
+	showRewrite := false
+
+	fmt.Printf("sieve-repl on %s dialect — %d events, %d policies\n",
+		d.Name(), campus.NumEvents, len(policies))
+	fmt.Printf("querier=%s purpose=%s; \\quit to exit, \\help for commands\n", qm.Querier, qm.Purpose)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sieve> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if handleMeta(line, m, &qm, &showRewrite) {
+				return
+			}
+			continue
+		}
+		if showRewrite {
+			text, rep, err := m.Rewrite(line, qm)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("--", text)
+			for _, dec := range rep.Decisions {
+				fmt.Printf("-- %s: %s, %d guards, %d policies\n",
+					dec.Relation, dec.Strategy, dec.Guards, dec.Policies)
+			}
+		}
+		res, err := m.Execute(line, qm)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func handleMeta(line string, m *sieve.Middleware, qm *sieve.Metadata, showRewrite *bool) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\help":
+		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\policies | \\guards | \\quit")
+	case "\\querier":
+		if len(fields) > 1 {
+			qm.Querier = fields[1]
+		}
+		fmt.Println("querier =", qm.Querier)
+	case "\\purpose":
+		if len(fields) > 1 {
+			qm.Purpose = fields[1]
+		}
+		fmt.Println("purpose =", qm.Purpose)
+	case "\\rewrite":
+		*showRewrite = !*showRewrite
+		fmt.Println("show rewrite =", *showRewrite)
+	case "\\policies":
+		ps := m.Store().PoliciesFor(*qm, workload.TableWiFi, m.Groups())
+		fmt.Printf("%d policies apply to %s/%s on %s\n", len(ps), qm.Querier, qm.Purpose, workload.TableWiFi)
+	case "\\guards":
+		if ge, ok := m.GuardedExpression(*qm, workload.TableWiFi); ok {
+			fmt.Print(ge.String())
+		} else {
+			fmt.Println("no cached guarded expression (run a query first)")
+		}
+	default:
+		fmt.Println("unknown command; \\help for help")
+	}
+	return false
+}
+
+func printResult(res *sieve.Result) {
+	const maxRows = 20
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for i, r := range res.Rows {
+		if i == maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,96 @@
+package sieve_test
+
+import (
+	"fmt"
+	"log"
+
+	sieve "github.com/sieve-db/sieve"
+)
+
+// Example demonstrates the minimal SIEVE session: one protected relation,
+// one policy, one enforced query.
+func Example() {
+	db := sieve.NewDB(sieve.MySQL())
+	schema := sieve.MustSchema(
+		sieve.Column{Name: "id", Type: sieve.KindInt},
+		sieve.Column{Name: "owner", Type: sieve.KindInt},
+		sieve.Column{Name: "wifiAP", Type: sieve.KindInt},
+	)
+	if _, err := db.CreateTable("WiFi_Dataset", schema); err != nil {
+		log.Fatal(err)
+	}
+	rows := []sieve.Row{
+		{sieve.Int(1), sieve.Int(120), sieve.Int(1200)},
+		{sieve.Int(2), sieve.Int(999), sieve.Int(1200)},
+	}
+	for _, r := range rows {
+		if err := db.Insert("WiFi_Dataset", r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, _ := sieve.NewStore(db)
+	m, _ := sieve.New(store)
+	if err := m.Protect("WiFi_Dataset"); err != nil {
+		log.Fatal(err)
+	}
+	_ = store.Insert(&sieve.Policy{
+		Owner: 120, Querier: "Prof. Smith", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: sieve.Allow,
+	})
+	res, err := m.Execute("SELECT id FROM WiFi_Dataset",
+		sieve.Metadata{Querier: "Prof. Smith", Purpose: "Attendance"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("visible rows:", len(res.Rows))
+	// Output: visible rows: 1
+}
+
+// ExampleMiddleware_Rewrite shows how to inspect the SQL SIEVE would send
+// to the underlying database.
+func ExampleMiddleware_Rewrite() {
+	db := sieve.NewDB(sieve.MySQL())
+	schema := sieve.MustSchema(
+		sieve.Column{Name: "id", Type: sieve.KindInt},
+		sieve.Column{Name: "owner", Type: sieve.KindInt},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		log.Fatal(err)
+	}
+	store, _ := sieve.NewStore(db)
+	m, _ := sieve.New(store)
+	if err := m.Protect("t"); err != nil {
+		log.Fatal(err)
+	}
+	_ = store.Insert(&sieve.Policy{
+		Owner: 7, Querier: "alice", Purpose: "audit", Relation: "t", Action: sieve.Allow,
+	})
+	sql, report, err := m.Rewrite("SELECT * FROM t", sieve.Metadata{Querier: "alice", Purpose: "audit"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sql)
+	fmt.Println("policies:", report.Decisions[0].Policies)
+	// Output:
+	// WITH t_sieve AS (SELECT * FROM t FORCE INDEX (owner) WHERE t.owner = 7 AND t.owner = 7) SELECT * FROM t_sieve AS t
+	// policies: 1
+}
+
+// ExampleFactorDeny folds a deny policy into the allow set (§3.1).
+func ExampleFactorDeny() {
+	allow := &sieve.Policy{
+		Owner: 9, Querier: "john", Purpose: "social", Relation: "loc", Action: sieve.Allow,
+	}
+	deny := &sieve.Policy{
+		Owner: 9, Querier: sieve.AnyQuerier, Purpose: sieve.AnyPurpose,
+		Relation: "loc", Action: sieve.Deny,
+		Conditions: []sieve.ObjectCondition{
+			sieve.Compare("room", sieve.Eq, sieve.Str("office")),
+		},
+	}
+	out := sieve.FactorDeny([]*sieve.Policy{allow}, []*sieve.Policy{deny})
+	for _, p := range out {
+		fmt.Println(p.Conditions[0].String())
+	}
+	// Output: room != 'office'
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// BaselineKind selects one of the evaluation's reference strategies (§7.2
+// Experiment 3).
+type BaselineKind string
+
+// The three baselines.
+const (
+	// BaselineP appends the querier's policies to the WHERE clause as one
+	// DNF expression — the classic policy-as-data query rewrite.
+	BaselineP BaselineKind = "BaselineP"
+	// BaselineI performs one forced index scan per policy and UNIONs the
+	// results.
+	BaselineI BaselineKind = "BaselineI"
+	// BaselineU evaluates the policies with a per-tuple UDF over all the
+	// tuple's attributes.
+	BaselineU BaselineKind = "BaselineU"
+)
+
+// ExecuteBaseline rewrites with the chosen baseline and runs the query.
+func (m *Middleware) ExecuteBaseline(kind BaselineKind, sql string, qm policy.Metadata) (*engine.Result, error) {
+	stmt, err := m.RewriteBaseline(kind, sql, qm)
+	if err != nil {
+		return nil, err
+	}
+	return m.db.QueryStmt(stmt)
+}
+
+// RewriteBaseline parses and rewrites a query with one of the baseline
+// strategies.
+func (m *Middleware) RewriteBaseline(kind BaselineKind, sql string, qm policy.Metadata) (*sqlparser.SelectStmt, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if qm.Querier == "" {
+		return nil, fmt.Errorf("sieve: query metadata must identify the querier")
+	}
+	for _, relation := range m.protectedIn(stmt) {
+		ps := m.store.PoliciesFor(qm, relation, m.groups)
+		switch kind {
+		case BaselineP:
+			m.appendPerCore(stmt, relation, func(refName string) sqlparser.Expr {
+				if e := policy.Expression(ps, refName); e != nil {
+					return e
+				}
+				return sqlparser.Lit(storage.NewBool(false))
+			})
+		case BaselineU:
+			schema := m.db.MustTable(relation).Schema
+			m.mu.Lock()
+			setID, err := m.registerCheckSetLocked(ps, relation, schema)
+			m.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			m.appendPerCore(stmt, relation, func(refName string) sqlparser.Expr {
+				if len(ps) == 0 {
+					return sqlparser.Lit(storage.NewBool(false))
+				}
+				return deltaCall(setID, refName, schema)
+			})
+		case BaselineI:
+			cte, err := m.buildBaselineICTE(relation, ps)
+			if err != nil {
+				return nil, err
+			}
+			cteName := freshCTEName(stmt, relation)
+			replaceTableRefs(stmt, relation, cteName)
+			stmt.With = append([]sqlparser.CTE{{Name: cteName, Select: cte}}, stmt.With...)
+		default:
+			return nil, fmt.Errorf("sieve: unknown baseline %q", kind)
+		}
+	}
+	return stmt, nil
+}
+
+// appendPerCore conjoins mk(refName) to the WHERE clause of every select
+// core that references the relation, for each reference (policy checks
+// precede any non-monotonic set operation, §3.1).
+func (m *Middleware) appendPerCore(stmt *sqlparser.SelectStmt, relation string, mk func(refName string) sqlparser.Expr) {
+	var visitStmt func(s *sqlparser.SelectStmt)
+	visitCore := func(c *sqlparser.SelectCore) {
+		if c == nil {
+			return
+		}
+		for i := range c.From {
+			ref := &c.From[i]
+			if ref.Subquery == nil && ref.Name == relation {
+				c.Where = sqlparser.And(c.Where, mk(ref.RefName()))
+			}
+		}
+	}
+	visitStmt = func(s *sqlparser.SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, cte := range s.With {
+			visitStmt(cte.Select)
+		}
+		visitCore(s.Body)
+		for _, op := range s.Ops {
+			visitCore(op.Core)
+		}
+		// Derived tables and expression subqueries.
+		cores := []*sqlparser.SelectCore{s.Body}
+		for _, op := range s.Ops {
+			cores = append(cores, op.Core)
+		}
+		for _, c := range cores {
+			for i := range c.From {
+				if c.From[i].Subquery != nil {
+					visitStmt(c.From[i].Subquery)
+				}
+			}
+		}
+	}
+	visitStmt(stmt)
+}
+
+// buildBaselineICTE constructs BaselineI's projection: one forced
+// owner-index scan per policy, UNIONed.
+func (m *Middleware) buildBaselineICTE(relation string, ps []*policy.Policy) (*sqlparser.SelectStmt, error) {
+	mkCore := func(where sqlparser.Expr) *sqlparser.SelectCore {
+		ref := sqlparser.TableRef{Name: relation}
+		if m.db.Dialect().HonorsIndexHints() {
+			ref.Hint = &sqlparser.IndexHint{Kind: sqlparser.HintForce, Indexes: []string{policy.OwnerAttr}}
+		}
+		return &sqlparser.SelectCore{Star: true, From: []sqlparser.TableRef{ref}, Where: where, Limit: -1}
+	}
+	if len(ps) == 0 {
+		return &sqlparser.SelectStmt{Body: mkCore(sqlparser.Lit(storage.NewBool(false)))}, nil
+	}
+	out := &sqlparser.SelectStmt{Body: mkCore(ps[0].Expr(relation))}
+	for _, p := range ps[1:] {
+		out.Ops = append(out.Ops, sqlparser.SetOp{Kind: sqlparser.SetUnion, Core: mkCore(p.Expr(relation))})
+	}
+	return out, nil
+}

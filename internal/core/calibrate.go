@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/guard"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Calibration holds the measured cost-model constants (§5.4: "the values of
+// α and ce are determined experimentally using a set of sample policies and
+// tuples").
+type Calibration struct {
+	// Cr is the measured per-tuple read cost (seconds).
+	Cr float64
+	// Ce is the measured per-policy object-condition evaluation cost
+	// (seconds).
+	Ce float64
+	// Alpha is the measured fraction of policies checked before a tuple
+	// satisfies one.
+	Alpha float64
+	// UDFPerTuple is the measured Δ invocation cost per tuple (seconds).
+	UDFPerTuple float64
+	// DeltaThreshold is the derived |PG_i| crossover between inlining and
+	// the Δ operator.
+	DeltaThreshold int
+}
+
+// Calibrate measures the cost-model constants on the given relation using
+// up to sampleRows tuples and the querier's policies, then installs the
+// resulting model and Δ threshold into the middleware. It mirrors §5.4's
+// procedure: cr from a table scan, ce and α from policy-set evaluation over
+// sampled tuples, UDF cost from Δ invocations.
+func (m *Middleware) Calibrate(relation string, qm policy.Metadata, sampleRows int) (Calibration, error) {
+	t, ok := m.db.Table(relation)
+	if !ok {
+		return Calibration{}, fmt.Errorf("sieve: unknown relation %q", relation)
+	}
+	ps := m.store.PoliciesFor(qm, relation, m.groups)
+	if len(ps) == 0 {
+		return Calibration{}, fmt.Errorf("sieve: no policies for %s/%s on %s", qm.Querier, qm.Purpose, relation)
+	}
+	if sampleRows <= 0 {
+		sampleRows = 2000
+	}
+	var sample []storage.Row
+	t.Scan(func(_ storage.RowID, r storage.Row) bool {
+		sample = append(sample, r)
+		return len(sample) < sampleRows
+	})
+	if len(sample) == 0 {
+		return Calibration{}, fmt.Errorf("sieve: relation %q is empty", relation)
+	}
+
+	// cr: cost of touching a tuple during a scan.
+	start := time.Now()
+	count := 0
+	t.Scan(func(_ storage.RowID, r storage.Row) bool {
+		if !r[0].IsNull() {
+			count++
+		}
+		return count < sampleRows
+	})
+	cr := time.Since(start).Seconds() / float64(count)
+
+	// ce and α: evaluate the policy set over the sample, first-match order.
+	compiled, err := policy.CompileSet(ps, t.Schema)
+	if err != nil {
+		return Calibration{}, err
+	}
+	start = time.Now()
+	totalChecked := 0
+	for _, r := range sample {
+		_, checked, err := compiled.EvalFirstMatch(r, nil)
+		if err != nil {
+			// Derived-value conditions need the engine; calibration falls
+			// back to counting them as one check each.
+			checked = len(ps)
+		}
+		totalChecked += checked
+	}
+	evalSecs := time.Since(start).Seconds()
+	ce := evalSecs / float64(maxInt(totalChecked, 1))
+	alpha := float64(totalChecked) / float64(len(sample)*len(ps))
+
+	// UDF per-tuple cost: Δ invocations over the sample.
+	m.mu.Lock()
+	setID, err := m.registerCheckSetLocked(ps, relation, t.Schema)
+	m.mu.Unlock()
+	if err != nil {
+		return Calibration{}, err
+	}
+	call := deltaCall(setID, relation, t.Schema)
+	relSchema := engine.QualifiedSchema(relation, t.Schema)
+	start = time.Now()
+	for _, r := range sample {
+		if _, err := m.db.EvalPredicate(call, relSchema, r); err != nil {
+			return Calibration{}, err
+		}
+	}
+	udfSecs := time.Since(start).Seconds() / float64(len(sample))
+	m.mu.Lock()
+	m.dropCheckSetsLocked([]int64{setID})
+	m.mu.Unlock()
+
+	cal := Calibration{Cr: cr, Ce: ce, Alpha: alpha, UDFPerTuple: udfSecs}
+	// Crossover (§5.4): inline costs α·|PG|·ce per tuple; Δ costs
+	// UDFPerTuple (which already includes the policies it actually
+	// checks). Inline loses once α·|PG|·ce > UDFPerTuple.
+	if alpha*ce > 0 {
+		cal.DeltaThreshold = int(math.Ceil(udfSecs / (alpha * ce)))
+	} else {
+		cal.DeltaThreshold = DefaultDeltaThreshold
+	}
+	if cal.DeltaThreshold < 1 {
+		cal.DeltaThreshold = 1
+	}
+
+	m.mu.Lock()
+	m.cm = guard.CostModel{Ce: ce, Cr: cr, Alpha: clamp01(alpha)}
+	m.deltaThreshold = cal.DeltaThreshold
+	m.mu.Unlock()
+	return cal, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

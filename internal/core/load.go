@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sieve-db/sieve/internal/guard"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// LoadPersistedGuards reconstructs the middleware's guard cache from the
+// rGE/rGG/rGP relations (§5.1): a re-attached instance resumes with the
+// previous instance's guarded expressions instead of regenerating them on
+// first query. Expressions persisted as outdated stay outdated (they will
+// regenerate per the freshness rules). Returns the number of expressions
+// loaded.
+func (m *Middleware) LoadPersistedGuards() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	type geHeader struct {
+		id       int64
+		key      geKey
+		outdated bool
+		rowID    storage.RowID
+	}
+	var headers []geHeader
+	m.persist.ge.Scan(func(rowID storage.RowID, r storage.Row) bool {
+		headers = append(headers, geHeader{
+			id:       r[0].I,
+			key:      geKey{querier: r[1].S, relation: r[2].S, purpose: r[3].S},
+			outdated: r[4].Bool(),
+			rowID:    rowID,
+		})
+		return true
+	})
+	if len(headers) == 0 {
+		return 0, nil
+	}
+
+	// Guard rows grouped by guarded-expression id, then by guard id (a
+	// range guard spans two rows).
+	type guardRows struct {
+		geID  int64
+		attr  string
+		ops   []string
+		vals  []string
+		order int
+	}
+	guardsByGE := make(map[int64]map[int64]*guardRows)
+	orderSeq := 0
+	m.persist.gg.Scan(func(_ storage.RowID, r storage.Row) bool {
+		guardID, geID, attr, op, val := r[0].I, r[1].I, r[2].S, r[3].S, r[4].S
+		byID, ok := guardsByGE[geID]
+		if !ok {
+			byID = make(map[int64]*guardRows)
+			guardsByGE[geID] = byID
+		}
+		g, ok := byID[guardID]
+		if !ok {
+			orderSeq++
+			g = &guardRows{geID: geID, attr: attr, order: orderSeq}
+			byID[guardID] = g
+		}
+		g.ops = append(g.ops, op)
+		g.vals = append(g.vals, val)
+		return true
+	})
+	partitions := make(map[int64][]int64) // guard id → policy ids
+	m.persist.gp.Scan(func(_ storage.RowID, r storage.Row) bool {
+		partitions[r[0].I] = append(partitions[r[0].I], r[1].I)
+		return true
+	})
+
+	loaded := 0
+	for _, h := range headers {
+		if _, cached := m.states[h.key]; cached {
+			continue // live state wins over persisted state
+		}
+		sel, err := m.selectivityFor(h.key.relation)
+		if err != nil {
+			return loaded, err
+		}
+		ge := &guard.GuardedExpression{
+			Relation: h.key.relation, Querier: h.key.querier, Purpose: h.key.purpose,
+		}
+		// Deterministic guard order: by first appearance in rGG.
+		var ids []int64
+		for id := range guardsByGE[h.id] {
+			ids = append(ids, id)
+		}
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && guardsByGE[h.id][ids[j]].order < guardsByGE[h.id][ids[j-1]].order; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+		for _, guardID := range ids {
+			gr := guardsByGE[h.id][guardID]
+			cond, err := condFromRows(gr.attr, gr.ops, gr.vals)
+			if err != nil {
+				return loaded, fmt.Errorf("sieve: guard %d: %w", guardID, err)
+			}
+			g := guard.Guard{Cond: cond}
+			for _, pid := range partitions[guardID] {
+				if p, ok := m.store.ByID(pid); ok {
+					g.Policies = append(g.Policies, p)
+				}
+			}
+			if len(g.Policies) == 0 {
+				continue // partition's policies vanished; treat as stale
+			}
+			switch cond.Kind {
+			case policy.CondRange:
+				g.Sel = sel.EstimateRange(cond.Attr, cond.Lo, cond.Hi)
+			default:
+				g.Sel = sel.EstimateEq(cond.Attr, cond.Val)
+			}
+			ge.Guards = append(ge.Guards, g)
+		}
+		st := &geState{ge: ge, outdated: h.outdated, geRowID: h.rowID, deltaSets: map[int]int64{}}
+		// Re-register Δ check sets for oversized partitions (§5.4).
+		schema := m.db.MustTable(h.key.relation).Schema
+		for gi := range ge.Guards {
+			g := &ge.Guards[gi]
+			if m.deltaThreshold > 0 && len(g.Policies) > m.deltaThreshold {
+				id, err := m.registerCheckSetLocked(g.Policies, h.key.relation, schema)
+				if err != nil {
+					return loaded, err
+				}
+				st.setIDs = append(st.setIDs, id)
+				st.deltaSets[gi] = id
+			}
+		}
+		m.states[h.key] = st
+		loaded++
+	}
+	return loaded, nil
+}
+
+// condFromRows rebuilds a guard condition from its rGG rows: one row for an
+// equality/one-sided comparison, two rows for a range.
+func condFromRows(attr string, ops, vals []string) (policy.ObjectCondition, error) {
+	parseVal := func(s string) (storage.Value, error) {
+		e, err := sqlparser.ParseExpr(s)
+		if err != nil {
+			return storage.Null, err
+		}
+		lit, ok := e.(*sqlparser.Literal)
+		if !ok {
+			return storage.Null, fmt.Errorf("guard value %q is not a literal", s)
+		}
+		return lit.Val, nil
+	}
+	parseOp := func(s string) (sqlparser.CmpOp, error) {
+		switch s {
+		case "=":
+			return sqlparser.CmpEq, nil
+		case "<":
+			return sqlparser.CmpLt, nil
+		case "<=":
+			return sqlparser.CmpLe, nil
+		case ">":
+			return sqlparser.CmpGt, nil
+		case ">=":
+			return sqlparser.CmpGe, nil
+		}
+		return 0, fmt.Errorf("unknown guard operator %q", s)
+	}
+	switch len(ops) {
+	case 1:
+		op, err := parseOp(ops[0])
+		if err != nil {
+			return policy.ObjectCondition{}, err
+		}
+		val, err := parseVal(vals[0])
+		if err != nil {
+			return policy.ObjectCondition{}, err
+		}
+		return policy.ObjectCondition{Attr: attr, Kind: policy.CondCompare, Op: op, Val: val}, nil
+	case 2:
+		loOp, err := parseOp(ops[0])
+		if err != nil {
+			return policy.ObjectCondition{}, err
+		}
+		hiOp, err := parseOp(ops[1])
+		if err != nil {
+			return policy.ObjectCondition{}, err
+		}
+		lo, err := parseVal(vals[0])
+		if err != nil {
+			return policy.ObjectCondition{}, err
+		}
+		hi, err := parseVal(vals[1])
+		if err != nil {
+			return policy.ObjectCondition{}, err
+		}
+		return policy.ObjectCondition{Attr: attr, Kind: policy.CondRange,
+			LoOp: loOp, Lo: lo, HiOp: hiOp, Hi: hi}, nil
+	}
+	return policy.ObjectCondition{}, fmt.Errorf("guard with %d condition rows", len(ops))
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+)
+
+func TestLoadPersistedGuardsRoundTrip(t *testing.T) {
+	f := newFixture(t, engine.MySQL(), 45)
+	if _, err := f.m.Execute(selectAll, f.qm); err != nil {
+		t.Fatal(err)
+	}
+	orig, ok := f.m.GuardedExpression(f.qm, "wifi")
+	if !ok {
+		t.Fatal("no guarded expression after query")
+	}
+
+	// Re-attach: the new middleware must load the persisted expression
+	// rather than regenerate it.
+	store2, err := policy.NewStore(f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Protect("wifi"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m2.LoadPersistedGuards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d expressions, want 1", n)
+	}
+	loadedGE, ok := m2.GuardedExpression(f.qm, "wifi")
+	if !ok {
+		t.Fatal("loaded expression not cached")
+	}
+	if len(loadedGE.Guards) != len(orig.Guards) {
+		t.Fatalf("guards = %d, want %d", len(loadedGE.Guards), len(orig.Guards))
+	}
+	if loadedGE.PolicyCount() != orig.PolicyCount() {
+		t.Fatalf("policies = %d, want %d", loadedGE.PolicyCount(), orig.PolicyCount())
+	}
+	for i := range orig.Guards {
+		if !reflect.DeepEqual(loadedGE.Guards[i].Cond, orig.Guards[i].Cond) {
+			t.Fatalf("guard %d condition mismatch:\n got  %#v\n want %#v",
+				i, loadedGE.Guards[i].Cond, orig.Guards[i].Cond)
+		}
+	}
+	// The loaded state answers queries without regenerating.
+	res, err := m2.Execute(selectAll, f.qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(idsOf(res, 0), keysOf(f.allowedIDs(t))) {
+		t.Fatal("loaded guards produce wrong results")
+	}
+	if got := m2.Regens(f.qm, "wifi"); got != 1 {
+		t.Fatalf("loaded state regenerated anyway (regens=%d)", got)
+	}
+}
+
+func TestLoadPersistedGuardsRespectsOutdatedFlag(t *testing.T) {
+	f := newFixture(t, engine.MySQL(), 20)
+	if _, err := f.m.Execute(selectAll, f.qm); err != nil {
+		t.Fatal(err)
+	}
+	// Invalidate through the trigger, then reattach and load.
+	if err := f.m.AddPolicy(newPolicy(7, 103)); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := policy.NewStore(f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Protect("wifi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.LoadPersistedGuards(); err != nil {
+		t.Fatal(err)
+	}
+	// The loaded expression is outdated → the next query regenerates and
+	// the new policy becomes visible.
+	res, err := m2.Execute(selectAll, f.qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(idsOf(res, 0), keysOf(f.allowedIDs(t))) {
+		t.Fatal("outdated loaded state not refreshed")
+	}
+}
+
+func TestLoadPersistedGuardsEmptyAndIdempotent(t *testing.T) {
+	f := newFixture(t, engine.MySQL(), 10)
+	n, err := f.m.LoadPersistedGuards()
+	if err != nil || n != 0 {
+		t.Fatalf("fresh load = %d, %v", n, err)
+	}
+	if _, err := f.m.Execute(selectAll, f.qm); err != nil {
+		t.Fatal(err)
+	}
+	// Live cache wins: loading again must not clobber it.
+	n, err = f.m.LoadPersistedGuards()
+	if err != nil || n != 0 {
+		t.Fatalf("second load = %d, %v (live state must win)", n, err)
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Execute rewrites the query under the metadata's policies and runs it.
+func (m *Middleware) Execute(sql string, qm policy.Metadata) (*engine.Result, error) {
+	stmt, _, err := m.RewriteQuery(sql, qm)
+	if err != nil {
+		return nil, err
+	}
+	return m.db.QueryStmt(stmt)
+}
+
+// Rewrite returns the rewritten SQL text plus the decision report.
+func (m *Middleware) Rewrite(sql string, qm policy.Metadata) (string, *Report, error) {
+	stmt, rep, err := m.RewriteQuery(sql, qm)
+	if err != nil {
+		return "", nil, err
+	}
+	return sqlparser.Print(stmt), rep, nil
+}
+
+// RewriteQuery parses and rewrites a query: every protected relation
+// reference is replaced by a WITH-clause projection that satisfies the
+// querier's guarded policy expression (§5.3), with strategy-specific index
+// hints on hint-honouring dialects (§5.5) and Δ calls for large partitions
+// (§5.4).
+func (m *Middleware) RewriteQuery(sql string, qm policy.Metadata) (*sqlparser.SelectStmt, *Report, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if qm.Querier == "" {
+		return nil, nil, fmt.Errorf("sieve: query metadata must identify the querier")
+	}
+	rep := &Report{}
+	relations := m.protectedIn(stmt)
+	for _, relation := range relations {
+		refName := topLevelRefName(stmt, relation)
+		st, pending, err := m.guardedExpressionFor(qm, relation)
+		if err != nil {
+			return nil, nil, err
+		}
+		dec := m.chooseStrategy(stmt, relation, refName, st.ge, pending)
+		dec.DeltaGuards = len(st.deltaSets)
+		queryConjs := m.pushableConjuncts(stmt, relation)
+		cte, err := m.buildGuardedCTE(relation, st, pending, queryConjs, dec)
+		if err != nil {
+			return nil, nil, err
+		}
+		cteName := freshCTEName(stmt, relation)
+		replaceTableRefs(stmt, relation, cteName)
+		stmt.With = append([]sqlparser.CTE{{Name: cteName, Select: cte}}, stmt.With...)
+		rep.Decisions = append(rep.Decisions, dec)
+	}
+	m.mu.Lock()
+	m.queriesSeen++
+	m.mu.Unlock()
+	rep.SQL = sqlparser.Print(stmt)
+	return stmt, rep, nil
+}
+
+// QueriesSeen reports how many queries the middleware has rewritten; with
+// the policy store's insertion count it yields the observed r_pq for
+// RegenConfig (§6.2).
+func (m *Middleware) QueriesSeen() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queriesSeen
+}
+
+// ObservedRpq estimates r_pq = queries per policy insertion from the
+// middleware's own counters; callers may feed it back into
+// WithRegenInterval's RegenConfig.
+func (m *Middleware) ObservedRpq() float64 {
+	inserts := float64(m.store.Len())
+	if inserts == 0 {
+		return 1
+	}
+	return float64(m.QueriesSeen()) / inserts
+}
+
+// protectedIn lists the protected relations referenced anywhere in the
+// statement, sorted for determinism.
+func (m *Middleware) protectedIn(stmt *sqlparser.SelectStmt) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]bool)
+	forEachTableRef(stmt, func(ref *sqlparser.TableRef) {
+		if ref.Subquery == nil && m.protected[ref.Name] {
+			seen[ref.Name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// forEachTableRef visits every FROM entry in the statement tree, including
+// CTEs, set-operation arms, derived tables, and subqueries in expressions.
+func forEachTableRef(stmt *sqlparser.SelectStmt, fn func(*sqlparser.TableRef)) {
+	if stmt == nil {
+		return
+	}
+	var visitCore func(c *sqlparser.SelectCore)
+	visitExpr := func(e sqlparser.Expr) {
+		sqlparser.Walk(e, false, func(x sqlparser.Expr) {
+			switch s := x.(type) {
+			case *sqlparser.SubqueryExpr:
+				forEachTableRef(s.Select, fn)
+			case *sqlparser.ExistsExpr:
+				forEachTableRef(s.Select, fn)
+			case *sqlparser.InExpr:
+				forEachTableRef(s.Sub, fn)
+			}
+		})
+	}
+	visitCore = func(c *sqlparser.SelectCore) {
+		if c == nil {
+			return
+		}
+		for i := range c.From {
+			ref := &c.From[i]
+			if ref.Subquery != nil {
+				forEachTableRef(ref.Subquery, fn)
+			}
+			fn(ref)
+		}
+		for _, it := range c.Items {
+			visitExpr(it.Expr)
+		}
+		visitExpr(c.Where)
+		for _, g := range c.GroupBy {
+			visitExpr(g)
+		}
+		visitExpr(c.Having)
+		for _, o := range c.OrderBy {
+			visitExpr(o.Expr)
+		}
+	}
+	for _, cte := range stmt.With {
+		forEachTableRef(cte.Select, fn)
+	}
+	visitCore(stmt.Body)
+	for _, op := range stmt.Ops {
+		visitCore(op.Core)
+	}
+}
+
+// replaceTableRefs redirects every base reference to relation to the CTE,
+// keeping aliases (an unaliased reference gets the relation name as alias
+// so qualified column references keep resolving, footnote 8 of §5.3).
+func replaceTableRefs(stmt *sqlparser.SelectStmt, relation, cteName string) {
+	forEachTableRef(stmt, func(ref *sqlparser.TableRef) {
+		if ref.Subquery != nil || ref.Name != relation {
+			return
+		}
+		if ref.Alias == "" {
+			ref.Alias = relation
+		}
+		ref.Name = cteName
+		ref.Hint = nil // hints are meaningless on a derived relation
+	})
+}
+
+// freshCTEName picks an unused WITH name for the relation's projection.
+func freshCTEName(stmt *sqlparser.SelectStmt, relation string) string {
+	used := make(map[string]bool)
+	for _, cte := range stmt.With {
+		used[cte.Name] = true
+	}
+	name := relation + "_sieve"
+	for i := 2; used[name]; i++ {
+		name = fmt.Sprintf("%s_sieve%d", relation, i)
+	}
+	return name
+}
+
+// topLevelRefName returns how the outermost core refers to the relation
+// ("" when absent or ambiguous). Used for EXPLAIN matching and predicate
+// pushdown.
+func topLevelRefName(stmt *sqlparser.SelectStmt, relation string) string {
+	name := ""
+	count := 0
+	for i := range stmt.Body.From {
+		ref := &stmt.Body.From[i]
+		if ref.Subquery == nil && ref.Name == relation {
+			name = ref.RefName()
+			count++
+		}
+	}
+	if count != 1 {
+		return ""
+	}
+	return name
+}
+
+// pushableConjuncts extracts the outer query's single-table conjuncts on
+// the relation, re-qualified to the relation's own name for inclusion in
+// the WITH clause (§5.5's selective query predicates).
+func (m *Middleware) pushableConjuncts(stmt *sqlparser.SelectStmt, relation string) []sqlparser.Expr {
+	refName := topLevelRefName(stmt, relation)
+	if refName == "" {
+		return nil
+	}
+	t := m.db.MustTable(relation)
+	var out []sqlparser.Expr
+	for _, conj := range sqlparser.Conjuncts(stmt.Body.Where) {
+		hasSubquery := false
+		onlyThisTable := true
+		sqlparser.Walk(conj, false, func(x sqlparser.Expr) {
+			switch c := x.(type) {
+			case *sqlparser.SubqueryExpr, *sqlparser.ExistsExpr:
+				hasSubquery = true
+			case *sqlparser.InExpr:
+				if c.Sub != nil {
+					hasSubquery = true
+				}
+			case *sqlparser.ColRef:
+				if c.Table != "" && c.Table != refName {
+					onlyThisTable = false
+				}
+				if c.Table == "" && !t.Schema.HasColumn(c.Column) {
+					onlyThisTable = false
+				}
+			}
+		})
+		if hasSubquery || !onlyThisTable {
+			continue
+		}
+		out = append(out, sqlparser.RequalifyExpr(sqlparser.RequalifyExpr(conj, refName, relation), "", relation))
+	}
+	return out
+}
+
+// buildGuardedCTE constructs the §5.3/§5.6 WITH body:
+//
+//	SELECT * FROM rj [hint] WHERE G1 OR … OR Gn
+//
+// where each arm conjoins the guard predicate, the pushed query predicates
+// (under IndexGuards), and either the inlined policy partition or a Δ call.
+// Pending policies (§6 deferred regeneration) contribute one owner-guarded
+// arm each.
+func (m *Middleware) buildGuardedCTE(relation string, st *geState, pending []*policy.Policy,
+	queryConjs []sqlparser.Expr, dec TableDecision) (*sqlparser.SelectStmt, error) {
+
+	schema := m.db.MustTable(relation).Schema
+	ge := st.ge
+
+	var arms []sqlparser.Expr
+	guardCols := map[string]bool{}
+	for gi := range ge.Guards {
+		g := &ge.Guards[gi]
+		parts := []sqlparser.Expr{g.Expr(relation)}
+		guardCols[g.Cond.Attr] = true
+		if setID, useDelta := st.deltaSets[gi]; useDelta {
+			parts = append(parts, deltaCall(setID, relation, schema))
+		} else {
+			parts = append(parts, g.PartitionExpr(relation))
+		}
+		arms = append(arms, sqlparser.And(parts...))
+	}
+	for _, p := range pending {
+		guardCols[policy.OwnerAttr] = true
+		arms = append(arms, p.Expr(relation))
+	}
+
+	where := sqlparser.Or(arms...)
+	if where == nil {
+		// Default deny: no applicable policies.
+		where = sqlparser.Lit(storage.NewBool(false))
+	}
+	// Query predicates sit in front of the guard disjunction as one
+	// conjunct: under IndexQuery/LinearScan they drive (or stream through)
+	// the scan; under IndexGuards the forced guard indexes drive the scan
+	// and the predicates are evaluated once per surviving tuple rather
+	// than once per arm (a strict improvement over inlining them into
+	// every arm as the §5.6 listing shows — same semantics, fewer
+	// per-tuple evaluations).
+	if len(queryConjs) > 0 {
+		all := append([]sqlparser.Expr{}, queryConjs...)
+		all = append(all, where)
+		where = sqlparser.And(all...)
+	}
+
+	ref := sqlparser.TableRef{Name: relation}
+	if m.db.Dialect().HonorsIndexHints() && !m.noHints {
+		switch dec.Strategy {
+		case IndexGuards:
+			cols := make([]string, 0, len(guardCols))
+			for c := range guardCols {
+				cols = append(cols, c)
+			}
+			sort.Strings(cols)
+			if len(cols) > 0 {
+				ref.Hint = &sqlparser.IndexHint{Kind: sqlparser.HintForce, Indexes: cols}
+			}
+		case IndexQuery:
+			if dec.QueryIndex != "" {
+				ref.Hint = &sqlparser.IndexHint{Kind: sqlparser.HintForce, Indexes: []string{dec.QueryIndex}}
+			}
+		case LinearScan:
+			ref.Hint = &sqlparser.IndexHint{Kind: sqlparser.HintUse}
+		}
+	}
+
+	return &sqlparser.SelectStmt{
+		Body: &sqlparser.SelectCore{
+			Star:  true,
+			From:  []sqlparser.TableRef{ref},
+			Where: where,
+			Limit: -1,
+		},
+	}, nil
+}

@@ -1,0 +1,292 @@
+// Package core implements the SIEVE middleware itself (§5): it intercepts
+// queries bound for the underlying database, filters the policy corpus by
+// query metadata, maintains persisted guarded expressions per
+// (querier, purpose, relation) with trigger-driven invalidation, chooses an
+// execution strategy from a calibrated cost model (Inline vs Δ per guard,
+// LinearScan vs IndexQuery vs IndexGuards per table), rewrites the query
+// with WITH clauses and dialect-appropriate index hints, and hands the
+// rewritten SQL to the engine. The three baselines of the evaluation
+// (BaselineP, BaselineI, BaselineU, §7.2 Experiment 3) live here too.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/guard"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// DeltaUDFName is the engine UDF implementing the Δ operator (§5.2). Its
+// first argument is a check-set id; the remaining arguments are the
+// relation's attributes in schema order, exactly as the paper's UDF takes
+// ([policy], querier, purpose, [attrs]) — querier/purpose are baked into
+// the check set at rewrite time.
+const DeltaUDFName = "sieve_delta"
+
+// DefaultDeltaThreshold is the partition size beyond which the Δ operator
+// beats inlining when calibration is disabled. The paper measures the
+// crossover at |PG_i| ≈ 120 on MySQL (§5.4, Experiment 2.1).
+const DefaultDeltaThreshold = 120
+
+// Middleware is a SIEVE instance layered over one database.
+type Middleware struct {
+	db     *engine.DB
+	store  *policy.Store
+	groups policy.Groups
+	cm     guard.CostModel
+
+	deltaThreshold int
+	eagerRegen     bool
+	regen          RegenConfig
+	forced         Strategy         // non-empty pins the §5.5 strategy (ablations)
+	genOpts        guard.GenOptions // guard-generation ablation switches
+	noHints        bool             // suppress index hints even on mysql (ablation)
+
+	mu        sync.Mutex
+	protected map[string]bool
+	states    map[geKey]*geState
+	registry  map[int64]*checkSet
+	nextSetID int64
+
+	persist *guardTables
+
+	queriesSeen int64
+}
+
+type geKey struct {
+	querier  string
+	purpose  string
+	relation string
+}
+
+// geState is the cached guarded expression for one key plus its dynamic
+// bookkeeping (§5.1/§6): the outdated flag, and policies inserted since the
+// last regeneration.
+type geState struct {
+	ge         *guard.GuardedExpression
+	outdated   bool
+	pendingIDs []int64
+	// setIDs are the Δ check-set ids registered for this expression's
+	// guards; replaced wholesale on regeneration.
+	setIDs []int64
+	// deltaSets maps guard index → Δ check-set id for guards whose
+	// partitions exceed the Δ threshold (§5.4).
+	deltaSets map[int]int64
+	// geRowID is the row of this expression in rGE.
+	geRowID int32
+	// regens counts how many times this expression was (re)generated.
+	regens int
+	// forceRegen overrides §6 deferral: set on revocation, which cannot be
+	// compensated by appended arms.
+	forceRegen bool
+}
+
+// Option configures the middleware.
+type Option func(*Middleware)
+
+// WithGroups supplies the group membership resolver used for querier-side
+// group policies.
+func WithGroups(g policy.Groups) Option {
+	return func(m *Middleware) { m.groups = g }
+}
+
+// WithCostModel overrides the calibrated cost model (§4).
+func WithCostModel(cm guard.CostModel) Option {
+	return func(m *Middleware) { m.cm = cm }
+}
+
+// WithDeltaThreshold overrides the partition size at which guards switch
+// from inlined policies to the Δ operator (§5.4). Zero disables Δ.
+func WithDeltaThreshold(n int) Option {
+	return func(m *Middleware) { m.deltaThreshold = n }
+}
+
+// WithRegenInterval enables the §6 deferred-regeneration mode: a stale
+// guarded expression is reused (with pending policies appended as extra
+// owner-guarded arms) until the optimal insertion count k̃ is reached.
+func WithRegenInterval(cfg RegenConfig) Option {
+	return func(m *Middleware) { m.eagerRegen = false; m.regen = cfg }
+}
+
+// WithForcedStrategy pins the per-table strategy instead of choosing by
+// cost (§5.5) — used by Experiment 2.2 and the ablation benches.
+func WithForcedStrategy(s Strategy) Option {
+	return func(m *Middleware) { m.forced = s }
+}
+
+// WithGuardGenOptions applies guard-generation ablation switches (disable
+// Theorem 1 merging, owner-only guards).
+func WithGuardGenOptions(opts guard.GenOptions) Option {
+	return func(m *Middleware) { m.genOpts = opts }
+}
+
+// WithoutHints suppresses index usage hints even on hint-honouring
+// dialects — the ablation quantifying what §5.3's FORCE INDEX buys.
+func WithoutHints() Option {
+	return func(m *Middleware) { m.noHints = true }
+}
+
+// New builds a SIEVE middleware over a database and its policy store.
+func New(store *policy.Store, opts ...Option) (*Middleware, error) {
+	m := &Middleware{
+		db:             store.DB(),
+		store:          store,
+		groups:         policy.NoGroups,
+		cm:             guard.DefaultCostModel(),
+		deltaThreshold: DefaultDeltaThreshold,
+		eagerRegen:     true,
+		regen:          DefaultRegenConfig(),
+		protected:      make(map[string]bool),
+		states:         make(map[geKey]*geState),
+		registry:       make(map[int64]*checkSet),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	pt, err := newGuardTables(m.db)
+	if err != nil {
+		return nil, err
+	}
+	m.persist = pt
+	m.registerDeltaUDF()
+	// Trigger on rP: a policy insert marks affected guarded expressions
+	// outdated (§5.1) and queues the policy for deferred regeneration (§6).
+	m.db.OnInsert(policy.TableP, m.onPolicyInserted)
+	return m, nil
+}
+
+// DB exposes the underlying engine.
+func (m *Middleware) DB() *engine.DB { return m.db }
+
+// Store exposes the policy store.
+func (m *Middleware) Store() *policy.Store { return m.store }
+
+// Groups returns the group-membership resolver in use.
+func (m *Middleware) Groups() policy.Groups { return m.groups }
+
+// CostModel returns the model in use.
+func (m *Middleware) CostModel() guard.CostModel { return m.cm }
+
+// Protect registers a relation as access-controlled. Protected relations
+// are rewritten on every query; default-deny applies when a querier has no
+// applicable policies. The relation must carry the indexed owner attribute
+// (§3.1).
+func (m *Middleware) Protect(relation string) error {
+	t, ok := m.db.Table(relation)
+	if !ok {
+		return fmt.Errorf("sieve: unknown relation %q", relation)
+	}
+	if !t.Schema.HasColumn(policy.OwnerAttr) {
+		return fmt.Errorf("sieve: relation %q lacks the %q attribute", relation, policy.OwnerAttr)
+	}
+	if _, ok := t.Index(policy.OwnerAttr); !ok {
+		if err := m.db.CreateIndex(relation, policy.OwnerAttr); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	m.protected[relation] = true
+	m.mu.Unlock()
+	return nil
+}
+
+// Protected reports whether a relation is access-controlled.
+func (m *Middleware) Protected(relation string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.protected[relation]
+}
+
+// AddPolicy inserts a policy through the store, firing the invalidation
+// trigger.
+func (m *Middleware) AddPolicy(p *policy.Policy) error { return m.store.Insert(p) }
+
+// RevokePolicy removes a policy (§6) and invalidates every guarded
+// expression it could have contributed to.
+func (m *Middleware) RevokePolicy(id int64) error {
+	p, err := m.store.Revoke(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, st := range m.states {
+		if key.relation != p.Relation {
+			continue
+		}
+		applies := key.querier == p.Querier
+		if !applies {
+			for _, g := range m.groups.GroupsOf(key.querier) {
+				if g == p.Querier {
+					applies = true
+					break
+				}
+			}
+		}
+		if !applies {
+			continue
+		}
+		// Revocation shrinks the grant set: unlike insertion it cannot be
+		// served by appended arms, so the expression must regenerate before
+		// the next query regardless of the §6 deferral mode.
+		st.outdated = true
+		st.pendingIDs = nil
+		st.forceRegen = true
+		m.persist.markOutdated(st.geRowID)
+	}
+	return nil
+}
+
+// selectivityFor builds the guard-generation selectivity model for a
+// relation from the engine's statistics, refreshing them if absent.
+func (m *Middleware) selectivityFor(relation string) (guard.Selectivity, error) {
+	stats, ok := m.db.Stats(relation)
+	if !ok {
+		if err := m.db.Analyze(relation); err != nil {
+			return nil, err
+		}
+		stats, _ = m.db.Stats(relation)
+	}
+	t := m.db.MustTable(relation)
+	indexed := make(map[string]bool)
+	for _, c := range t.IndexedColumns() {
+		indexed[c] = true
+	}
+	return &guard.TableSelectivity{Stats: stats, IndexedCols: indexed}, nil
+}
+
+// onPolicyInserted is the rP insert trigger (§5.1): flip the outdated flag
+// of every guarded expression the new policy can affect and queue the
+// policy id for deferred regeneration (§6). The rP row layout is
+// ⟨id, owner, querier, associated_table, purpose, action, inserted_at⟩.
+func (m *Middleware) onPolicyInserted(_ string, row storage.Row) {
+	id, querier, relation, purpose := row[0].I, row[2].S, row[3].S, row[4].S
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, st := range m.states {
+		if key.relation != relation {
+			continue
+		}
+		if purpose != policy.AnyPurpose && purpose != key.purpose {
+			continue
+		}
+		applies := key.querier == querier
+		if !applies {
+			for _, g := range m.groups.GroupsOf(key.querier) {
+				if g == querier {
+					applies = true
+					break
+				}
+			}
+		}
+		if !applies {
+			continue
+		}
+		st.outdated = true
+		st.pendingIDs = append(st.pendingIDs, id)
+		m.persist.markOutdated(st.geRowID)
+	}
+}

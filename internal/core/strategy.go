@@ -1,0 +1,124 @@
+package core
+
+import (
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/guard"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Strategy is SIEVE's per-table execution strategy (§5.5).
+type Strategy string
+
+// The three §5.5 strategies.
+const (
+	// LinearScan reads the relation sequentially and filters with the
+	// guarded expression.
+	LinearScan Strategy = "LinearScan"
+	// IndexQuery drives the scan with an index on a selective query
+	// predicate, then filters with the guarded expression.
+	IndexQuery Strategy = "IndexQuery"
+	// IndexGuards drives the scan with the guards' indexes, unioning their
+	// matches, then evaluates the policy partitions.
+	IndexGuards Strategy = "IndexGuards"
+)
+
+// Cost factors matching the engine's planner constants: random index
+// access versus sequential scan.
+const randFactor = 2.0
+
+// TableDecision records the middleware's choices for one protected table
+// in one query: the strategy, the per-guard Δ decisions, and the modelled
+// costs that drove them (exposed for experiments and sieve-explain).
+type TableDecision struct {
+	Relation        string
+	Strategy        Strategy
+	Guards          int
+	DeltaGuards     int
+	Policies        int
+	PendingPolicies int
+	QueryIndex      string // driving column under IndexQuery
+	CostLinearScan  float64
+	CostIndexQuery  float64
+	CostIndexGuards float64
+}
+
+// Report describes one rewrite: the final SQL and per-table decisions.
+type Report struct {
+	SQL       string
+	Decisions []TableDecision
+}
+
+// chooseStrategy implements §5.5: EXPLAIN the original query to learn the
+// optimizer's intended access path and its estimated selectivity for the
+// relation, price the three strategies, and pick the cheapest.
+func (m *Middleware) chooseStrategy(stmt *sqlparser.SelectStmt, relation, refName string,
+	ge *guard.GuardedExpression, pending []*policy.Policy) TableDecision {
+
+	t := m.db.MustTable(relation)
+	n := float64(t.NumRows())
+
+	dec := TableDecision{
+		Relation:        relation,
+		Guards:          len(ge.Guards),
+		Policies:        ge.PolicyCount(),
+		PendingPolicies: len(pending),
+	}
+
+	// cost(IndexGuards) = Σ ρ(Gi)·cr (§5.5); pending arms probe the owner
+	// index, each fetching that owner's tuples.
+	igSel := ge.TotalSel()
+	if len(pending) > 0 {
+		if stats, ok := m.db.Stats(relation); ok {
+			for _, p := range pending {
+				igSel += stats.SelectivityEq(policy.OwnerAttr, storage.NewInt(p.Owner))
+			}
+		}
+	}
+	if igSel > 1 {
+		igSel = 1
+	}
+	dec.CostIndexGuards = igSel * n * randFactor
+	if len(ge.Guards) == 0 && len(pending) == 0 {
+		// Default deny: an empty rewrite reads nothing.
+		dec.CostIndexGuards = 0
+	}
+
+	// cost(IndexQuery): only when the optimizer would drive this table with
+	// an index on a query predicate (EXPLAIN of the original query).
+	dec.CostIndexQuery = inf
+	if ex, err := m.db.Explain(stmt); err == nil {
+		for _, ta := range ex.Tables {
+			if ta.Table != refName {
+				continue
+			}
+			if ta.Kind == engine.AccessIndex {
+				dec.CostIndexQuery = ta.EstSel * n * randFactor
+				dec.QueryIndex = ta.Index
+			}
+		}
+	}
+
+	dec.CostLinearScan = n
+
+	switch {
+	case dec.CostIndexGuards <= dec.CostIndexQuery && dec.CostIndexGuards <= dec.CostLinearScan:
+		dec.Strategy = IndexGuards
+	case dec.CostIndexQuery <= dec.CostLinearScan:
+		dec.Strategy = IndexQuery
+	default:
+		dec.Strategy = LinearScan
+	}
+	if m.forced != "" {
+		dec.Strategy = m.forced
+		if dec.Strategy == IndexQuery && dec.QueryIndex == "" {
+			// Forcing IndexQuery without a usable query index degenerates
+			// to a linear scan.
+			dec.Strategy = LinearScan
+		}
+	}
+	return dec
+}
+
+const inf = 1e300

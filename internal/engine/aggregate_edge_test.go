@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestAggregateInOrderBy(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	res := mustQuery(t, db,
+		"SELECT wifiAP, count(*) AS n FROM wifi GROUP BY wifiAP ORDER BY count(*) DESC, wifiAP")
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	// All APs have equal counts (40); tie-break by wifiAP ascending.
+	if res.Rows[0][0].I != 100 || res.Rows[3][0].I != 103 {
+		t.Fatalf("tie-break order wrong: %v", res.Rows)
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	res := mustQuery(t, db, "SELECT count(*) FROM wifi HAVING count(*) > 100")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 160 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res2 := mustQuery(t, db, "SELECT count(*) FROM wifi HAVING count(*) > 1000")
+	if len(res2.Rows) != 0 {
+		t.Fatalf("HAVING over single group failed: %v", res2.Rows)
+	}
+}
+
+func TestAggregateOverExpression(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	res := mustQuery(t, db, "SELECT sum(owner * 2) FROM wifi WHERE owner IN (1, 2)")
+	// owners 1,2 × 16 rows each → sum(owner) = 48, doubled = 96.
+	if res.Rows[0][0].I != 96 {
+		t.Fatalf("sum over expression = %v", res.Rows[0][0])
+	}
+}
+
+func TestAggregateArityError(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	if _, err := db.Query("SELECT sum(owner, wifiAP) FROM wifi"); err == nil {
+		t.Fatal("two-argument aggregate accepted")
+	}
+}
+
+func TestSumMixedIntFloat(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	res := mustQuery(t, db, "SELECT sum(owner / 2) FROM wifi WHERE owner = 3")
+	// 16 rows × 1.5 = 24.0 as float.
+	if res.Rows[0][0].F != 24.0 {
+		t.Fatalf("float sum = %v", res.Rows[0][0])
+	}
+}
+
+func TestCountDistinctVersusCount(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	res := mustQuery(t, db,
+		"SELECT count(wifiAP), count(DISTINCT wifiAP) FROM wifi WHERE owner = 1")
+	if res.Rows[0][0].I != 16 || res.Rows[0][1].I != 4 {
+		t.Fatalf("count vs distinct = %v", res.Rows[0])
+	}
+}
+
+func TestGroupByWithJoin(t *testing.T) {
+	db := newTestDB(t, MySQL())
+	res := mustQuery(t, db,
+		"SELECT M.gid, count(*) FROM wifi AS W, membership AS M WHERE M.uid = W.owner GROUP BY M.gid ORDER BY M.gid")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Rows))
+	}
+	// gids 0(4 members),1(3),2(3) × 16 rows each.
+	if res.Rows[0][1].I != 64 || res.Rows[1][1].I != 48 {
+		t.Fatalf("join-group counts = %v", res.Rows)
+	}
+}

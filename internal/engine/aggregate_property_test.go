@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Property: GROUP BY aggregation matches a brute-force Go computation over
+// random data — count/sum/min/max per group, plus the global aggregate row.
+func TestAggregationMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(MySQL())
+		schema := storage.MustSchema(
+			storage.Column{Name: "g", Type: storage.KindInt},
+			storage.Column{Name: "v", Type: storage.KindInt},
+		)
+		if _, err := db.CreateTable("t", schema); err != nil {
+			return false
+		}
+		n := 1 + r.Intn(300)
+		type agg struct {
+			count    int64
+			sum      int64
+			min, max int64
+			seen     bool
+		}
+		truth := map[int64]*agg{}
+		var rows []storage.Row
+		for i := 0; i < n; i++ {
+			g := int64(r.Intn(8))
+			v := int64(r.Intn(1000) - 500)
+			rows = append(rows, storage.Row{storage.NewInt(g), storage.NewInt(v)})
+			a, ok := truth[g]
+			if !ok {
+				a = &agg{min: v, max: v}
+				truth[g] = a
+			}
+			a.count++
+			a.sum += v
+			if !a.seen {
+				a.min, a.max, a.seen = v, v, true
+			} else {
+				if v < a.min {
+					a.min = v
+				}
+				if v > a.max {
+					a.max = v
+				}
+			}
+		}
+		if err := db.BulkInsert("t", rows); err != nil {
+			return false
+		}
+		res, err := db.Query("SELECT g, count(*), sum(v), min(v), max(v) FROM t GROUP BY g ORDER BY g")
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(res.Rows) != len(truth) {
+			return false
+		}
+		for _, row := range res.Rows {
+			a := truth[row[0].I]
+			if a == nil || row[1].I != a.count || row[2].I != a.sum ||
+				row[3].I != a.min || row[4].I != a.max {
+				t.Logf("seed %d: group %d mismatch: %v vs %+v", seed, row[0].I, row, a)
+				return false
+			}
+		}
+		// Global aggregate.
+		global, err := db.Query("SELECT count(*), sum(v) FROM t")
+		if err != nil {
+			return false
+		}
+		var wantSum int64
+		for _, a := range truth {
+			wantSum += a.sum
+		}
+		return global.Rows[0][0].I == int64(n) && global.Rows[0][1].I == wantSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DISTINCT projection equals the brute-force set of distinct
+// values, and UNION of two partitions of a table equals the whole table.
+func TestSetSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(MySQL())
+		schema := storage.MustSchema(storage.Column{Name: "v", Type: storage.KindInt})
+		if _, err := db.CreateTable("t", schema); err != nil {
+			return false
+		}
+		n := 1 + r.Intn(200)
+		distinct := map[int64]bool{}
+		var rows []storage.Row
+		for i := 0; i < n; i++ {
+			v := int64(r.Intn(20))
+			distinct[v] = true
+			rows = append(rows, storage.Row{storage.NewInt(v)})
+		}
+		if err := db.BulkInsert("t", rows); err != nil {
+			return false
+		}
+		d, err := db.Query("SELECT DISTINCT v FROM t")
+		if err != nil || len(d.Rows) != len(distinct) {
+			return false
+		}
+		pivot := int64(r.Intn(20))
+		u, err := db.Query(fmt.Sprintf(
+			"SELECT v FROM t WHERE v < %d UNION SELECT v FROM t WHERE v >= %d", pivot, pivot))
+		if err != nil {
+			return false
+		}
+		return len(u.Rows) == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// UDFContext is the state a user-defined function sees during evaluation:
+// the database (so the function may probe other relations the way the
+// paper's Δ UDF cursors over rP/rOC), the current tuple with its resolved
+// column names, and the per-query counters.
+type UDFContext struct {
+	DB       *DB
+	Row      storage.Row
+	Columns  *RelSchema
+	Counters *Counters
+}
+
+// ColumnValue returns the current tuple's value for the named column, or
+// NULL when the column does not exist in scope.
+func (c *UDFContext) ColumnValue(name string) storage.Value {
+	if c.Columns == nil {
+		return storage.Null
+	}
+	if i, err := c.Columns.Resolve("", name); err == nil && i < len(c.Row) {
+		return c.Row[i]
+	}
+	return storage.Null
+}
+
+// UDF is a scalar user-defined function invoked per tuple.
+type UDF func(ctx *UDFContext, args []storage.Value) (storage.Value, error)
+
+// InsertTrigger runs after a row is inserted into a table. SIEVE uses one on
+// the policy table to flip the guarded expression's outdated flag (§5.1).
+type InsertTrigger func(table string, row storage.Row)
+
+// DB is the embedded database: a catalog of tables, statistics, UDFs and
+// triggers plus a query front end. One DB models one DBMS instance of the
+// configured dialect.
+type DB struct {
+	dialect Dialect
+
+	mu       sync.RWMutex
+	tables   map[string]*storage.Table
+	stats    map[string]*storage.TableStats
+	udfs     map[string]UDF
+	triggers map[string][]InsertTrigger
+
+	// UDFOverheadIters simulates the per-invocation cost of a real DBMS's
+	// UDF bridge (the paper's UDFinv term, §5.4). A Go closure call costs
+	// nanoseconds; MySQL/PostgreSQL pay function-call and value-marshalling
+	// overheads orders of magnitude larger, which is exactly the tension
+	// Experiment 2.1 measures. Each invocation spins this many iterations.
+	UDFOverheadIters int
+
+	// Counters accumulate work across queries; use CountersSnapshot/Reset
+	// around a measured region.
+	Counters Counters
+
+	// HistogramBuckets controls Analyze resolution.
+	HistogramBuckets int
+}
+
+// DefaultUDFOverheadIters approximates a ~1µs per-invocation UDF bridge on
+// contemporary hardware, the same order as MySQL's UDF dispatch.
+const DefaultUDFOverheadIters = 400
+
+// New creates an empty database with the given dialect.
+func New(dialect Dialect) *DB {
+	return &DB{
+		dialect:          dialect,
+		tables:           make(map[string]*storage.Table),
+		stats:            make(map[string]*storage.TableStats),
+		udfs:             make(map[string]UDF),
+		triggers:         make(map[string][]InsertTrigger),
+		UDFOverheadIters: DefaultUDFOverheadIters,
+		HistogramBuckets: 64,
+	}
+}
+
+// Dialect returns the DB's dialect.
+func (db *DB) Dialect() Dialect { return db.dialect }
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, schema *storage.Schema) (*storage.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t := storage.NewTable(name, schema)
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*storage.Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// MustTable returns the named table or panics; for wiring code whose tables
+// were created a few lines earlier.
+func (db *DB) MustTable(name string) *storage.Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: no table %q", name))
+	}
+	return t
+}
+
+// CreateIndex builds an index on table.col.
+func (db *DB) CreateIndex(table, col string) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	_, err := t.CreateIndex(col)
+	return err
+}
+
+// Insert adds a row and fires the table's insert triggers.
+func (db *DB) Insert(table string, row storage.Row) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if _, err := t.Insert(row); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	trs := db.triggers[table]
+	db.mu.RUnlock()
+	for _, tr := range trs {
+		tr(table, row)
+	}
+	return nil
+}
+
+// BulkInsert loads rows without firing triggers (bulk load path).
+func (db *DB) BulkInsert(table string, rows []storage.Row) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	return t.BulkInsert(rows)
+}
+
+// OnInsert registers an insert trigger for a table.
+func (db *DB) OnInsert(table string, tr InsertTrigger) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.triggers[table] = append(db.triggers[table], tr)
+}
+
+// RegisterUDF installs (or replaces) a scalar UDF under name.
+func (db *DB) RegisterUDF(name string, fn UDF) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.udfs[name] = fn
+}
+
+// udf looks up a UDF by name.
+func (db *DB) udf(name string) (UDF, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	f, ok := db.udfs[name]
+	return f, ok
+}
+
+// Analyze (re)builds statistics for the table over its indexed columns,
+// like ANALYZE TABLE.
+func (db *DB) Analyze(table string) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	s := storage.Analyze(t, t.IndexedColumns(), db.HistogramBuckets)
+	db.mu.Lock()
+	db.stats[table] = s
+	db.mu.Unlock()
+	return nil
+}
+
+// Stats returns the most recent statistics for the table; ok is false when
+// Analyze has never run.
+func (db *DB) Stats(table string) (*storage.TableStats, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.stats[table]
+	return s, ok
+}
+
+// simulateUDFOverhead burns the configured per-invocation work.
+func (db *DB) simulateUDFOverhead() {
+	acc := 0
+	for i := 0; i < db.UDFOverheadIters; i++ {
+		acc += i ^ (acc << 1)
+	}
+	// Keep the loop from being optimised away.
+	if acc == -1 {
+		panic("unreachable")
+	}
+}
+
+// Query parses and executes a SQL statement.
+func (db *DB) Query(sqlText string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryStmt(stmt)
+}
+
+// QueryStmt executes a parsed statement.
+func (db *DB) QueryStmt(stmt *sqlparser.SelectStmt) (*Result, error) {
+	ex := &executor{db: db, counters: &db.Counters}
+	return ex.selectStmt(stmt, newScope(nil), nil)
+}
+
+// Explain plans the statement's first select core without executing it and
+// reports, per base table, the access path the optimizer would use and its
+// estimated selectivity. This is the §5.5 input to SIEVE's strategy choice.
+func (db *DB) Explain(stmt *sqlparser.SelectStmt) (*Explain, error) {
+	ex := &executor{db: db, counters: &db.Counters}
+	return ex.explain(stmt)
+}

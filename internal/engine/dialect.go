@@ -1,0 +1,69 @@
+// Package engine implements the embedded relational engine SIEVE is layered
+// on. It plays the role MySQL and PostgreSQL play in the paper: it parses
+// the SQL SIEVE emits, plans access paths (honouring or ignoring index usage
+// hints depending on the dialect), executes joins/aggregations/set
+// operations, exposes EXPLAIN to the middleware (§5.5), runs UDFs (the Δ
+// operator, §5.2), and fires insert triggers (guard invalidation, §5.1).
+package engine
+
+// Dialect captures the DBMS feature differences the paper exploits (§5.3,
+// Experiment 4): MySQL honours FORCE INDEX/USE INDEX hints but cannot
+// OR-combine index scans; PostgreSQL ignores hints but combines multiple
+// index scans through an in-memory bitmap.
+type Dialect interface {
+	// Name identifies the dialect in EXPLAIN output and experiment tables.
+	Name() string
+	// HonorsIndexHints reports whether FORCE INDEX / USE INDEX () hints
+	// override the optimizer's access-path choice.
+	HonorsIndexHints() bool
+	// SupportsBitmapOr reports whether the planner may satisfy a disjunction
+	// by OR-ing several index scans through an in-memory bitmap
+	// (PostgreSQL's bitmap heap scan).
+	SupportsBitmapOr() bool
+}
+
+type mysqlDialect struct{}
+
+func (mysqlDialect) Name() string           { return "mysql" }
+func (mysqlDialect) HonorsIndexHints() bool { return true }
+func (mysqlDialect) SupportsBitmapOr() bool { return false }
+
+type postgresDialect struct{}
+
+func (postgresDialect) Name() string           { return "postgres" }
+func (postgresDialect) HonorsIndexHints() bool { return false }
+func (postgresDialect) SupportsBitmapOr() bool { return true }
+
+// MySQL returns the hint-honouring dialect (no bitmap OR).
+func MySQL() Dialect { return mysqlDialect{} }
+
+// Postgres returns the hint-ignoring, bitmap-OR-capable dialect.
+func Postgres() Dialect { return postgresDialect{} }
+
+// Counters accumulate the engine's observable work. SIEVE's experiments use
+// them to explain *why* a strategy wins (tuples read, policies evaluated,
+// UDF invocations), complementing wall-clock time. Counters are owned by a
+// single query execution at a time; they are not safe for concurrent use.
+type Counters struct {
+	TuplesRead     int64 // heap tuples fetched (seq or via index)
+	IndexLookups   int64 // index probe operations
+	SeqScans       int64 // sequential scans started
+	IndexScans     int64 // index scans started
+	BitmapOrScans  int64 // bitmap OR scans started
+	UDFInvocations int64 // user-defined function calls
+	PolicyEvals    int64 // policy object-condition set evaluations (set by UDFs)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.TuplesRead += other.TuplesRead
+	c.IndexLookups += other.IndexLookups
+	c.SeqScans += other.SeqScans
+	c.IndexScans += other.IndexScans
+	c.BitmapOrScans += other.BitmapOrScans
+	c.UDFInvocations += other.UDFInvocations
+	c.PolicyEvals += other.PolicyEvals
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }

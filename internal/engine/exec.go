@@ -1,0 +1,852 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Result is a materialised query result.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+}
+
+// scope tracks the relations visible by name beyond the catalog: WITH
+// clauses, nested per statement.
+type scope struct {
+	parent *scope
+	rels   map[string]*Result
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, rels: make(map[string]*Result)}
+}
+
+func (sc *scope) lookup(name string) (*Result, bool) {
+	for cur := sc; cur != nil; cur = cur.parent {
+		if r, ok := cur.rels[name]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// executor runs one statement tree. It is not safe for concurrent use.
+type executor struct {
+	db       *DB
+	counters *Counters
+}
+
+// rel is an intermediate relation during execution.
+type rel struct {
+	schema *RelSchema
+	rows   []storage.Row
+}
+
+func (ex *executor) selectStmt(s *sqlparser.SelectStmt, sc *scope, outer *env) (*Result, error) {
+	sc = newScope(sc)
+	for _, cte := range s.With {
+		res, err := ex.selectStmt(cte.Select, sc, outer)
+		if err != nil {
+			return nil, fmt.Errorf("in WITH %s: %w", cte.Name, err)
+		}
+		sc.rels[cte.Name] = res
+	}
+	res, err := ex.selectCore(s.Body, sc, outer)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range s.Ops {
+		arm, err := ex.selectCore(op.Core, sc, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(arm.Columns) != len(res.Columns) {
+			return nil, fmt.Errorf("engine: set operation arms have %d vs %d columns", len(res.Columns), len(arm.Columns))
+		}
+		switch op.Kind {
+		case sqlparser.SetUnion:
+			res = unionResults(res, arm, op.All)
+		case sqlparser.SetMinus:
+			res = minusResults(res, arm)
+		}
+	}
+	return res, nil
+}
+
+func unionResults(l, r *Result, all bool) *Result {
+	out := &Result{Columns: l.Columns}
+	if all {
+		out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+		return out
+	}
+	seen := make(map[string]struct{}, len(l.Rows)+len(r.Rows))
+	for _, rows := range [][]storage.Row{l.Rows, r.Rows} {
+		for _, row := range rows {
+			k := rowKey(row)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+func minusResults(l, r *Result) *Result {
+	drop := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		drop[rowKey(row)] = struct{}{}
+	}
+	out := &Result{Columns: l.Columns}
+	seen := make(map[string]struct{}, len(l.Rows))
+	for _, row := range l.Rows {
+		k := rowKey(row)
+		if _, d := drop[k]; d {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func rowKey(r storage.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		encodeValue(&b, v)
+	}
+	return b.String()
+}
+
+func encodeValue(b *strings.Builder, v storage.Value) {
+	b.WriteByte(byte(v.K))
+	switch v.K {
+	case storage.KindString:
+		b.WriteString(v.S)
+	case storage.KindFloat:
+		b.WriteString(strconv.FormatFloat(v.F, 'b', -1, 64))
+	case storage.KindNull:
+	default:
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	}
+	b.WriteByte(0)
+}
+
+// sourceInfo is a resolved FROM entry.
+type sourceInfo struct {
+	ref  sqlparser.TableRef
+	name string
+	tbl  *storage.Table // base table, or nil
+	res  *Result        // derived table / CTE result, or nil
+	cols map[string]bool
+}
+
+func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer *env) ([]*sourceInfo, error) {
+	sources := make([]*sourceInfo, 0, len(core.From))
+	for _, ref := range core.From {
+		src := &sourceInfo{ref: ref, name: ref.RefName(), cols: make(map[string]bool)}
+		switch {
+		case ref.Subquery != nil:
+			res, err := ex.selectStmt(ref.Subquery, sc, outer)
+			if err != nil {
+				return nil, err
+			}
+			src.res = res
+			for _, c := range res.Columns {
+				src.cols[c] = true
+			}
+		default:
+			if res, ok := sc.lookup(ref.Name); ok {
+				src.res = res
+				for _, c := range res.Columns {
+					src.cols[c] = true
+				}
+				break
+			}
+			t, ok := ex.db.Table(ref.Name)
+			if !ok {
+				return nil, fmt.Errorf("engine: unknown table %q", ref.Name)
+			}
+			src.tbl = t
+			for _, c := range t.Schema.Columns {
+				src.cols[c.Name] = true
+			}
+		}
+		sources = append(sources, src)
+	}
+	return sources, nil
+}
+
+// refSet computes which local sources an expression references. Qualified
+// references match source names; unqualified ones match any source exposing
+// the column. References that match nothing are correlated or constant.
+func refSet(e sqlparser.Expr, sources []*sourceInfo) map[int]bool {
+	set := make(map[int]bool)
+	sqlparser.Walk(e, true, func(x sqlparser.Expr) {
+		c, ok := x.(*sqlparser.ColRef)
+		if !ok {
+			return
+		}
+		for i, s := range sources {
+			if c.Table != "" {
+				if c.Table == s.name {
+					set[i] = true
+				}
+			} else if s.cols[c.Column] {
+				set[i] = true
+			}
+		}
+	})
+	return set
+}
+
+func qualifySchema(name string, s *storage.Schema) *RelSchema {
+	cols := make([]RelCol, s.Len())
+	for i, c := range s.Columns {
+		cols[i] = RelCol{Table: name, Name: c.Name}
+	}
+	return &RelSchema{Cols: cols}
+}
+
+func qualifyResult(name string, res *Result) *rel {
+	cols := make([]RelCol, len(res.Columns))
+	for i, c := range res.Columns {
+		cols[i] = RelCol{Table: name, Name: c}
+	}
+	return &rel{schema: &RelSchema{Cols: cols}, rows: res.Rows}
+}
+
+// filterRel keeps rows satisfying every conjunct.
+func (ex *executor) filterRel(r *rel, conjs []sqlparser.Expr, sc *scope, outer *env) (*rel, error) {
+	if len(conjs) == 0 {
+		return r, nil
+	}
+	ev := &evaluator{ex: ex, scope: sc}
+	out := &rel{schema: r.schema}
+	for _, row := range r.rows {
+		en := &env{schema: r.schema, row: row, outer: outer}
+		ok := true
+		for _, cj := range conjs {
+			v, err := ev.eval(cj, en)
+			if err != nil {
+				return nil, err
+			}
+			if t, _ := truth(v); !t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// scanSource materialises one FROM entry, applying its single-source
+// conjuncts (through the chosen access path for base tables).
+func (ex *executor) scanSource(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env) (*rel, error) {
+	if src.res != nil {
+		return ex.filterRel(qualifyResult(src.name, src.res), conjs, sc, outer)
+	}
+	t := src.tbl
+	plan := planAccess(ex.db, t, src.name, conjs, src.ref.Hint)
+	schema := qualifySchema(src.name, t.Schema)
+	ev := &evaluator{ex: ex, scope: sc}
+	out := &rel{schema: schema}
+	keep := func(row storage.Row) (bool, error) {
+		en := &env{schema: schema, row: row, outer: outer}
+		for _, cj := range conjs {
+			v, err := ev.eval(cj, en)
+			if err != nil {
+				return false, err
+			}
+			if t, _ := truth(v); !t {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if plan.fetch == nil {
+		ex.counters.SeqScans++
+		var scanErr error
+		t.Scan(func(_ storage.RowID, row storage.Row) bool {
+			ex.counters.TuplesRead++
+			ok, err := keep(row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if ok {
+				out.rows = append(out.rows, row)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		return out, nil
+	}
+	for _, id := range plan.fetch(ex.counters) {
+		row, ok := t.Get(id)
+		if !ok {
+			continue
+		}
+		ex.counters.TuplesRead++
+		keepIt, err := keep(row)
+		if err != nil {
+			return nil, err
+		}
+		if keepIt {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// asEquiJoin recognises cur.col = next.col conjuncts usable as hash-join
+// keys, returning the column offsets on each side.
+func asEquiJoin(e sqlparser.Expr, cur, next *RelSchema) (int, int, bool) {
+	cmp, ok := e.(*sqlparser.CompareExpr)
+	if !ok || cmp.Op != sqlparser.CmpEq {
+		return 0, 0, false
+	}
+	lc, lok := cmp.L.(*sqlparser.ColRef)
+	rc, rok := cmp.R.(*sqlparser.ColRef)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	if li, err := cur.Resolve(lc.Table, lc.Column); err == nil {
+		if ri, err := next.Resolve(rc.Table, rc.Column); err == nil {
+			return li, ri, true
+		}
+	}
+	if li, err := cur.Resolve(rc.Table, rc.Column); err == nil {
+		if ri, err := next.Resolve(lc.Table, lc.Column); err == nil {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+func concatSchemas(a, b *RelSchema) *RelSchema {
+	cols := make([]RelCol, 0, len(a.Cols)+len(b.Cols))
+	cols = append(cols, a.Cols...)
+	cols = append(cols, b.Cols...)
+	return &RelSchema{Cols: cols}
+}
+
+func concatRows(a, b storage.Row) storage.Row {
+	out := make(storage.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// hashJoin joins cur and next on the given key offsets. The hash table is
+// built on next (typically the smaller, later FROM entry) and probed with
+// cur, preserving cur's row order.
+func hashJoin(cur, next *rel, lkeys, rkeys []int) *rel {
+	out := &rel{schema: concatSchemas(cur.schema, next.schema)}
+	table := make(map[string][]storage.Row, len(next.rows))
+	var b strings.Builder
+	for _, row := range next.rows {
+		b.Reset()
+		null := false
+		for _, k := range rkeys {
+			if row[k].IsNull() {
+				null = true
+				break
+			}
+			encodeValue(&b, row[k])
+		}
+		if null {
+			continue
+		}
+		table[b.String()] = append(table[b.String()], row)
+	}
+	for _, lrow := range cur.rows {
+		b.Reset()
+		null := false
+		for _, k := range lkeys {
+			if lrow[k].IsNull() {
+				null = true
+				break
+			}
+			encodeValue(&b, lrow[k])
+		}
+		if null {
+			continue
+		}
+		for _, rrow := range table[b.String()] {
+			out.rows = append(out.rows, concatRows(lrow, rrow))
+		}
+	}
+	return out
+}
+
+func crossJoin(cur, next *rel) *rel {
+	out := &rel{schema: concatSchemas(cur.schema, next.schema)}
+	for _, l := range cur.rows {
+		for _, r := range next.rows {
+			out.rows = append(out.rows, concatRows(l, r))
+		}
+	}
+	return out
+}
+
+func (ex *executor) selectCore(core *sqlparser.SelectCore, sc *scope, outer *env) (*Result, error) {
+	sources, err := ex.resolveSources(core, sc, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify WHERE conjuncts by the set of local sources they touch.
+	conjuncts := sqlparser.Conjuncts(core.Where)
+	type classified struct {
+		expr    sqlparser.Expr
+		refs    map[int]bool
+		applied bool
+	}
+	classifieds := make([]*classified, len(conjuncts))
+	perSource := make([][]sqlparser.Expr, len(sources))
+	for i, cj := range conjuncts {
+		cl := &classified{expr: cj, refs: refSet(cj, sources)}
+		classifieds[i] = cl
+		switch len(cl.refs) {
+		case 0:
+			// Constant or purely correlated: evaluate with the first scan.
+			perSource[0] = append(perSource[0], cj)
+			cl.applied = true
+		case 1:
+			for s := range cl.refs {
+				perSource[s] = append(perSource[s], cj)
+			}
+			cl.applied = true
+		}
+	}
+
+	// Scan and join left to right in FROM order.
+	cur, err := ex.scanSource(sources[0], perSource[0], sc, outer)
+	if err != nil {
+		return nil, err
+	}
+	joined := map[int]bool{0: true}
+	for i := 1; i < len(sources); i++ {
+		next, err := ex.scanSource(sources[i], perSource[i], sc, outer)
+		if err != nil {
+			return nil, err
+		}
+		joined[i] = true
+		var lkeys, rkeys []int
+		for _, cl := range classifieds {
+			if cl.applied || !subset(cl.refs, joined) {
+				continue
+			}
+			if li, ri, ok := asEquiJoin(cl.expr, cur.schema, next.schema); ok {
+				lkeys = append(lkeys, li)
+				rkeys = append(rkeys, ri)
+				cl.applied = true
+			}
+		}
+		if len(lkeys) > 0 {
+			cur = hashJoin(cur, next, lkeys, rkeys)
+		} else {
+			cur = crossJoin(cur, next)
+		}
+		// Apply any remaining conjuncts that became fully bound.
+		var pending []sqlparser.Expr
+		for _, cl := range classifieds {
+			if !cl.applied && subset(cl.refs, joined) {
+				pending = append(pending, cl.expr)
+				cl.applied = true
+			}
+		}
+		if cur, err = ex.filterRel(cur, pending, sc, outer); err != nil {
+			return nil, err
+		}
+	}
+	// Safety net: anything unapplied (should not happen) filters here.
+	var leftovers []sqlparser.Expr
+	for _, cl := range classifieds {
+		if !cl.applied {
+			leftovers = append(leftovers, cl.expr)
+		}
+	}
+	if cur, err = ex.filterRel(cur, leftovers, sc, outer); err != nil {
+		return nil, err
+	}
+
+	return ex.project(core, cur, sc, outer)
+}
+
+func subset(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// project evaluates GROUP BY / aggregation, the select list, DISTINCT,
+// ORDER BY and LIMIT over the joined relation.
+func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, outer *env) (*Result, error) {
+	hasAgg := false
+	for _, it := range core.Items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if core.Having != nil && containsAggregate(core.Having) {
+		hasAgg = true
+	}
+	grouped := len(core.GroupBy) > 0 || hasAgg
+
+	columns := ex.outputColumns(core)
+
+	var outRows []storage.Row
+	var orderKeys [][]storage.Value
+
+	evalRowItems := func(ev *evaluator, en *env) (storage.Row, error) {
+		row := make(storage.Row, len(core.Items))
+		for i, it := range core.Items {
+			v, err := ev.eval(it.Expr, en)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	}
+	evalOrderKeys := func(ev *evaluator, en *env) ([]storage.Value, error) {
+		if len(core.OrderBy) == 0 {
+			return nil, nil
+		}
+		keys := make([]storage.Value, len(core.OrderBy))
+		for i, o := range core.OrderBy {
+			v, err := ev.eval(o.Expr, en)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	if !grouped {
+		if core.Star {
+			outRows = cur.rows
+			columns = cur.schema.ColumnNames()
+			if len(core.OrderBy) > 0 {
+				ev := &evaluator{ex: ex, scope: sc}
+				orderKeys = make([][]storage.Value, len(outRows))
+				for i, row := range cur.rows {
+					en := &env{schema: cur.schema, row: row, outer: outer}
+					keys, err := evalOrderKeys(ev, en)
+					if err != nil {
+						return nil, err
+					}
+					orderKeys[i] = keys
+				}
+			}
+		} else {
+			ev := &evaluator{ex: ex, scope: sc}
+			for _, row := range cur.rows {
+				en := &env{schema: cur.schema, row: row, outer: outer}
+				out, err := evalRowItems(ev, en)
+				if err != nil {
+					return nil, err
+				}
+				outRows = append(outRows, out)
+				if len(core.OrderBy) > 0 {
+					keys, err := evalOrderKeys(ev, en)
+					if err != nil {
+						return nil, err
+					}
+					orderKeys = append(orderKeys, keys)
+				}
+			}
+		}
+	} else {
+		if core.Star {
+			return nil, fmt.Errorf("engine: SELECT * is not valid with GROUP BY or aggregates")
+		}
+		groups, order, err := ex.buildGroups(core, cur, sc, outer)
+		if err != nil {
+			return nil, err
+		}
+		aggNodes := collectAggregates(core)
+		for _, gk := range order {
+			g := groups[gk]
+			aggVals, err := ex.computeAggregates(aggNodes, g, cur.schema, sc, outer)
+			if err != nil {
+				return nil, err
+			}
+			ev := &evaluator{ex: ex, scope: sc, aggValues: aggVals}
+			rep := g.representative(cur.schema)
+			en := &env{schema: cur.schema, row: rep, outer: outer}
+			if core.Having != nil {
+				hv, err := ev.eval(core.Having, en)
+				if err != nil {
+					return nil, err
+				}
+				if t, _ := truth(hv); !t {
+					continue
+				}
+			}
+			out, err := evalRowItems(ev, en)
+			if err != nil {
+				return nil, err
+			}
+			outRows = append(outRows, out)
+			if len(core.OrderBy) > 0 {
+				keys, err := evalOrderKeys(ev, en)
+				if err != nil {
+					return nil, err
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	}
+
+	if core.Distinct {
+		seen := make(map[string]struct{}, len(outRows))
+		dedupRows := outRows[:0:0]
+		var dedupKeys [][]storage.Value
+		for i, row := range outRows {
+			k := rowKey(row)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			dedupRows = append(dedupRows, row)
+			if orderKeys != nil {
+				dedupKeys = append(dedupKeys, orderKeys[i])
+			}
+		}
+		outRows = dedupRows
+		if orderKeys != nil {
+			orderKeys = dedupKeys
+		}
+	}
+
+	if len(core.OrderBy) > 0 {
+		idx := make([]int, len(outRows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := orderKeys[idx[a]], orderKeys[idx[b]]
+			for i, o := range core.OrderBy {
+				c, ok := storage.Compare(ka[i], kb[i])
+				if !ok {
+					// NULLs (and incomparables) first on ASC, last on DESC.
+					an, bn := ka[i].IsNull(), kb[i].IsNull()
+					if an == bn {
+						continue
+					}
+					return an != o.Desc
+				}
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]storage.Row, len(outRows))
+		for i, j := range idx {
+			sorted[i] = outRows[j]
+		}
+		outRows = sorted
+	}
+
+	if core.Limit >= 0 && int64(len(outRows)) > core.Limit {
+		outRows = outRows[:core.Limit]
+	}
+	return &Result{Columns: columns, Rows: outRows}, nil
+}
+
+func (ex *executor) outputColumns(core *sqlparser.SelectCore) []string {
+	cols := make([]string, len(core.Items))
+	for i, it := range core.Items {
+		switch {
+		case it.Alias != "":
+			cols[i] = it.Alias
+		default:
+			if c, ok := it.Expr.(*sqlparser.ColRef); ok {
+				cols[i] = c.Column
+			} else {
+				cols[i] = sqlparser.PrintExpr(it.Expr)
+			}
+		}
+	}
+	return cols
+}
+
+// group is one GROUP BY bucket.
+type group struct {
+	rows []storage.Row
+}
+
+func (g *group) representative(schema *RelSchema) storage.Row {
+	if len(g.rows) > 0 {
+		return g.rows[0]
+	}
+	return make(storage.Row, len(schema.Cols))
+}
+
+func (ex *executor) buildGroups(core *sqlparser.SelectCore, cur *rel, sc *scope, outer *env) (map[string]*group, []string, error) {
+	groups := make(map[string]*group)
+	var order []string
+	ev := &evaluator{ex: ex, scope: sc}
+	if len(core.GroupBy) == 0 {
+		// A single group over all rows (aggregates without GROUP BY).
+		groups[""] = &group{rows: cur.rows}
+		return groups, []string{""}, nil
+	}
+	var b strings.Builder
+	for _, row := range cur.rows {
+		en := &env{schema: cur.schema, row: row, outer: outer}
+		b.Reset()
+		for _, gexpr := range core.GroupBy {
+			v, err := ev.eval(gexpr, en)
+			if err != nil {
+				return nil, nil, err
+			}
+			encodeValue(&b, v)
+		}
+		k := b.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	return groups, order, nil
+}
+
+func collectAggregates(core *sqlparser.SelectCore) []*sqlparser.FuncCall {
+	var aggs []*sqlparser.FuncCall
+	visit := func(e sqlparser.Expr) {
+		sqlparser.Walk(e, false, func(x sqlparser.Expr) {
+			if fc, ok := x.(*sqlparser.FuncCall); ok && (fc.Star || isAggregateName(fc.Name)) {
+				aggs = append(aggs, fc)
+			}
+		})
+	}
+	for _, it := range core.Items {
+		visit(it.Expr)
+	}
+	if core.Having != nil {
+		visit(core.Having)
+	}
+	for _, o := range core.OrderBy {
+		visit(o.Expr)
+	}
+	return aggs
+}
+
+func (ex *executor) computeAggregates(nodes []*sqlparser.FuncCall, g *group, schema *RelSchema, sc *scope, outer *env) (map[sqlparser.Expr]storage.Value, error) {
+	out := make(map[sqlparser.Expr]storage.Value, len(nodes))
+	ev := &evaluator{ex: ex, scope: sc}
+	for _, fc := range nodes {
+		if _, done := out[fc]; done {
+			continue
+		}
+		name := strings.ToLower(fc.Name)
+		if fc.Star {
+			out[fc] = storage.NewInt(int64(len(g.rows)))
+			continue
+		}
+		if len(fc.Args) != 1 {
+			return nil, fmt.Errorf("engine: aggregate %s expects one argument", fc.Name)
+		}
+		var (
+			count    int64
+			sumF     float64
+			sumI     int64
+			anyFloat bool
+			minV     = storage.Null
+			maxV     = storage.Null
+			distinct map[string]struct{}
+		)
+		if fc.Distinct {
+			distinct = make(map[string]struct{})
+		}
+		for _, row := range g.rows {
+			en := &env{schema: schema, row: row, outer: outer}
+			v, err := ev.eval(fc.Args[0], en)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if distinct != nil {
+				var b strings.Builder
+				encodeValue(&b, v)
+				if _, dup := distinct[b.String()]; dup {
+					continue
+				}
+				distinct[b.String()] = struct{}{}
+			}
+			count++
+			switch v.K {
+			case storage.KindFloat:
+				anyFloat = true
+				sumF += v.F
+			default:
+				sumI += v.I
+				sumF += float64(v.I)
+			}
+			if minV.IsNull() || storage.Less(v, minV) {
+				minV = v
+			}
+			if maxV.IsNull() || storage.Less(maxV, v) {
+				maxV = v
+			}
+		}
+		switch name {
+		case "count":
+			out[fc] = storage.NewInt(count)
+		case "sum":
+			if count == 0 {
+				out[fc] = storage.Null
+			} else if anyFloat {
+				out[fc] = storage.NewFloat(sumF)
+			} else {
+				out[fc] = storage.NewInt(sumI)
+			}
+		case "avg":
+			if count == 0 {
+				out[fc] = storage.Null
+			} else {
+				out[fc] = storage.NewFloat(sumF / float64(count))
+			}
+		case "min":
+			out[fc] = minV
+		case "max":
+			out[fc] = maxV
+		default:
+			return nil, fmt.Errorf("engine: unknown aggregate %q", fc.Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Cost factors for access-path choice, in units of "sequential tuple
+// reads". Random (index-driven) heap fetches cost more than sequential
+// ones; bitmap scans sort row ids first and land in between. The ratios
+// are the classic planner defaults, not measurements.
+const (
+	randAccessFactor   = 2.0
+	bitmapAccessFactor = 1.4
+)
+
+// sarg is a sargable single-column predicate extracted from a conjunct:
+// either a set of equality points (col = v, col IN (...)) or a range.
+type sarg struct {
+	col      string
+	points   []storage.Value
+	lo, hi   storage.Value
+	loS, hiS bool
+	isRange  bool
+}
+
+// extractSarg recognises index-usable predicates over columns of the table
+// referenced as ref. Supported shapes: col op literal (and flipped),
+// col BETWEEN lit AND lit, col IN (literals).
+func extractSarg(e sqlparser.Expr, ref string, schema *storage.Schema) (sarg, bool) {
+	colOf := func(x sqlparser.Expr) (string, bool) {
+		c, ok := x.(*sqlparser.ColRef)
+		if !ok {
+			return "", false
+		}
+		if c.Table != "" && c.Table != ref {
+			return "", false
+		}
+		if !schema.HasColumn(c.Column) {
+			return "", false
+		}
+		return c.Column, true
+	}
+	litOf := func(x sqlparser.Expr) (storage.Value, bool) {
+		l, ok := x.(*sqlparser.Literal)
+		if !ok {
+			return storage.Null, false
+		}
+		return l.Val, true
+	}
+	switch x := e.(type) {
+	case *sqlparser.CompareExpr:
+		col, okL := colOf(x.L)
+		lit, okR := litOf(x.R)
+		op := x.Op
+		if !okL || !okR {
+			// try the flipped orientation: literal op col
+			if lit2, ok := litOf(x.L); ok {
+				if col2, ok := colOf(x.R); ok {
+					col, lit, op = col2, lit2, x.Op.Flip()
+					okL, okR = true, true
+				}
+			}
+		}
+		if !okL || !okR || lit.IsNull() {
+			return sarg{}, false
+		}
+		switch op {
+		case sqlparser.CmpEq:
+			return sarg{col: col, points: []storage.Value{lit}}, true
+		case sqlparser.CmpLt:
+			return sarg{col: col, isRange: true, lo: storage.Null, hi: lit, hiS: true}, true
+		case sqlparser.CmpLe:
+			return sarg{col: col, isRange: true, lo: storage.Null, hi: lit}, true
+		case sqlparser.CmpGt:
+			return sarg{col: col, isRange: true, lo: lit, loS: true, hi: storage.Null}, true
+		case sqlparser.CmpGe:
+			return sarg{col: col, isRange: true, lo: lit, hi: storage.Null}, true
+		}
+		return sarg{}, false
+	case *sqlparser.BetweenExpr:
+		if x.Not {
+			return sarg{}, false
+		}
+		col, ok := colOf(x.E)
+		if !ok {
+			return sarg{}, false
+		}
+		lo, okLo := litOf(x.Lo)
+		hi, okHi := litOf(x.Hi)
+		if !okLo || !okHi {
+			return sarg{}, false
+		}
+		return sarg{col: col, isRange: true, lo: lo, hi: hi}, true
+	case *sqlparser.InExpr:
+		if x.Not || x.Sub != nil {
+			return sarg{}, false
+		}
+		col, ok := colOf(x.E)
+		if !ok {
+			return sarg{}, false
+		}
+		var pts []storage.Value
+		for _, item := range x.List {
+			v, ok := litOf(item)
+			if !ok || v.IsNull() {
+				return sarg{}, false
+			}
+			pts = append(pts, v)
+		}
+		return sarg{col: col, points: pts}, true
+	}
+	return sarg{}, false
+}
+
+// estimateSarg returns the selectivity of a sarg in [0,1], preferring the
+// ANALYZE histogram (like the paper, §4 fn 5) and falling back to an exact
+// index probe when statistics are absent.
+func estimateSarg(db *DB, t *storage.Table, s sarg) float64 {
+	n := t.NumRows()
+	if n == 0 {
+		return 0
+	}
+	if stats, ok := db.Stats(t.Name); ok {
+		if _, hasHist := stats.Histograms[s.col]; hasHist {
+			if s.isRange {
+				return stats.SelectivityRange(s.col, s.lo, s.hi)
+			}
+			sel := 0.0
+			for range s.points {
+				sel += stats.SelectivityEq(s.col, s.points[0])
+			}
+			return clampSel(sel)
+		}
+	}
+	if idx, ok := t.Index(s.col); ok {
+		cnt := 0
+		if s.isRange {
+			cnt = idx.CountRange(s.lo, s.loS, s.hi, s.hiS)
+		} else {
+			for _, p := range s.points {
+				cnt += idx.CountRange(p, false, p, false)
+			}
+		}
+		return clampSel(float64(cnt) / float64(n))
+	}
+	if s.isRange {
+		return 1.0 / 3.0
+	}
+	return 0.1
+}
+
+func clampSel(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// fetchSarg materialises the row ids matched by a sarg through the index.
+func fetchSarg(t *storage.Table, s sarg, c *Counters) []storage.RowID {
+	idx, ok := t.Index(s.col)
+	if !ok {
+		return nil
+	}
+	var ids []storage.RowID
+	if s.isRange {
+		c.IndexLookups++
+		ids = idx.Range(nil, s.lo, s.loS, s.hi, s.hiS)
+	} else {
+		for _, p := range s.points {
+			c.IndexLookups++
+			ids = idx.Eq(ids, p)
+		}
+	}
+	return ids
+}
+
+// AccessKind labels the access path in EXPLAIN output.
+type AccessKind string
+
+// Access kinds reported by EXPLAIN.
+const (
+	AccessSeq      AccessKind = "seq"
+	AccessIndex    AccessKind = "index"
+	AccessBitmapOr AccessKind = "bitmap-or"
+	AccessDerived  AccessKind = "derived"
+)
+
+// accessPlan is the planner's decision for one base-table FROM entry.
+type accessPlan struct {
+	Kind   AccessKind
+	Index  string  // driving index column(s), comma-joined for bitmap OR
+	EstSel float64 // estimated fraction of the table fetched
+	// fetch returns candidate row ids; nil for sequential scans.
+	fetch func(c *Counters) []storage.RowID
+}
+
+// orBranches decomposes a disjunctive conjunct into per-disjunct sargs, all
+// on indexed (and, when restricted, hinted) columns. ok is false if any
+// disjunct lacks such a sarg — then the disjunction cannot drive an index
+// union and must be a filter.
+func orBranches(db *DB, t *storage.Table, ref string, e sqlparser.Expr, allowed map[string]bool) ([]sarg, bool) {
+	disjuncts := sqlparser.Disjuncts(e)
+	if len(disjuncts) < 2 {
+		return nil, false
+	}
+	out := make([]sarg, 0, len(disjuncts))
+	for _, d := range disjuncts {
+		best := sarg{}
+		bestSel := 2.0
+		for _, conj := range sqlparser.Conjuncts(d) {
+			s, ok := extractSarg(conj, ref, t.Schema)
+			if !ok {
+				continue
+			}
+			if _, indexed := t.Index(s.col); !indexed {
+				continue
+			}
+			if allowed != nil && !allowed[s.col] {
+				continue
+			}
+			if sel := estimateSarg(db, t, s); sel < bestSel {
+				best, bestSel = s, sel
+			}
+		}
+		if bestSel > 1.5 {
+			return nil, false
+		}
+		out = append(out, best)
+	}
+	return out, true
+}
+
+// planAccess chooses the access path for one base table given the conjuncts
+// that reference only this table. The hint is honoured only on dialects
+// that honour hints (§5.3).
+func planAccess(db *DB, t *storage.Table, ref string, conjuncts []sqlparser.Expr, hint *sqlparser.IndexHint) accessPlan {
+	n := float64(t.NumRows())
+	seq := accessPlan{Kind: AccessSeq, EstSel: 1}
+	if n == 0 {
+		return seq
+	}
+
+	honored := hint != nil && db.dialect.HonorsIndexHints()
+	if honored && hint.Kind == sqlparser.HintUse && len(hint.Indexes) == 0 {
+		return seq // USE INDEX (): the LinearScan rewrite
+	}
+	var allowed map[string]bool
+	forced := false
+	if honored {
+		allowed = make(map[string]bool, len(hint.Indexes))
+		for _, ix := range hint.Indexes {
+			allowed[ix] = true
+		}
+		forced = hint.Kind == sqlparser.HintForce
+	}
+
+	// Candidate single-index sargs on indexed (and allowed) columns.
+	type cand struct {
+		s   sarg
+		sel float64
+	}
+	var best *cand
+	for _, conj := range conjuncts {
+		s, ok := extractSarg(conj, ref, t.Schema)
+		if !ok {
+			continue
+		}
+		if _, indexed := t.Index(s.col); !indexed {
+			continue
+		}
+		if allowed != nil && !allowed[s.col] {
+			continue
+		}
+		sel := estimateSarg(db, t, s)
+		if best == nil || sel < best.sel {
+			best = &cand{s: s, sel: sel}
+		}
+	}
+
+	// Disjunction candidates: index-union of the branches of an OR. Used by
+	// the postgres dialect's bitmap OR scan, and by the mysql dialect when
+	// FORCE INDEX lists the branch indexes (index_merge union, the §5.6
+	// combined rewrite form).
+	var orPlan *accessPlan
+	if db.dialect.SupportsBitmapOr() || forced {
+		for _, conj := range conjuncts {
+			branches, ok := orBranches(db, t, ref, conj, allowed)
+			if !ok {
+				continue
+			}
+			sel := 0.0
+			names := make([]string, 0, len(branches))
+			seen := map[string]bool{}
+			for _, b := range branches {
+				sel += estimateSarg(db, t, b)
+				if !seen[b.col] {
+					seen[b.col] = true
+					names = append(names, b.col)
+				}
+			}
+			sel = clampSel(sel)
+			bs := branches
+			plan := accessPlan{
+				Kind:   AccessBitmapOr,
+				Index:  strings.Join(names, ","),
+				EstSel: sel,
+				fetch: func(c *Counters) []storage.RowID {
+					c.BitmapOrScans++
+					bitmap := make(map[storage.RowID]struct{})
+					for _, b := range bs {
+						for _, id := range fetchSarg(t, b, c) {
+							bitmap[id] = struct{}{}
+						}
+					}
+					ids := make([]storage.RowID, 0, len(bitmap))
+					for id := range bitmap {
+						ids = append(ids, id)
+					}
+					sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+					return ids
+				},
+			}
+			if orPlan == nil || plan.EstSel < orPlan.EstSel {
+				p := plan
+				orPlan = &p
+			}
+		}
+	}
+
+	mkIndexPlan := func(c cand) accessPlan {
+		s := c.s
+		return accessPlan{
+			Kind:   AccessIndex,
+			Index:  s.col,
+			EstSel: c.sel,
+			fetch: func(cn *Counters) []storage.RowID {
+				cn.IndexScans++
+				return fetchSarg(t, s, cn)
+			},
+		}
+	}
+
+	if forced {
+		// The optimizer must use one of the listed indexes if at all possible.
+		if best != nil && orPlan != nil {
+			if best.sel*randAccessFactor <= orPlan.EstSel*bitmapAccessFactor {
+				return mkIndexPlan(*best)
+			}
+			return *orPlan
+		}
+		if best != nil {
+			return mkIndexPlan(*best)
+		}
+		if orPlan != nil {
+			return *orPlan
+		}
+		return seq // nothing sargable on the forced indexes; degenerate to scan
+	}
+
+	// Cost-based choice.
+	seqCost := n
+	choice := seq
+	cost := seqCost
+	if best != nil {
+		c := best.sel * n * randAccessFactor
+		if c < cost {
+			cost = c
+			choice = mkIndexPlan(*best)
+		}
+	}
+	if orPlan != nil {
+		c := orPlan.EstSel * n * bitmapAccessFactor
+		if c < cost {
+			cost = c
+			choice = *orPlan
+		}
+	}
+	return choice
+}

@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// QualifiedSchema builds the RelSchema of a base table's rows, with every
+// column qualified by the given name. UDFs that re-enter the engine (the Δ
+// operator evaluating derived-value policy conditions, §5.2) use it to give
+// the current tuple an addressable shape.
+func QualifiedSchema(name string, s *storage.Schema) *RelSchema {
+	return qualifySchema(name, s)
+}
+
+// EvalPredicate evaluates an expression against one row laid out as schema.
+// Subqueries inside the expression run against the database with the row as
+// their outer correlation scope — exactly how the paper's nested policy
+// conditions (§3.1) see the tuple under evaluation. The result is the raw
+// value; callers decide on truthiness.
+func (db *DB) EvalPredicate(e sqlparser.Expr, schema *RelSchema, row storage.Row) (storage.Value, error) {
+	ex := &executor{db: db, counters: &db.Counters}
+	ev := &evaluator{ex: ex, scope: newScope(nil)}
+	return ev.eval(e, &env{schema: schema, row: row})
+}
+
+// Truthy reports SQL truth of a value (NULL and FALSE are not true).
+func Truthy(v storage.Value) bool {
+	t, _ := truth(v)
+	return t
+}

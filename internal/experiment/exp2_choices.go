@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// InlineVsDelta reproduces Figure 3 / Experiment 2.1: the per-query cost of
+// evaluating one guard's partition inline versus through the Δ operator as
+// the partition grows. The crossover is where Δ's per-invocation overhead
+// is amortised by its owner-based policy filtering (paper: |PG| ≈ 120).
+func InlineVsDelta(cfg Config) (*Table, error) {
+	sizes := []int{10, 20, 40, 80, 160, 320}
+	tab := &Table{
+		ID:      "Figure 3",
+		Title:   "Inline vs Δ operator by guard partition size",
+		Headers: []string{"|PG|", "inline ms", "delta ms", "winner"},
+		Notes:   []string{"paper: crossover at ≈120 policies on MySQL"},
+	}
+	crossover := -1
+	for _, n := range sizes {
+		inlineT, err := runSharedGuard(cfg, n, 0) // threshold 0: never Δ
+		if err != nil {
+			return nil, err
+		}
+		deltaT, err := runSharedGuard(cfg, n, 1) // threshold 1: always Δ
+		if err != nil {
+			return nil, err
+		}
+		winner := "inline"
+		if deltaT < inlineT {
+			winner = "delta"
+			if crossover < 0 {
+				crossover = n
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", n), ms(inlineT), ms(deltaT), winner,
+		})
+	}
+	if crossover >= 0 {
+		tab.Notes = append(tab.Notes, fmt.Sprintf("measured crossover at |PG| ≈ %d", crossover))
+	} else {
+		tab.Notes = append(tab.Notes, "no crossover within the measured range")
+	}
+	return tab, nil
+}
+
+// runSharedGuard times a SELECT-ALL where the querier's n policies all
+// share one selective AP guard, with the Δ threshold pinned.
+func runSharedGuard(cfg Config, n int, threshold int) (time.Duration, error) {
+	c, err := workload.BuildCampus(cfg.Campus, engine.MySQL())
+	if err != nil {
+		return 0, err
+	}
+	store, err := policy.NewStore(c.DB)
+	if err != nil {
+		return 0, err
+	}
+	// n owners, all granting "querier" access at AP 0 in distinct narrow
+	// time windows: a tuple at AP 0 matches few policies, so inline pays
+	// α·|PG| checks while Δ pays the UDF plus the owner's own policies.
+	var ps []*policy.Policy
+	for i := 0; i < n; i++ {
+		h := 8 + i%10
+		ps = append(ps, &policy.Policy{
+			Owner: int64(i % cfg.Campus.Devices), Querier: "watcher", Purpose: "analytics",
+			Relation: workload.TableWiFi, Action: policy.Allow,
+			Conditions: []policy.ObjectCondition{
+				policy.Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(0)),
+				policy.RangeClosed("ts_time",
+					storage.NewTime(int64(h)*3600), storage.NewTime(int64(h+1)*3600)),
+			},
+		})
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		return 0, err
+	}
+	m, err := core.New(store, core.WithDeltaThreshold(threshold))
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Protect(workload.TableWiFi); err != nil {
+		return 0, err
+	}
+	qm := policy.Metadata{Querier: "watcher", Purpose: "analytics"}
+	avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+		_, err := m.Execute("SELECT * FROM "+workload.TableWiFi, qm)
+		return err
+	})
+	return avg, err
+}
+
+// IndexChoice reproduces Figure 4 / Experiment 2.2: IndexQuery versus
+// IndexGuards across increasing query cardinality, averaged over three
+// guard-cardinality regimes. IndexQuery wins at low query cardinality;
+// IndexGuards wins beyond the crossover (paper: ≈0.07).
+func IndexChoice(cfg Config) (*Table, error) {
+	tab := &Table{
+		ID:      "Figure 4",
+		Title:   "IndexQuery vs IndexGuards by query cardinality",
+		Headers: []string{"query sel", "IndexQuery ms", "IndexGuards ms", "winner"},
+		Notes:   []string{"paper: IndexQuery below ≈0.07 query cardinality, IndexGuards above"},
+	}
+	// Guard-cardinality regimes scale with the device population (roughly
+	// 2%/4%/8% of owners hold policies); query windows sweep from minutes
+	// to most of the day so the query selectivity crosses the guards'.
+	minuteWindows := []int{5, 20, 60, 150, 300, 600}
+	guardFracs := []float64{0.02, 0.04, 0.08}
+	for _, minutes := range minuteWindows {
+		var iqTotal, igTotal time.Duration
+		var sel float64
+		for _, frac := range guardFracs {
+			nPol := maxi(4, int(frac*float64(cfg.Campus.Devices)))
+			iq, s, err := runIndexChoice(cfg, minutes, nPol, core.IndexQuery)
+			if err != nil {
+				return nil, err
+			}
+			ig, _, err := runIndexChoice(cfg, minutes, nPol, core.IndexGuards)
+			if err != nil {
+				return nil, err
+			}
+			iqTotal += iq
+			igTotal += ig
+			sel = s
+		}
+		winner := string(core.IndexQuery)
+		if igTotal < iqTotal {
+			winner = string(core.IndexGuards)
+		}
+		n := time.Duration(len(guardFracs))
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%.3f", sel), ms(iqTotal / n), ms(igTotal / n), winner,
+		})
+	}
+	return tab, nil
+}
+
+func runIndexChoice(cfg Config, minutes, nPolicies int, strat core.Strategy) (time.Duration, float64, error) {
+	c, err := workload.BuildCampus(cfg.Campus, engine.MySQL())
+	if err != nil {
+		return 0, 0, err
+	}
+	store, err := policy.NewStore(c.DB)
+	if err != nil {
+		return 0, 0, err
+	}
+	var ps []*policy.Policy
+	for i := 0; i < nPolicies; i++ {
+		ps = append(ps, &policy.Policy{
+			Owner: int64(i), Querier: "watcher", Purpose: "analytics",
+			Relation: workload.TableWiFi, Action: policy.Allow,
+			Conditions: []policy.ObjectCondition{
+				policy.Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(int64(i%cfg.Campus.APs))),
+			},
+		})
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		return 0, 0, err
+	}
+	m, err := core.New(store, core.WithForcedStrategy(strat))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := m.Protect(workload.TableWiFi); err != nil {
+		return 0, 0, err
+	}
+	endSecs := int64(8*3600 + minutes*60)
+	q := fmt.Sprintf(
+		"SELECT * FROM %s WHERE ts_time BETWEEN TIME '08:00' AND TIME '%02d:%02d'",
+		workload.TableWiFi, endSecs/3600, (endSecs/60)%60)
+	// Measure the query predicate's true selectivity for the x-axis.
+	t := c.DB.MustTable(workload.TableWiFi)
+	idx, _ := t.Index("ts_time")
+	matched := idx.CountRange(storage.NewTime(8*3600), false, storage.NewTime(endSecs), false)
+	sel := float64(matched) / float64(t.NumRows())
+
+	qm := policy.Metadata{Querier: "watcher", Purpose: "analytics"}
+	avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+		_, err := m.Execute(q, qm)
+		return err
+	})
+	return avg, sel, err
+}

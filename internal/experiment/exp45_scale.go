@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// cumulativeLoad duplicates the querier's first size policies under a
+// synthetic querier identity "<querier>@<size>", so one store holds every
+// cumulative subset (§7.2 Experiments 4 and 5 build cumulative policy sets
+// per querier).
+func cumulativeLoad(store *policy.Store, ps []*policy.Policy, querier string, sizes []int) error {
+	var own []*policy.Policy
+	for _, p := range ps {
+		if p.Querier == querier {
+			own = append(own, p)
+		}
+	}
+	for _, size := range sizes {
+		if size > len(own) {
+			size = len(own)
+		}
+		var batch []*policy.Policy
+		for _, p := range own[:size] {
+			clone := *p
+			clone.ID = 0
+			clone.Querier = fmt.Sprintf("%s@%d", querier, size)
+			clone.Purpose = policy.AnyPurpose
+			batch = append(batch, &clone)
+		}
+		if err := store.BulkLoad(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaleSizes adapts the paper's cumulative set sizes (75…750 for TIPPERS,
+// 100…1200 for Mall) to the corpus actually generated.
+func scaleSizes(maxAvailable, steps, smallest int) []int {
+	if maxAvailable < smallest {
+		smallest = maxAvailable
+	}
+	var out []int
+	for i := 1; i <= steps; i++ {
+		s := smallest * i
+		if s > maxAvailable {
+			break
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 && maxAvailable > 0 {
+		out = []int{maxAvailable}
+	}
+	return out
+}
+
+// PostgresComparison reproduces Figure 5 / Experiment 4: SELECT-ALL time
+// for cumulative policy-set sizes, comparing BaselineI on the mysql
+// dialect, BaselineP on postgres, and SIEVE on both. The paper's findings:
+// SIEVE wins everywhere, and the postgres speedup grows with the policy
+// count thanks to bitmap OR-combination of the guard index scans.
+func PostgresComparison(cfg Config) (*Table, error) {
+	tab := &Table{
+		ID:      "Figure 5",
+		Title:   "SIEVE on MySQL and PostgreSQL dialects, SELECT-ALL (ms)",
+		Headers: []string{"policies", "BaselineI(M)", "BaselineP(P)", "SIEVE(M)", "SIEVE(P)", "speedup(P)"},
+		Notes: []string{
+			"paper: SIEVE outperforms both; the PostgreSQL speedup factor is highest at the largest policy count",
+		},
+	}
+
+	type side struct {
+		env   *CampusEnv
+		label string
+	}
+	my, err := NewCampusEnv(cfg, engine.MySQL())
+	if err != nil {
+		return nil, err
+	}
+	pg, err := NewCampusEnv(cfg, engine.Postgres())
+	if err != nil {
+		return nil, err
+	}
+	sides := []side{{my, "M"}, {pg, "P"}}
+
+	// Queriers with the largest corpora (paper: 5 queriers ≥ 300 policies).
+	queriers := workload.TopQueriers(my.Policies, cfg.Queriers, 10)
+	if len(queriers) == 0 {
+		return nil, fmt.Errorf("experiment: no heavy queriers")
+	}
+	counts := workload.QuerierCounts(my.Policies)
+	maxN := counts[queriers[len(queriers)-1]]
+	sizes := scaleSizes(maxN, 10, maxi(5, maxN/10))
+
+	for _, s := range sides {
+		for _, q := range queriers {
+			if err := cumulativeLoad(s.env.Store, s.env.Policies, q, sizes); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	qAll := "SELECT * FROM " + workload.TableWiFi
+	for _, size := range sizes {
+		var biM, bpP, svM, svP time.Duration
+		var n int
+		for _, q := range queriers {
+			qm := policy.Metadata{Querier: fmt.Sprintf("%s@%d", q, size), Purpose: "analytics"}
+			a, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(my.M, "BaselineI", qAll, qm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			b, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(pg.M, "BaselineP", qAll, qm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			c, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(my.M, "SIEVE", qAll, qm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			d, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(pg.M, "SIEVE", qAll, qm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			biM += a
+			bpP += b
+			svM += c
+			svP += d
+			n++
+		}
+		dn := time.Duration(n)
+		speedup := float64(bpP) / float64(maxDur(svP, time.Microsecond))
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", size),
+			ms(biM / dn), ms(bpP / dn), ms(svM / dn), ms(svP / dn),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	return tab, nil
+}
+
+// MallScalability reproduces Figure 6 / Experiment 5: the SIEVE-vs-baseline
+// speedup on the postgres dialect over the Mall dataset as cumulative shop
+// policy sets grow (paper: 1.6× at 100 policies to 5.6× at 1,200, roughly
+// linear).
+func MallScalability(cfg Config) (*Table, error) {
+	env, err := NewMallEnv(cfg, engine.Postgres())
+	if err != nil {
+		return nil, err
+	}
+	queriers := workload.TopQueriers(env.Policies, cfg.Queriers, 10)
+	if len(queriers) == 0 {
+		return nil, fmt.Errorf("experiment: no heavy shop queriers")
+	}
+	counts := workload.QuerierCounts(env.Policies)
+	maxN := counts[queriers[len(queriers)-1]]
+	sizes := scaleSizes(maxN, 12, maxi(5, maxN/12))
+	for _, q := range queriers {
+		if err := cumulativeLoad(env.Store, env.Policies, q, sizes); err != nil {
+			return nil, err
+		}
+	}
+	tab := &Table{
+		ID:      "Figure 6",
+		Title:   "Mall scalability on the postgres dialect, SELECT-ALL (ms)",
+		Headers: []string{"policies", "BaselineP ms", "SIEVE ms", "speedup"},
+		Notes:   []string{"paper: speedup grows ~linearly from 1.6x @100 to 5.6x @1200 policies"},
+	}
+	qAll := env.Mall.SelectAllQuery()
+	for _, size := range sizes {
+		var base, sieve time.Duration
+		var n int
+		for _, q := range queriers {
+			qm := policy.Metadata{Querier: fmt.Sprintf("%s@%d", q, size), Purpose: "marketing"}
+			b, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(env.M, "BaselineP", qAll, qm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			s, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(env.M, "SIEVE", qAll, qm)
+			})
+			if err != nil {
+				return nil, err
+			}
+			base += b
+			sieve += s
+			n++
+		}
+		dn := time.Duration(n)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", size),
+			ms(base / dn), ms(sieve / dn),
+			fmt.Sprintf("%.2fx", float64(base)/float64(maxDur(sieve, time.Microsecond))),
+		})
+	}
+	return tab, nil
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§7) on the embedded engine: Figure 2 / Table 6 / Table 7
+// (guard generation and quality), Figure 3 (Inline vs Δ), Figure 4
+// (IndexQuery vs IndexGuards), Table 8 and Tables 9–11 (overall comparison
+// against the baselines), Figure 5 (PostgreSQL), Figure 6 (Mall
+// scalability), plus ablations of SIEVE's design choices. Each experiment
+// returns a printable Table; cmd/sieve-bench assembles them into
+// EXPERIMENTS.md-style output.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// Table is one experiment's result in the paper's tabular layout.
+type Table struct {
+	ID      string // "Figure 2", "Table 8", …
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales an experiment run. Test configs finish in seconds; bench
+// configs approximate the paper's corpus.
+type Config struct {
+	Campus          workload.CampusConfig
+	Policy          workload.PolicyConfig
+	Mall            workload.MallConfig
+	MallPerCustomer int
+	// Reps is the measurement repetitions per query (paper: 5, warm).
+	Reps int
+	// QueriesPerCell is the number of query instances per (template,
+	// class) cell.
+	QueriesPerCell int
+	// Timeout is the per-query budget; exceeding it records "TO" like the
+	// paper's 30 s limit.
+	Timeout time.Duration
+	// Queriers is the number of measured queriers (paper: 5).
+	Queriers int
+	// SampleTuples bounds ground-truth sampling for quality metrics.
+	SampleTuples int
+}
+
+// TestConfig finishes in a few seconds; used by unit tests.
+func TestConfig() Config {
+	return Config{
+		Campus:          workload.TestCampusConfig(),
+		Policy:          workload.TestPolicyConfig(),
+		Mall:            workload.TestMallConfig(),
+		MallPerCustomer: 6,
+		Reps:            1,
+		QueriesPerCell:  2,
+		Timeout:         10 * time.Second,
+		Queriers:        3,
+		SampleTuples:    400,
+	}
+}
+
+// MediumConfig sits between TestConfig and BenchConfig: large enough for
+// the paper's shapes to show, small enough for a full sweep in minutes.
+func MediumConfig() Config {
+	cfg := BenchConfig()
+	cfg.Campus.Devices = 1500
+	cfg.Campus.Days = 45
+	cfg.Policy.AdvancedPolicies = 30
+	cfg.Mall.Customers = 1200
+	cfg.Mall.Days = 30
+	cfg.Reps = 2
+	cfg.QueriesPerCell = 2
+	cfg.Queriers = 3
+	cfg.Timeout = 20 * time.Second
+	cfg.SampleTuples = 1500
+	return cfg
+}
+
+// BenchConfig approximates the paper's scale (≈1/8 of the TIPPERS corpus).
+func BenchConfig() Config {
+	return Config{
+		Campus:          workload.BenchCampusConfig(),
+		Policy:          workload.BenchPolicyConfig(),
+		Mall:            workload.BenchMallConfig(),
+		MallPerCustomer: 8,
+		Reps:            3,
+		QueriesPerCell:  3,
+		Timeout:         30 * time.Second,
+		Queriers:        5,
+		SampleTuples:    3000,
+	}
+}
+
+// CampusEnv bundles a generated campus, its policy corpus, and a SIEVE
+// middleware over it.
+type CampusEnv struct {
+	Campus   *workload.Campus
+	Policies []*policy.Policy
+	Store    *policy.Store
+	M        *core.Middleware
+}
+
+// NewCampusEnv builds the standard experiment environment on a dialect.
+func NewCampusEnv(cfg Config, dialect engine.Dialect, opts ...core.Option) (*CampusEnv, error) {
+	c, err := workload.BuildCampus(cfg.Campus, dialect)
+	if err != nil {
+		return nil, err
+	}
+	ps := c.GeneratePolicies(cfg.Policy)
+	store, err := policy.NewStore(c.DB)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		return nil, err
+	}
+	opts = append([]core.Option{core.WithGroups(c.Groups())}, opts...)
+	m, err := core.New(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Protect(workload.TableWiFi); err != nil {
+		return nil, err
+	}
+	return &CampusEnv{Campus: c, Policies: ps, Store: store, M: m}, nil
+}
+
+// MallEnv bundles the mall equivalents.
+type MallEnv struct {
+	Mall     *workload.Mall
+	Policies []*policy.Policy
+	Store    *policy.Store
+	M        *core.Middleware
+}
+
+// NewMallEnv builds the mall experiment environment.
+func NewMallEnv(cfg Config, dialect engine.Dialect, opts ...core.Option) (*MallEnv, error) {
+	ml, err := workload.BuildMall(cfg.Mall, dialect)
+	if err != nil {
+		return nil, err
+	}
+	ps := ml.GeneratePolicies(cfg.Mall.Seed+1, cfg.MallPerCustomer)
+	store, err := policy.NewStore(ml.DB)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		return nil, err
+	}
+	m, err := core.New(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Protect(workload.TableMallWiFi); err != nil {
+		return nil, err
+	}
+	return &MallEnv{Mall: ml, Policies: ps, Store: store, M: m}, nil
+}
+
+// timed measures fn averaged over reps after one warm-up run, honouring the
+// timeout ("TO" semantics: the paper reports TO when every query in a group
+// timed out, t+ when some did).
+func timed(reps int, timeout time.Duration, fn func() error) (avg time.Duration, timedOut bool, err error) {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, false, err
+	}
+	if time.Since(start) > timeout {
+		return time.Since(start), true, nil
+	}
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		s := time.Now()
+		if err := fn(); err != nil {
+			return 0, false, err
+		}
+		d := time.Since(s)
+		total += d
+		if d > timeout {
+			return d, true, nil
+		}
+	}
+	return total / time.Duration(reps), false, nil
+}
+
+// ms formats a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// cell renders a timing cell with the paper's TO convention.
+func cell(avg time.Duration, timedOut bool, anyTimedOut bool) string {
+	switch {
+	case timedOut:
+		return "TO"
+	case anyTimedOut:
+		return ms(avg) + "+"
+	default:
+		return ms(avg)
+	}
+}

@@ -1,0 +1,403 @@
+package guard
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// fakeSel is a uniform-selectivity model over an integer domain [0, domain)
+// per attribute, with a configurable row count. Point selectivity is
+// 1/domain; range selectivity proportional to width.
+type fakeSel struct {
+	rows    int
+	domain  map[string]float64
+	indexed map[string]bool
+}
+
+func (f *fakeSel) Rows() int { return f.rows }
+
+func (f *fakeSel) EstimateEq(attr string, v storage.Value) float64 {
+	d := f.domain[attr]
+	if d == 0 {
+		return 0.1
+	}
+	return 1 / d
+}
+
+func (f *fakeSel) EstimateRange(attr string, lo, hi storage.Value) float64 {
+	d := f.domain[attr]
+	if d == 0 {
+		return 1.0 / 3.0
+	}
+	l, h := 0.0, d-1
+	if !lo.IsNull() {
+		l = lo.Float()
+	}
+	if !hi.IsNull() {
+		h = hi.Float()
+	}
+	if h < l {
+		return 0
+	}
+	return math.Min(1, (h-l+1)/d)
+}
+
+func (f *fakeSel) Indexed(attr string) bool { return f.indexed[attr] }
+
+func campusSel() *fakeSel {
+	return &fakeSel{
+		rows:    100000,
+		domain:  map[string]float64{"owner": 1000, "wifiAP": 64, "ts_time": 86400, "ts_date": 90},
+		indexed: map[string]bool{"owner": true, "wifiAP": true, "ts_time": true, "ts_date": true},
+	}
+}
+
+var policySeq int64
+
+func pol(owner int64, conds ...policy.ObjectCondition) *policy.Policy {
+	policySeq++
+	return &policy.Policy{
+		ID: policySeq, Owner: owner, Querier: "Prof. Smith", Purpose: "Attendance",
+		Relation: "wifi", Action: policy.Allow, Conditions: conds,
+	}
+}
+
+func timeRange(lo, hi string) policy.ObjectCondition {
+	return policy.RangeClosed("ts_time", storage.MustTime(lo), storage.MustTime(hi))
+}
+
+func apEq(ap int64) policy.ObjectCondition {
+	return policy.Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(ap))
+}
+
+func TestCandidatesIncludeOwnerGuards(t *testing.T) {
+	ps := []*policy.Policy{pol(1), pol(1), pol(2)}
+	cands := GenerateCandidates(ps, campusSel(), DefaultCostModel())
+	owners := map[string]int{}
+	for _, c := range cands {
+		if c.Cond.Attr == policy.OwnerAttr {
+			owners[c.Cond.Val.String()] = len(c.Policies)
+		}
+	}
+	if owners["1"] != 2 || owners["2"] != 1 {
+		t.Fatalf("owner candidates = %v, want owner 1 covering 2, owner 2 covering 1", owners)
+	}
+}
+
+func TestCandidatesGroupEqualityConditions(t *testing.T) {
+	// Many owners sharing wifiAP = 1200 must produce one candidate covering
+	// all of them (the classroom example, §3.2).
+	var ps []*policy.Policy
+	for o := int64(1); o <= 5; o++ {
+		ps = append(ps, pol(o, apEq(1200)))
+	}
+	cands := GenerateCandidates(ps, campusSel(), DefaultCostModel())
+	found := false
+	for _, c := range cands {
+		if c.Cond.Attr == "wifiAP" && len(c.Policies) == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no shared wifiAP=1200 candidate covering all 5 policies")
+	}
+}
+
+func TestCandidatesSkipUnindexedAttributes(t *testing.T) {
+	sel := campusSel()
+	sel.indexed["wifiAP"] = false
+	ps := []*policy.Policy{pol(1, apEq(1200))}
+	cands := GenerateCandidates(ps, sel, DefaultCostModel())
+	for _, c := range cands {
+		if c.Cond.Attr == "wifiAP" {
+			t.Fatal("guard candidate on unindexed attribute")
+		}
+	}
+}
+
+func TestTheorem1OverlapMerging(t *testing.T) {
+	sel := campusSel()
+	cm := DefaultCostModel() // threshold ce/(cr+ce) = 0.2
+	// Two heavily-overlapping time ranges: [09:00,10:00] and [09:10,10:10].
+	// intersection ≈ 50min, union ≈ 70min → ratio ≈ 0.71 > 0.2 → merge.
+	p1 := pol(1, timeRange("09:00", "10:00"))
+	p2 := pol(2, timeRange("09:10", "10:10"))
+	cands := GenerateCandidates([]*policy.Policy{p1, p2}, sel, cm)
+	var mergedFound bool
+	for _, c := range cands {
+		if c.Cond.Attr == "ts_time" && len(c.Policies) == 2 {
+			mergedFound = true
+			if c.Cond.Kind != policy.CondRange {
+				t.Errorf("merged candidate kind = %v", c.Cond.Kind)
+			}
+			if c.Cond.Lo.I != 9*3600 || c.Cond.Hi.I != 10*3600+10*60 {
+				t.Errorf("merged bounds = %v..%v", c.Cond.Lo, c.Cond.Hi)
+			}
+		}
+	}
+	if !mergedFound {
+		t.Fatal("beneficial overlap not merged")
+	}
+}
+
+func TestTheorem1NonOverlapNeverMerges(t *testing.T) {
+	p1 := pol(1, timeRange("08:00", "09:00"))
+	p2 := pol(2, timeRange("14:00", "15:00"))
+	cands := GenerateCandidates([]*policy.Policy{p1, p2}, campusSel(), DefaultCostModel())
+	for _, c := range cands {
+		if c.Cond.Attr == "ts_time" && len(c.Policies) == 2 {
+			t.Fatal("disjoint ranges merged, violating Theorem 1")
+		}
+	}
+}
+
+func TestMarginalOverlapNotMerged(t *testing.T) {
+	// Tiny intersection relative to union: ratio below threshold → no merge.
+	p1 := pol(1, timeRange("00:00", "10:00"))
+	p2 := pol(2, timeRange("09:59", "23:59"))
+	// intersection 1min; union ~24h → ratio ≈ 0.0007 < 0.2.
+	cands := GenerateCandidates([]*policy.Policy{p1, p2}, campusSel(), DefaultCostModel())
+	for _, c := range cands {
+		if c.Cond.Attr == "ts_time" && len(c.Policies) == 2 {
+			t.Fatal("non-beneficial overlap merged")
+		}
+	}
+}
+
+func TestSelectGuardsPartitionInvariant(t *testing.T) {
+	sel := campusSel()
+	cm := DefaultCostModel()
+	var ps []*policy.Policy
+	for o := int64(0); o < 30; o++ {
+		conds := []policy.ObjectCondition{}
+		if o%2 == 0 {
+			conds = append(conds, apEq(1200))
+		}
+		if o%3 == 0 {
+			conds = append(conds, timeRange("09:00", "10:00"))
+		}
+		ps = append(ps, pol(o, conds...))
+	}
+	ge, err := Generate(ps, "wifi", "Prof. Smith", "Attendance", sel, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ge.Validate(ps); err != nil {
+		t.Fatal(err)
+	}
+	if ge.PolicyCount() != len(ps) {
+		t.Fatalf("PolicyCount = %d, want %d", ge.PolicyCount(), len(ps))
+	}
+	if len(ge.Guards) == 0 || len(ge.Guards) > len(ps) {
+		t.Fatalf("guards = %d", len(ge.Guards))
+	}
+}
+
+func TestSharedGuardBeatsPerOwnerGuards(t *testing.T) {
+	// 50 owners all sharing wifiAP=1200 (sel 1/64): the shared guard has a
+	// much higher utility than 50 per-owner guards — selection must group.
+	var ps []*policy.Policy
+	for o := int64(0); o < 50; o++ {
+		ps = append(ps, pol(o, apEq(1200)))
+	}
+	ge, err := Generate(ps, "wifi", "q", "p", campusSel(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ge.Guards) != 1 {
+		t.Fatalf("guards = %d, want 1 shared guard\n%s", len(ge.Guards), ge)
+	}
+	if ge.Guards[0].Cond.Attr != "wifiAP" {
+		t.Fatalf("selected guard on %s, want wifiAP", ge.Guards[0].Cond.Attr)
+	}
+}
+
+func TestHighlySelectiveOwnersBeatBroadSharedGuard(t *testing.T) {
+	// Two owners share a nearly-unselective range; their owner guards are
+	// far cheaper to read. Selection must prefer the owner guards.
+	sel := campusSel()
+	sel.domain["owner"] = 100000 // owner sel = 1e-5
+	ps := []*policy.Policy{
+		pol(1, timeRange("00:00", "23:59")),
+		pol(2, timeRange("00:00", "23:59")),
+	}
+	ge, err := Generate(ps, "wifi", "q", "p", sel, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ge.Guards {
+		if g.Cond.Attr == "ts_time" {
+			t.Fatalf("selected the broad time guard:\n%s", ge)
+		}
+	}
+	if len(ge.Guards) != 2 {
+		t.Fatalf("guards = %d, want 2 owner guards", len(ge.Guards))
+	}
+}
+
+func TestGenerateEmptyPolicySet(t *testing.T) {
+	ge, err := Generate(nil, "wifi", "q", "p", campusSel(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ge.Guards) != 0 || ge.PolicyCount() != 0 {
+		t.Fatal("empty set must produce empty guarded expression")
+	}
+}
+
+func TestGuardExprAndPartitionExpr(t *testing.T) {
+	ps := []*policy.Policy{pol(1, apEq(1200)), pol(2, apEq(1200))}
+	ge, err := Generate(ps, "wifi", "q", "p", campusSel(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ge.Guards {
+		gtext := sqlparser.PrintExpr(g.Expr("W"))
+		if !strings.Contains(gtext, "W.") {
+			t.Errorf("guard expr %q not qualified", gtext)
+		}
+		ptext := sqlparser.PrintExpr(g.PartitionExpr("W"))
+		if !strings.Contains(ptext, "W.owner") {
+			t.Errorf("partition expr %q missing owner conditions", ptext)
+		}
+	}
+}
+
+func TestValidateDetectsViolations(t *testing.T) {
+	ps := []*policy.Policy{pol(1), pol(2)}
+	okGE := &GuardedExpression{Guards: []Guard{
+		{Cond: policy.Compare("owner", sqlparser.CmpEq, storage.NewInt(ps[0].Owner)), Policies: ps[:1]},
+		{Cond: policy.Compare("owner", sqlparser.CmpEq, storage.NewInt(ps[1].Owner)), Policies: ps[1:]},
+	}}
+	if err := okGE.Validate(ps); err != nil {
+		t.Fatalf("valid expression rejected: %v", err)
+	}
+	missing := &GuardedExpression{Guards: okGE.Guards[:1]}
+	if err := missing.Validate(ps); err == nil {
+		t.Error("uncovered policy not detected")
+	}
+	double := &GuardedExpression{Guards: []Guard{okGE.Guards[0], okGE.Guards[0], okGE.Guards[1]}}
+	if err := double.Validate(ps); err == nil {
+		t.Error("double coverage not detected")
+	}
+	wrongGuard := &GuardedExpression{Guards: []Guard{
+		{Cond: policy.Compare("owner", sqlparser.CmpEq, storage.NewInt(999)), Policies: ps[:1]},
+		okGE.Guards[1],
+	}}
+	if err := wrongGuard.Validate(ps); err == nil {
+		t.Error("non-implying guard not detected")
+	}
+	empty := &GuardedExpression{Guards: []Guard{{Cond: okGE.Guards[0].Cond}}}
+	if err := empty.Validate(nil); err == nil {
+		t.Error("empty partition not detected")
+	}
+}
+
+func TestCostModelFormulas(t *testing.T) {
+	cm := CostModel{Ce: 2, Cr: 8, Alpha: 0.5}
+	if got := cm.mergeThreshold(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("threshold = %v", got)
+	}
+	// Eq.3: card·(cr + α·|PG|·ce) with card = 0.1·1000 = 100.
+	if got := cm.Cost(0.1, 10, 1000); math.Abs(got-100*(8+0.5*10*2)) > 1e-9 {
+		t.Errorf("Cost = %v", got)
+	}
+	// benefit = ce·|PG|·(N − card).
+	if got := cm.Benefit(0.1, 10, 1000); math.Abs(got-2*10*900) > 1e-9 {
+		t.Errorf("Benefit = %v", got)
+	}
+	if got := cm.ReadCost(0, 1000); got != 8 { // floor of one tuple
+		t.Errorf("ReadCost floor = %v", got)
+	}
+	u := cm.Utility(0.1, 10, 1000)
+	if math.Abs(u-(2*10*900)/(100*8.0)) > 1e-9 {
+		t.Errorf("Utility = %v", u)
+	}
+}
+
+// Property: for random policy sets, Generate always yields a valid
+// partition with Σ|PG_i| = |P| and every guard selective of its members.
+func TestGeneratePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sel := campusSel()
+		n := 1 + r.Intn(60)
+		var ps []*policy.Policy
+		for i := 0; i < n; i++ {
+			var conds []policy.ObjectCondition
+			if r.Intn(2) == 0 {
+				conds = append(conds, apEq(int64(r.Intn(8))))
+			}
+			if r.Intn(2) == 0 {
+				lo := r.Intn(20)
+				conds = append(conds, policy.RangeClosed("ts_time",
+					storage.NewTime(int64(lo*3600/2)), storage.NewTime(int64((lo+1+r.Intn(10))*3600/2))))
+			}
+			if r.Intn(4) == 0 {
+				conds = append(conds, policy.Compare("ts_date", sqlparser.CmpGe, storage.NewDate(int64(r.Intn(90)))))
+			}
+			ps = append(ps, pol(int64(r.Intn(25)), conds...))
+		}
+		ge, err := Generate(ps, "wifi", "q", "p", sel, DefaultCostModel())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := ge.Validate(ps); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return ge.PolicyCount() == len(ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Theorem 1's claim — when the benefit test holds, the modelled
+// merged cost is below the sum of separate costs; when intervals are
+// disjoint, merging never helps.
+func TestTheorem1CostProperty(t *testing.T) {
+	cm := DefaultCostModel()
+	sel := campusSel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		aLo := float64(r.Intn(80000))
+		aHi := aLo + float64(1+r.Intn(6000))
+		bLo := float64(r.Intn(80000))
+		bHi := bLo + float64(1+r.Intn(6000))
+		a := rangeCand{lo: storage.NewTime(int64(aLo)), hi: storage.NewTime(int64(aHi))}
+		b := rangeCand{lo: storage.NewTime(int64(bLo)), hi: storage.NewTime(int64(bHi))}
+		overlap := intervalsOverlap(a.lo, a.hi, b.lo, b.hi)
+		merged := mergeBeneficial(sel, "ts_time", a, b, cm.mergeThreshold())
+		if !overlap && merged {
+			return false // Theorem 1: disjoint never merges
+		}
+		if !overlap {
+			return true
+		}
+		// Model costs per Eq. 4/6: separate = (ρa+ρb)(cr+ce);
+		// merged = ρ(a∪b)(cr+2ce).
+		rows := float64(sel.Rows())
+		ra := sel.EstimateRange("ts_time", a.lo, a.hi) * rows
+		rb := sel.EstimateRange("ts_time", b.lo, b.hi) * rows
+		runion := sel.EstimateRange("ts_time", minBound(a.lo, b.lo), maxBound(a.hi, b.hi)) * rows
+		costSeparate := (ra + rb) * (cm.Cr + cm.Ce)
+		costMerged := runion * (cm.Cr + 2*cm.Ce)
+		if merged && costMerged >= costSeparate+1e-6 {
+			t.Logf("seed %d: merged but costMerged=%.1f ≥ separate=%.1f", seed, costMerged, costSeparate)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package guard
+
+import (
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/policy"
+)
+
+func TestGenerateNoMergeKeepsRangesSeparate(t *testing.T) {
+	sel := campusSel()
+	cm := DefaultCostModel()
+	// Heavily overlapping ranges that WOULD merge under Theorem 1.
+	p1 := pol(1, timeRange("09:00", "10:00"))
+	p2 := pol(2, timeRange("09:10", "10:10"))
+	ps := []*policy.Policy{p1, p2}
+
+	merged, err := GenerateWithOptions(ps, "wifi", "q", "p", sel, cm, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmerged, err := GenerateWithOptions(ps, "wifi", "q", "p", sel, cm, GenOptions{NoMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unmerged.Validate(ps); err != nil {
+		t.Fatal(err)
+	}
+	// Without merging no candidate can cover both policies via ts_time.
+	for _, g := range unmerged.Guards {
+		if g.Cond.Attr == "ts_time" && len(g.Policies) == 2 {
+			t.Fatal("NoMerge still produced a merged time guard")
+		}
+	}
+	_ = merged // merged behaviour asserted by TestTheorem1OverlapMerging
+}
+
+func TestGenerateOwnerOnly(t *testing.T) {
+	sel := campusSel()
+	var ps []*policy.Policy
+	for o := int64(0); o < 10; o++ {
+		ps = append(ps, pol(o%5, apEq(1200))) // 5 owners, 2 policies each
+	}
+	ge, err := GenerateWithOptions(ps, "wifi", "q", "p", sel, DefaultCostModel(), GenOptions{OwnerOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ge.Validate(ps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ge.Guards) != 5 {
+		t.Fatalf("owner-only guards = %d, want 5", len(ge.Guards))
+	}
+	for _, g := range ge.Guards {
+		if g.Cond.Attr != policy.OwnerAttr {
+			t.Errorf("guard on %s, want owner", g.Cond.Attr)
+		}
+		if len(g.Policies) != 2 {
+			t.Errorf("partition = %d, want 2", len(g.Policies))
+		}
+	}
+}
+
+func TestOwnerOnlyNeverGroupsAcrossOwners(t *testing.T) {
+	// Even when a shared AP guard would be far cheaper, OwnerOnly must not
+	// use it — this is the ablation contrast.
+	sel := campusSel()
+	var ps []*policy.Policy
+	for o := int64(0); o < 50; o++ {
+		ps = append(ps, pol(o, apEq(1200)))
+	}
+	full, err := Generate(ps, "wifi", "q", "p", sel, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := GenerateWithOptions(ps, "wifi", "q", "p", sel, DefaultCostModel(), GenOptions{OwnerOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Guards) >= len(ablated.Guards) {
+		t.Fatalf("grouping ablation shows no effect: full=%d ablated=%d",
+			len(full.Guards), len(ablated.Guards))
+	}
+}

@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"testing"
+)
+
+// §3.1: "Other pieces of querier context (such as the IP of the machine
+// from where the querier posed the query, or the time of the day) can
+// easily be added as querier conditions."
+
+func contextPolicy() *Policy {
+	p := johnPolicy()
+	p.ExtraQuerier = []QuerierCondition{
+		{Attr: "network", Val: "campus"},
+	}
+	return p
+}
+
+func TestExtraQuerierConditionsMatch(t *testing.T) {
+	p := contextPolicy()
+	base := Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}
+
+	if p.AppliesTo(base, NoGroups) {
+		t.Error("policy with context condition must not match metadata without context")
+	}
+	withCtx := base
+	withCtx.Context = map[string]string{"network": "campus"}
+	if !p.AppliesTo(withCtx, NoGroups) {
+		t.Error("matching context must apply")
+	}
+	wrong := base
+	wrong.Context = map[string]string{"network": "public"}
+	if p.AppliesTo(wrong, NoGroups) {
+		t.Error("wrong context value must not apply")
+	}
+	extra := base
+	extra.Context = map[string]string{"network": "campus", "device": "laptop"}
+	if !p.AppliesTo(extra, NoGroups) {
+		t.Error("extra unrelated context must not block")
+	}
+}
+
+func TestExtraQuerierMultipleConditionsAreConjunctive(t *testing.T) {
+	p := contextPolicy()
+	p.ExtraQuerier = append(p.ExtraQuerier, QuerierCondition{Attr: "daytime", Val: "office-hours"})
+	qm := Metadata{
+		Querier: "Prof. Smith", Purpose: "Attendance",
+		Context: map[string]string{"network": "campus"},
+	}
+	if p.AppliesTo(qm, NoGroups) {
+		t.Error("partially satisfied querier conditions must not apply")
+	}
+	qm.Context["daytime"] = "office-hours"
+	if !p.AppliesTo(qm, NoGroups) {
+		t.Error("fully satisfied querier conditions must apply")
+	}
+}
+
+func TestStoreFiltersByContext(t *testing.T) {
+	s := newStore(t)
+	plain := johnPolicy()
+	ctx := contextPolicy()
+	if err := s.Insert(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(ctx); err != nil {
+		t.Fatal(err)
+	}
+	qm := Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}
+	if got := s.PoliciesFor(qm, "WiFi_Dataset", NoGroups); len(got) != 1 {
+		t.Fatalf("without context: %d policies, want 1", len(got))
+	}
+	qm.Context = map[string]string{"network": "campus"}
+	if got := s.PoliciesFor(qm, "WiFi_Dataset", NoGroups); len(got) != 2 {
+		t.Fatalf("with context: %d policies, want 2", len(got))
+	}
+}

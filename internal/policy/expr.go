@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Expr converts an object condition into a SQL expression over the table
+// referenced as alias ("" for unqualified).
+func (c ObjectCondition) Expr(alias string) sqlparser.Expr {
+	col := sqlparser.Col(alias, c.Attr)
+	switch c.Kind {
+	case CondCompare:
+		return &sqlparser.CompareExpr{Op: c.Op, L: col, R: sqlparser.Lit(c.Val)}
+	case CondRange:
+		// NULL bounds are unbounded sides (possible after guard merging).
+		var lo, hi sqlparser.Expr
+		if !c.Lo.IsNull() {
+			lo = &sqlparser.CompareExpr{Op: c.LoOp, L: col, R: sqlparser.Lit(c.Lo)}
+		}
+		if !c.Hi.IsNull() {
+			hi = &sqlparser.CompareExpr{Op: c.HiOp, L: col, R: sqlparser.Lit(c.Hi)}
+		}
+		if lo == nil && hi == nil {
+			return sqlparser.Lit(storage.NewBool(true))
+		}
+		// Closed two-sided ranges print as BETWEEN, as in the paper.
+		if lo != nil && hi != nil && c.LoOp == sqlparser.CmpGe && c.HiOp == sqlparser.CmpLe {
+			return &sqlparser.BetweenExpr{E: col, Lo: sqlparser.Lit(c.Lo), Hi: sqlparser.Lit(c.Hi)}
+		}
+		return sqlparser.And(lo, hi)
+	case CondIn, CondNotIn:
+		items := make([]sqlparser.Expr, len(c.Vals))
+		for i, v := range c.Vals {
+			items[i] = sqlparser.Lit(v)
+		}
+		return &sqlparser.InExpr{E: col, List: items, Not: c.Kind == CondNotIn}
+	case CondSubquery:
+		sub := sqlparser.MustParse(c.Subquery) // Validate checked parseability
+		return &sqlparser.CompareExpr{Op: c.Op, L: col, R: &sqlparser.SubqueryExpr{Select: sub}}
+	}
+	return nil
+}
+
+// Expr builds the policy's full object-condition conjunction OC_l over the
+// table referenced as alias, owner condition included.
+func (p *Policy) Expr(alias string) sqlparser.Expr {
+	exprs := make([]sqlparser.Expr, 0, len(p.Conditions)+1)
+	for _, c := range p.AllConditions() {
+		exprs = append(exprs, c.Expr(alias))
+	}
+	return sqlparser.And(exprs...)
+}
+
+// Expression builds the DNF policy expression E(P) = OC_1 ∨ … ∨ OC_|P|
+// (§3.1). A nil result means the policy set is empty — under default-deny
+// semantics the caller must treat that as FALSE, not as "no filter".
+func Expression(ps []*Policy, alias string) sqlparser.Expr {
+	exprs := make([]sqlparser.Expr, 0, len(ps))
+	for _, p := range ps {
+		exprs = append(exprs, p.Expr(alias))
+	}
+	return sqlparser.Or(exprs...)
+}

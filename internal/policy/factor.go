@@ -1,0 +1,87 @@
+package policy
+
+// AnyQuerier, used as a deny policy's querier, applies the denial to every
+// querier ("deny everyone access to my location when in my office", §3.1).
+const AnyQuerier = "everyone"
+
+// FactorDeny folds deny policies into the allow set (§3.1): the engine's
+// semantics are default-deny with explicit allow only, so an overlapping
+// deny is rewritten as a restriction of each allow policy it intersects.
+//
+// For an allow policy A and an applicable deny policy D with object
+// conditions d1 ∧ … ∧ dn, A is replaced by the set {A ∧ ¬d1, …, A ∧ ¬dn}
+// (the DNF of A ∧ ¬(d1∧…∧dn)). A deny with no extra conditions removes the
+// allow entirely. Range negations split into two one-sided conditions, so
+// one allow can fan out into several.
+func FactorDeny(allows, denies []*Policy) []*Policy {
+	out := make([]*Policy, 0, len(allows))
+	for _, a := range allows {
+		frontier := []*Policy{a}
+		for _, d := range denies {
+			if !denyApplies(d, a) {
+				continue
+			}
+			var next []*Policy
+			for _, cur := range frontier {
+				next = append(next, carve(cur, d)...)
+			}
+			frontier = next
+		}
+		out = append(out, frontier...)
+	}
+	return out
+}
+
+// denyApplies reports whether deny d restricts allow a.
+func denyApplies(d, a *Policy) bool {
+	if d.Action != Deny || a.Action != Allow {
+		return false
+	}
+	if d.Owner != a.Owner || d.Relation != a.Relation {
+		return false
+	}
+	if d.Querier != AnyQuerier && d.Querier != a.Querier {
+		return false
+	}
+	if d.Purpose != AnyPurpose && d.Purpose != a.Purpose {
+		return false
+	}
+	return true
+}
+
+// carve returns the allow policies equivalent to a ∧ ¬OC(d).
+func carve(a, d *Policy) []*Policy {
+	if len(d.Conditions) == 0 {
+		return nil // deny covers the whole allow
+	}
+	var out []*Policy
+	for _, dc := range d.Conditions {
+		for _, neg := range negate(dc) {
+			clone := *a
+			clone.Conditions = append(append([]ObjectCondition{}, a.Conditions...), neg)
+			out = append(out, &clone)
+		}
+	}
+	return out
+}
+
+// negate returns conditions whose disjunction is ¬c.
+func negate(c ObjectCondition) []ObjectCondition {
+	switch c.Kind {
+	case CondCompare:
+		return []ObjectCondition{{Attr: c.Attr, Kind: CondCompare, Op: c.Op.Negate(), Val: c.Val}}
+	case CondRange:
+		// ¬(lo ≤ x ≤ hi) = x < lo ∨ x > hi, with bounds flipped per op.
+		return []ObjectCondition{
+			{Attr: c.Attr, Kind: CondCompare, Op: c.LoOp.Negate(), Val: c.Lo},
+			{Attr: c.Attr, Kind: CondCompare, Op: c.HiOp.Negate(), Val: c.Hi},
+		}
+	case CondIn:
+		return []ObjectCondition{{Attr: c.Attr, Kind: CondNotIn, Vals: c.Vals}}
+	case CondNotIn:
+		return []ObjectCondition{{Attr: c.Attr, Kind: CondIn, Vals: c.Vals}}
+	case CondSubquery:
+		return []ObjectCondition{{Attr: c.Attr, Kind: CondSubquery, Op: c.Op.Negate(), Subquery: c.Subquery}}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// johnPolicy is the paper's first sample policy (§3.1): John allows
+// Prof. Smith access to his connectivity data 09:00–10:00 at AP 1200 for
+// attendance control.
+func johnPolicy() *Policy {
+	return &Policy{
+		Owner:    120,
+		Querier:  "Prof. Smith",
+		Purpose:  "Attendance",
+		Relation: "WiFi_Dataset",
+		Action:   Allow,
+		Conditions: []ObjectCondition{
+			RangeClosed("ts_time", storage.MustTime("09:00"), storage.MustTime("10:00")),
+			Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(1200)),
+		},
+	}
+}
+
+func wifiSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "wifiAP", Type: storage.KindInt},
+		storage.Column{Name: "ts_time", Type: storage.KindTime},
+		storage.Column{Name: "ts_date", Type: storage.KindDate},
+	)
+}
+
+func wifiRow(owner, ap int64, tm string) storage.Row {
+	return storage.Row{
+		storage.NewInt(1), storage.NewInt(owner), storage.NewInt(ap),
+		storage.MustTime(tm), storage.NewDate(10),
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	p := johnPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	bad := []*Policy{
+		{Querier: "q", Purpose: "p", Action: Allow},                      // missing relation
+		{Relation: "r", Purpose: "p", Action: Allow},                     // missing querier
+		{Relation: "r", Querier: "q", Action: Allow},                     // missing purpose
+		{Relation: "r", Querier: "q", Purpose: "p", Action: Action("x")}, // bad action
+		{Relation: "r", Querier: "q", Purpose: "p", Action: Allow,
+			Conditions: []ObjectCondition{Compare(OwnerAttr, sqlparser.CmpEq, storage.NewInt(1))}}, // explicit owner
+		{Relation: "r", Querier: "q", Purpose: "p", Action: Allow,
+			Conditions: []ObjectCondition{In("a")}}, // empty IN
+		{Relation: "r", Querier: "q", Purpose: "p", Action: Allow,
+			Conditions: []ObjectCondition{DerivedValue("a", sqlparser.CmpEq, "NOT SQL")}}, // bad subquery
+		{Relation: "r", Querier: "q", Purpose: "p", Action: Allow,
+			Conditions: []ObjectCondition{{Attr: "a", Kind: CondRange, LoOp: sqlparser.CmpEq}}}, // bad range ops
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestObjectConditionMatches(t *testing.T) {
+	cases := []struct {
+		cond ObjectCondition
+		v    storage.Value
+		want bool
+	}{
+		{Compare("x", sqlparser.CmpEq, storage.NewInt(5)), storage.NewInt(5), true},
+		{Compare("x", sqlparser.CmpEq, storage.NewInt(5)), storage.NewInt(6), false},
+		{Compare("x", sqlparser.CmpNe, storage.NewInt(5)), storage.NewInt(6), true},
+		{Compare("x", sqlparser.CmpLt, storage.NewInt(5)), storage.NewInt(4), true},
+		{Compare("x", sqlparser.CmpGe, storage.NewInt(5)), storage.NewInt(5), true},
+		{Compare("x", sqlparser.CmpEq, storage.NewInt(5)), storage.Null, false},
+		{RangeClosed("x", storage.NewInt(1), storage.NewInt(5)), storage.NewInt(3), true},
+		{RangeClosed("x", storage.NewInt(1), storage.NewInt(5)), storage.NewInt(6), false},
+		{RangeClosed("x", storage.NewInt(1), storage.NewInt(5)), storage.NewInt(1), true},
+		{In("x", storage.NewInt(1), storage.NewInt(2)), storage.NewInt(2), true},
+		{In("x", storage.NewInt(1), storage.NewInt(2)), storage.NewInt(3), false},
+		{NotIn("x", storage.NewInt(1)), storage.NewInt(2), true},
+		{NotIn("x", storage.NewInt(1)), storage.NewInt(1), false},
+		{NotIn("x", storage.NewInt(1)), storage.Null, false},
+	}
+	for i, c := range cases {
+		got, err := c.cond.Matches(c.v)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("case %d: Matches(%v) = %v, want %v (%s)", i, c.v, got, c.want, c.cond)
+		}
+	}
+	sub := DerivedValue("x", sqlparser.CmpEq, "SELECT a FROM t")
+	if _, err := sub.Matches(storage.NewInt(1)); err == nil {
+		t.Error("subquery condition must refuse value-only evaluation")
+	}
+}
+
+func TestAppliesToAndFilter(t *testing.T) {
+	p := johnPolicy()
+	groups := StaticGroups{"Prof. Smith": {"faculty"}}
+	if !p.AppliesTo(Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}, NoGroups) {
+		t.Error("direct querier must apply")
+	}
+	if p.AppliesTo(Metadata{Querier: "Prof. Smith", Purpose: "Marketing"}, NoGroups) {
+		t.Error("wrong purpose must not apply")
+	}
+	if p.AppliesTo(Metadata{Querier: "Mallory", Purpose: "Attendance"}, NoGroups) {
+		t.Error("wrong querier must not apply")
+	}
+	grp := johnPolicy()
+	grp.Querier = "faculty"
+	if !grp.AppliesTo(Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}, groups) {
+		t.Error("group policy must apply via membership")
+	}
+	anyP := johnPolicy()
+	anyP.Purpose = AnyPurpose
+	if !anyP.AppliesTo(Metadata{Querier: "Prof. Smith", Purpose: "Whatever"}, NoGroups) {
+		t.Error("any-purpose policy must apply")
+	}
+
+	ps := []*Policy{p, grp, anyP}
+	got := Filter(ps, Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}, "WiFi_Dataset", groups)
+	if len(got) != 3 {
+		t.Errorf("Filter = %d policies, want 3", len(got))
+	}
+	if got2 := Filter(ps, Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}, "Other", groups); len(got2) != 0 {
+		t.Errorf("Filter on other relation = %d, want 0", len(got2))
+	}
+}
+
+func TestPolicyExprShape(t *testing.T) {
+	p := johnPolicy()
+	p.ID = 1
+	e := p.Expr("W")
+	text := sqlparser.PrintExpr(e)
+	for _, want := range []string{"W.owner = 120", "BETWEEN TIME '09:00:00' AND TIME '10:00:00'", "W.wifiAP = 1200"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Expr = %q, missing %q", text, want)
+		}
+	}
+	// The expression must parse back.
+	if _, err := sqlparser.ParseExpr(text); err != nil {
+		t.Fatalf("Expr does not re-parse: %v", err)
+	}
+	if Expression(nil, "W") != nil {
+		t.Error("empty Expression must be nil (caller treats as FALSE)")
+	}
+	two := Expression([]*Policy{p, p}, "W")
+	if len(sqlparser.Disjuncts(two)) != 2 {
+		t.Error("Expression must OR policies")
+	}
+}
+
+func TestCompiledSetEval(t *testing.T) {
+	p1 := johnPolicy() // owner 120, AP 1200, 9-10
+	p2 := johnPolicy()
+	p2.Owner = 121
+	p2.Conditions = nil // owner 121, unconditional
+	cs, err := CompileSet([]*Policy{p1, p2}, wifiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		row     storage.Row
+		want    bool
+		checked int
+	}{
+		{wifiRow(120, 1200, "09:30"), true, 1},
+		{wifiRow(120, 1200, "11:00"), false, 2}, // fails p1 (time), fails p2 (owner)
+		{wifiRow(121, 999, "23:00"), true, 2},   // p1 fails owner, p2 matches
+		{wifiRow(999, 1200, "09:30"), false, 2},
+	}
+	for i, c := range cases {
+		got, checked, err := cs.EvalFirstMatch(c.row, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want || checked != c.checked {
+			t.Errorf("case %d: EvalFirstMatch = (%v,%d), want (%v,%d)", i, got, checked, c.want, c.checked)
+		}
+	}
+	// Owner-filtered evaluation (the Δ path) checks fewer policies.
+	got, checked, err := cs.EvalOwnerFirstMatch(121, wifiRow(121, 999, "23:00"), nil)
+	if err != nil || !got || checked != 1 {
+		t.Errorf("EvalOwnerFirstMatch = (%v,%d,%v), want (true,1,nil)", got, checked, err)
+	}
+	if got, checked, _ := cs.EvalOwnerFirstMatch(555, wifiRow(555, 1200, "09:30"), nil); got || checked != 0 {
+		t.Errorf("unknown owner: (%v,%d), want (false,0)", got, checked)
+	}
+	if cs.OwnersCovered() != 2 {
+		t.Errorf("OwnersCovered = %d", cs.OwnersCovered())
+	}
+}
+
+func TestConditionsOnMissingAttributesAreIgnored(t *testing.T) {
+	p := johnPolicy()
+	p.Conditions = append(p.Conditions, Compare("temperature", sqlparser.CmpGt, storage.NewInt(100)))
+	cs, err := CompileSet([]*Policy{p}, wifiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// temperature is not in the schema: the condition must not block (§3.1).
+	got, _, err := cs.EvalFirstMatch(wifiRow(120, 1200, "09:30"), nil)
+	if err != nil || !got {
+		t.Errorf("missing-attribute condition blocked the tuple: %v %v", got, err)
+	}
+}
+
+func TestSubqueryConditionRequiresEvaluator(t *testing.T) {
+	p := johnPolicy()
+	p.Conditions = []ObjectCondition{DerivedValue("wifiAP", sqlparser.CmpEq, "SELECT wifiAP FROM w2")}
+	cs, err := CompileSet([]*Policy{p}, wifiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.EvalFirstMatch(wifiRow(120, 1200, "09:30"), nil); err == nil {
+		t.Error("subquery condition without evaluator must error")
+	}
+	called := false
+	sub := func(cond ObjectCondition, row storage.Row) (bool, error) {
+		called = true
+		return true, nil
+	}
+	got, _, err := cs.EvalFirstMatch(wifiRow(120, 1200, "09:30"), sub)
+	if err != nil || !got || !called {
+		t.Errorf("subquery evaluator path failed: %v %v called=%v", got, err, called)
+	}
+}
+
+func TestFactorDeny(t *testing.T) {
+	allow := johnPolicy()
+	allow.Conditions = nil // allow everything of owner 120
+	deny := &Policy{
+		Owner: 120, Querier: AnyQuerier, Purpose: AnyPurpose,
+		Relation: "WiFi_Dataset", Action: Deny,
+		Conditions: []ObjectCondition{Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(666))},
+	}
+	out := FactorDeny([]*Policy{allow}, []*Policy{deny})
+	if len(out) != 1 {
+		t.Fatalf("factored set size = %d, want 1", len(out))
+	}
+	cs, err := CompileSet(out, wifiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _ := cs.EvalFirstMatch(wifiRow(120, 666, "09:30"), nil); ok {
+		t.Error("denied AP must not match after factoring")
+	}
+	if ok, _, _ := cs.EvalFirstMatch(wifiRow(120, 1200, "09:30"), nil); !ok {
+		t.Error("non-denied AP must still match")
+	}
+}
+
+func TestFactorDenyRangeSplits(t *testing.T) {
+	allow := johnPolicy()
+	allow.Conditions = nil
+	deny := &Policy{
+		Owner: 120, Querier: "Prof. Smith", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Deny,
+		Conditions: []ObjectCondition{RangeClosed("ts_time", storage.MustTime("12:00"), storage.MustTime("13:00"))},
+	}
+	out := FactorDeny([]*Policy{allow}, []*Policy{deny})
+	if len(out) != 2 {
+		t.Fatalf("range negation must split into 2 policies, got %d", len(out))
+	}
+	cs, _ := CompileSet(out, wifiSchema())
+	for _, c := range []struct {
+		tm   string
+		want bool
+	}{{"11:59", true}, {"12:00", false}, {"12:30", false}, {"13:00", false}, {"13:01", true}} {
+		if ok, _, _ := cs.EvalFirstMatch(wifiRow(120, 1, c.tm), nil); ok != c.want {
+			t.Errorf("time %s: match = %v, want %v", c.tm, ok, c.want)
+		}
+	}
+}
+
+func TestFactorDenyTotalDenyRemovesAllow(t *testing.T) {
+	allow := johnPolicy()
+	deny := &Policy{Owner: 120, Querier: AnyQuerier, Purpose: AnyPurpose,
+		Relation: "WiFi_Dataset", Action: Deny}
+	out := FactorDeny([]*Policy{allow}, []*Policy{deny})
+	if len(out) != 0 {
+		t.Fatalf("total deny must remove the allow, got %d policies", len(out))
+	}
+}
+
+func TestFactorDenyInapplicableDenyLeavesAllow(t *testing.T) {
+	allow := johnPolicy()
+	otherOwner := &Policy{Owner: 999, Querier: AnyQuerier, Purpose: AnyPurpose,
+		Relation: "WiFi_Dataset", Action: Deny}
+	otherQuerier := &Policy{Owner: 120, Querier: "Mallory", Purpose: AnyPurpose,
+		Relation: "WiFi_Dataset", Action: Deny}
+	out := FactorDeny([]*Policy{allow}, []*Policy{otherOwner, otherQuerier})
+	if len(out) != 1 || out[0] != allow {
+		t.Fatalf("inapplicable denies must leave the allow untouched: %v", out)
+	}
+}
+
+func TestPolicyStringMentionsParts(t *testing.T) {
+	p := johnPolicy()
+	p.ID = 7
+	s := p.String()
+	for _, want := range []string{"7", "Prof. Smith", "Attendance", "allow", "WiFi_Dataset"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

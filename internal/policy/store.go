@@ -1,0 +1,425 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Table names for policy persistence (§5.1).
+const (
+	TableP  = "sieve_policies"          // rP
+	TableOC = "sieve_object_conditions" // rOC
+)
+
+// Store persists policies in the engine's rP and rOC relations and keeps an
+// in-memory cache for the hot lookup paths (the Δ operator and P_QM
+// filtering). The cache and the relations are maintained together; loading
+// an existing database reconstructs the cache from the relations.
+type Store struct {
+	db *engine.DB
+
+	mu        sync.RWMutex
+	all       []*Policy
+	byID      map[int64]*Policy
+	byQuerier map[string][]*Policy
+	nextID    int64
+	clock     int64
+}
+
+// NewStore creates (or reattaches to) the policy relations in db.
+func NewStore(db *engine.DB) (*Store, error) {
+	s := &Store{
+		db:        db,
+		byID:      make(map[int64]*Policy),
+		byQuerier: make(map[string][]*Policy),
+		nextID:    1,
+	}
+	if _, ok := db.Table(TableP); !ok {
+		pSchema := storage.MustSchema(
+			storage.Column{Name: "id", Type: storage.KindInt},
+			storage.Column{Name: "owner", Type: storage.KindInt},
+			storage.Column{Name: "querier", Type: storage.KindString},
+			storage.Column{Name: "associated_table", Type: storage.KindString},
+			storage.Column{Name: "purpose", Type: storage.KindString},
+			storage.Column{Name: "action", Type: storage.KindString},
+			storage.Column{Name: "inserted_at", Type: storage.KindInt},
+		)
+		if _, err := db.CreateTable(TableP, pSchema); err != nil {
+			return nil, err
+		}
+		for _, col := range []string{"id", "owner", "querier"} {
+			if err := db.CreateIndex(TableP, col); err != nil {
+				return nil, err
+			}
+		}
+		ocSchema := storage.MustSchema(
+			storage.Column{Name: "id", Type: storage.KindInt},
+			storage.Column{Name: "policy_id", Type: storage.KindInt},
+			storage.Column{Name: "attr", Type: storage.KindString},
+			storage.Column{Name: "op", Type: storage.KindString},
+			storage.Column{Name: "val", Type: storage.KindString},
+		)
+		if _, err := db.CreateTable(TableOC, ocSchema); err != nil {
+			return nil, err
+		}
+		if err := db.CreateIndex(TableOC, "policy_id"); err != nil {
+			return nil, err
+		}
+	} else if err := s.loadFromTables(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DB exposes the backing engine.
+func (s *Store) DB() *engine.DB { return s.db }
+
+// Len returns the number of stored policies.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.all)
+}
+
+// All returns the stored policies (shared slice; callers must not mutate).
+func (s *Store) All() []*Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.all
+}
+
+// ByID looks a policy up by id.
+func (s *Store) ByID(id int64) (*Policy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.byID[id]
+	return p, ok
+}
+
+// PoliciesFor returns P_QM^i for one relation: allow-policies whose querier
+// conditions match the metadata directly or via group membership (§3.2).
+func (s *Store) PoliciesFor(qm Metadata, relation string, groups Groups) []*Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := append([]string{qm.Querier}, groups.GroupsOf(qm.Querier)...)
+	var out []*Policy
+	seen := make(map[int64]bool)
+	for _, name := range names {
+		for _, p := range s.byQuerier[name] {
+			if seen[p.ID] {
+				continue
+			}
+			if p.Relation != relation || p.Action != Allow {
+				continue
+			}
+			if !p.AppliesTo(qm, groups) {
+				continue
+			}
+			seen[p.ID] = true
+			out = append(out, p)
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Insert persists one policy, assigning its ID and insertion timestamp.
+// The write goes through engine.Insert so that rP insert triggers (guard
+// invalidation, §5.1) fire.
+func (s *Store) Insert(p *Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	p.ID = s.nextID
+	s.nextID++
+	s.clock++
+	p.InsertedAt = s.clock
+	s.mu.Unlock()
+
+	if err := s.db.Insert(TableP, storage.Row{
+		storage.NewInt(p.ID), storage.NewInt(p.Owner), storage.NewString(p.Querier),
+		storage.NewString(p.Relation), storage.NewString(p.Purpose),
+		storage.NewString(string(p.Action)), storage.NewInt(p.InsertedAt),
+	}); err != nil {
+		return err
+	}
+	rows, err := conditionRows(p)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := s.db.Insert(TableOC, r); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.cache(p)
+	s.mu.Unlock()
+	return nil
+}
+
+// BulkLoad persists many policies without firing triggers (initial load).
+func (s *Store) BulkLoad(ps []*Policy) error {
+	var pRows, ocRows []storage.Row
+	s.mu.Lock()
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		p.ID = s.nextID
+		s.nextID++
+		s.clock++
+		p.InsertedAt = s.clock
+		pRows = append(pRows, storage.Row{
+			storage.NewInt(p.ID), storage.NewInt(p.Owner), storage.NewString(p.Querier),
+			storage.NewString(p.Relation), storage.NewString(p.Purpose),
+			storage.NewString(string(p.Action)), storage.NewInt(p.InsertedAt),
+		})
+		rows, err := conditionRows(p)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		ocRows = append(ocRows, rows...)
+		s.cache(p)
+	}
+	s.mu.Unlock()
+	if err := s.db.BulkInsert(TableP, pRows); err != nil {
+		return err
+	}
+	return s.db.BulkInsert(TableOC, ocRows)
+}
+
+// cache records a policy in the in-memory maps. Callers hold s.mu.
+func (s *Store) cache(p *Policy) {
+	s.all = append(s.all, p)
+	s.byID[p.ID] = p
+	s.byQuerier[p.Querier] = append(s.byQuerier[p.Querier], p)
+}
+
+var ocSeq int64
+
+// conditionRows serialises a policy's conditions (owner first) into rOC
+// rows: ⟨id, policy_id, attr, op, val⟩ with val as SQL literal text, ranges
+// split into two rows as in the paper's Table 5.
+func conditionRows(p *Policy) ([]storage.Row, error) {
+	mk := func(attr, op, val string) storage.Row {
+		ocSeq++
+		return storage.Row{
+			storage.NewInt(ocSeq), storage.NewInt(p.ID),
+			storage.NewString(attr), storage.NewString(op), storage.NewString(val),
+		}
+	}
+	lit := func(v storage.Value) string { return sqlparser.PrintExpr(sqlparser.Lit(v)) }
+	rows := []storage.Row{mk(OwnerAttr, "=", lit(storage.NewInt(p.Owner)))}
+	for _, c := range p.Conditions {
+		switch c.Kind {
+		case CondCompare:
+			rows = append(rows, mk(c.Attr, c.Op.String(), lit(c.Val)))
+		case CondRange:
+			rows = append(rows, mk(c.Attr, c.LoOp.String(), lit(c.Lo)))
+			rows = append(rows, mk(c.Attr, c.HiOp.String(), lit(c.Hi)))
+		case CondIn, CondNotIn:
+			op := "IN"
+			if c.Kind == CondNotIn {
+				op = "NOT IN"
+			}
+			vals := make([]string, len(c.Vals))
+			for i, v := range c.Vals {
+				vals[i] = lit(v)
+			}
+			rows = append(rows, mk(c.Attr, op, "("+strings.Join(vals, ", ")+")"))
+		case CondSubquery:
+			rows = append(rows, mk(c.Attr, c.Op.String(), "("+c.Subquery+")"))
+		default:
+			return nil, fmt.Errorf("policy: cannot serialise condition kind %d", c.Kind)
+		}
+	}
+	return rows, nil
+}
+
+// Revoke removes a policy from the store and its relations (§6: policies
+// can be revoked at any time). Callers that cache guarded expressions must
+// invalidate them; core.Middleware.RevokePolicy does both.
+func (s *Store) Revoke(id int64) (*Policy, error) {
+	s.mu.Lock()
+	p, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("policy: no policy %d to revoke", id)
+	}
+	delete(s.byID, id)
+	s.all = removePolicy(s.all, id)
+	s.byQuerier[p.Querier] = removePolicy(s.byQuerier[p.Querier], id)
+	s.mu.Unlock()
+
+	pTab := s.db.MustTable(TableP)
+	var pRows []storage.RowID
+	pTab.Scan(func(rowID storage.RowID, r storage.Row) bool {
+		if r[0].I == id {
+			pRows = append(pRows, rowID)
+		}
+		return true
+	})
+	for _, rowID := range pRows {
+		if err := pTab.Delete(rowID); err != nil {
+			return nil, err
+		}
+	}
+	ocTab := s.db.MustTable(TableOC)
+	var ocRows []storage.RowID
+	ocTab.Scan(func(rowID storage.RowID, r storage.Row) bool {
+		if r[1].I == id {
+			ocRows = append(ocRows, rowID)
+		}
+		return true
+	})
+	for _, rowID := range ocRows {
+		if err := ocTab.Delete(rowID); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func removePolicy(ps []*Policy, id int64) []*Policy {
+	out := ps[:0]
+	for _, p := range ps {
+		if p.ID != id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// loadFromTables reconstructs the cache from rP/rOC.
+func (s *Store) loadFromTables() error {
+	pTab := s.db.MustTable(TableP)
+	ocTab := s.db.MustTable(TableOC)
+
+	conds := make(map[int64][]storage.Row)
+	ocTab.Scan(func(_ storage.RowID, r storage.Row) bool {
+		pid := r[1].I
+		conds[pid] = append(conds[pid], r)
+		return true
+	})
+
+	var firstErr error
+	pTab.Scan(func(_ storage.RowID, r storage.Row) bool {
+		p := &Policy{
+			ID: r[0].I, Owner: r[1].I, Querier: r[2].S, Relation: r[3].S,
+			Purpose: r[4].S, Action: Action(r[5].S), InsertedAt: r[6].I,
+		}
+		cs, err := parseConditions(conds[p.ID])
+		if err != nil {
+			firstErr = fmt.Errorf("policy %d: %w", p.ID, err)
+			return false
+		}
+		p.Conditions = cs
+		s.cache(p)
+		if p.ID >= s.nextID {
+			s.nextID = p.ID + 1
+		}
+		if p.InsertedAt > s.clock {
+			s.clock = p.InsertedAt
+		}
+		return true
+	})
+	Sort(s.all)
+	return firstErr
+}
+
+// parseConditions rebuilds ObjectConditions from rOC rows, re-pairing
+// adjacent ≥/≤ rows on the same attribute into ranges and dropping the
+// owner row (implied by rP.owner).
+func parseConditions(rows []storage.Row) ([]ObjectCondition, error) {
+	var out []ObjectCondition
+	for i := 0; i < len(rows); i++ {
+		attr, opText, valText := rows[i][2].S, rows[i][3].S, rows[i][4].S
+		if attr == OwnerAttr && opText == "=" {
+			continue
+		}
+		switch opText {
+		case "IN", "NOT IN":
+			e, err := sqlparser.ParseExpr("x " + opText + " " + valText)
+			if err != nil {
+				return nil, fmt.Errorf("bad IN list %q: %w", valText, err)
+			}
+			in, ok := e.(*sqlparser.InExpr)
+			if !ok {
+				return nil, fmt.Errorf("bad IN list %q", valText)
+			}
+			var vals []storage.Value
+			for _, item := range in.List {
+				l, ok := item.(*sqlparser.Literal)
+				if !ok {
+					return nil, fmt.Errorf("non-literal IN member in %q", valText)
+				}
+				vals = append(vals, l.Val)
+			}
+			kind := CondIn
+			if opText == "NOT IN" {
+				kind = CondNotIn
+			}
+			out = append(out, ObjectCondition{Attr: attr, Kind: kind, Vals: vals})
+			continue
+		}
+		op, err := parseCmpOp(opText)
+		if err != nil {
+			return nil, err
+		}
+		val, err := sqlparser.ParseExpr(valText)
+		if err != nil {
+			return nil, fmt.Errorf("bad condition value %q: %w", valText, err)
+		}
+		switch v := val.(type) {
+		case *sqlparser.SubqueryExpr:
+			out = append(out, ObjectCondition{Attr: attr, Kind: CondSubquery, Op: op,
+				Subquery: sqlparser.Print(v.Select)})
+		case *sqlparser.Literal:
+			// Re-pair a lower bound with an immediately following upper
+			// bound on the same attribute into a range condition.
+			if (op == sqlparser.CmpGe || op == sqlparser.CmpGt) && i+1 < len(rows) && rows[i+1][2].S == attr {
+				nextOp, err := parseCmpOp(rows[i+1][3].S)
+				if err == nil && (nextOp == sqlparser.CmpLe || nextOp == sqlparser.CmpLt) {
+					hiVal, err := sqlparser.ParseExpr(rows[i+1][4].S)
+					if hiLit, ok := hiVal.(*sqlparser.Literal); err == nil && ok {
+						out = append(out, ObjectCondition{Attr: attr, Kind: CondRange,
+							Lo: v.Val, LoOp: op, Hi: hiLit.Val, HiOp: nextOp})
+						i++
+						continue
+					}
+				}
+			}
+			out = append(out, ObjectCondition{Attr: attr, Kind: CondCompare, Op: op, Val: v.Val})
+		default:
+			return nil, fmt.Errorf("unsupported condition value %q", valText)
+		}
+	}
+	return out, nil
+}
+
+func parseCmpOp(s string) (sqlparser.CmpOp, error) {
+	switch s {
+	case "=":
+		return sqlparser.CmpEq, nil
+	case "!=", "<>":
+		return sqlparser.CmpNe, nil
+	case "<":
+		return sqlparser.CmpLt, nil
+	case "<=":
+		return sqlparser.CmpLe, nil
+	case ">":
+		return sqlparser.CmpGt, nil
+	case ">=":
+		return sqlparser.CmpGe, nil
+	}
+	return 0, fmt.Errorf("policy: unknown comparison operator %q", s)
+}

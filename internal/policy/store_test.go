@@ -1,0 +1,225 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	db := engine.New(engine.MySQL())
+	s, err := NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func samplePolicies() []*Policy {
+	john := &Policy{
+		Owner: 120, Querier: "Prof. Smith", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Allow,
+		Conditions: []ObjectCondition{
+			RangeClosed("ts_time", storage.MustTime("09:00"), storage.MustTime("10:00")),
+			Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(1200)),
+		},
+	}
+	mary := &Policy{
+		Owner: 145, Querier: "Prof. Smith", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Allow,
+		Conditions: []ObjectCondition{
+			Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(2300)),
+		},
+	}
+	derived := &Policy{
+		Owner: 120, Querier: "Prof. Smith", Purpose: "Colocation",
+		Relation: "WiFi_Dataset", Action: Allow,
+		Conditions: []ObjectCondition{
+			DerivedValue("wifiAP", sqlparser.CmpEq,
+				"SELECT W2.wifiAP FROM WiFi_Dataset AS W2 WHERE W2.ts_time = W.ts_time AND W2.owner = 7"),
+		},
+	}
+	inlist := &Policy{
+		Owner: 99, Querier: "Bob", Purpose: "Lunch",
+		Relation: "WiFi_Dataset", Action: Allow,
+		Conditions: []ObjectCondition{
+			In("wifiAP", storage.NewInt(1), storage.NewInt(2), storage.NewInt(3)),
+			NotIn("ts_date", storage.NewDate(5)),
+		},
+	}
+	return []*Policy{john, mary, derived, inlist}
+}
+
+func TestStoreInsertAssignsIDsAndTimestamps(t *testing.T) {
+	s := newStore(t)
+	ps := samplePolicies()
+	for _, p := range ps {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, p := range ps {
+		if p.ID != int64(i+1) {
+			t.Errorf("policy %d: ID = %d", i, p.ID)
+		}
+		if p.InsertedAt == 0 {
+			t.Errorf("policy %d: missing timestamp", i)
+		}
+	}
+	got, ok := s.ByID(2)
+	if !ok || got.Owner != 145 {
+		t.Fatalf("ByID(2) = %v, %v", got, ok)
+	}
+	if _, ok := s.ByID(99); ok {
+		t.Error("ByID must miss for unknown id")
+	}
+}
+
+func TestStoreInsertRejectsInvalid(t *testing.T) {
+	s := newStore(t)
+	if err := s.Insert(&Policy{}); err == nil {
+		t.Error("invalid policy must be rejected")
+	}
+}
+
+func TestStorePersistsToEngineTables(t *testing.T) {
+	s := newStore(t)
+	for _, p := range samplePolicies() {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.DB().Query("SELECT count(*) FROM " + TableP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 4 {
+		t.Fatalf("rP rows = %v", res.Rows[0][0])
+	}
+	// Every policy has an owner condition row plus its own conditions; the
+	// range splits into two rows (Table 5 layout).
+	res2, err := s.DB().Query("SELECT count(*) FROM " + TableOC + " WHERE policy_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows[0][0].I != 4 { // owner, ts_time ≥, ts_time ≤, wifiAP =
+		t.Fatalf("rOC rows for policy 1 = %v, want 4", res2.Rows[0][0])
+	}
+}
+
+func TestStoreRoundTripThroughTables(t *testing.T) {
+	s := newStore(t)
+	orig := samplePolicies()
+	for _, p := range orig {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-attach a fresh store to the same engine: it must reload the cache.
+	s2, err := NewStore(s.DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(orig) {
+		t.Fatalf("reloaded Len = %d, want %d", s2.Len(), len(orig))
+	}
+	for _, want := range orig {
+		got, ok := s2.ByID(want.ID)
+		if !ok {
+			t.Fatalf("policy %d missing after reload", want.ID)
+		}
+		if got.Owner != want.Owner || got.Querier != want.Querier ||
+			got.Purpose != want.Purpose || got.Relation != want.Relation ||
+			got.Action != want.Action {
+			t.Errorf("policy %d header mismatch: %+v vs %+v", want.ID, got, want)
+		}
+		if !reflect.DeepEqual(got.Conditions, want.Conditions) {
+			t.Errorf("policy %d conditions mismatch:\n got %#v\nwant %#v", want.ID, got.Conditions, want.Conditions)
+		}
+	}
+	// IDs continue after reload.
+	extra := samplePolicies()[1]
+	extra.ID = 0
+	if err := s2.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if extra.ID != int64(len(orig)+1) {
+		t.Errorf("post-reload ID = %d, want %d", extra.ID, len(orig)+1)
+	}
+}
+
+func TestStoreBulkLoadSkipsTriggers(t *testing.T) {
+	s := newStore(t)
+	fired := 0
+	s.DB().OnInsert(TableP, func(string, storage.Row) { fired++ })
+	if err := s.BulkLoad(samplePolicies()); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("BulkLoad fired %d triggers, want 0", fired)
+	}
+	if err := s.Insert(samplePolicies()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("Insert fired %d triggers, want 1", fired)
+	}
+}
+
+func TestPoliciesForFiltersByMetadata(t *testing.T) {
+	s := newStore(t)
+	if err := s.BulkLoad(samplePolicies()); err != nil {
+		t.Fatal(err)
+	}
+	qm := Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}
+	got := s.PoliciesFor(qm, "WiFi_Dataset", NoGroups)
+	if len(got) != 2 {
+		t.Fatalf("PoliciesFor = %d, want 2", len(got))
+	}
+	for _, p := range got {
+		if p.Querier != "Prof. Smith" || p.Purpose != "Attendance" {
+			t.Errorf("leaked policy %v", p)
+		}
+	}
+	if got := s.PoliciesFor(Metadata{Querier: "Nobody", Purpose: "x"}, "WiFi_Dataset", NoGroups); len(got) != 0 {
+		t.Errorf("unknown querier got %d policies", len(got))
+	}
+	// Group-mediated match.
+	grp := &Policy{Owner: 7, Querier: "faculty", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Allow}
+	if err := s.Insert(grp); err != nil {
+		t.Fatal(err)
+	}
+	groups := StaticGroups{"Prof. Smith": {"faculty"}}
+	got2 := s.PoliciesFor(qm, "WiFi_Dataset", groups)
+	if len(got2) != 3 {
+		t.Fatalf("group-resolved PoliciesFor = %d, want 3", len(got2))
+	}
+}
+
+func TestStoreQueryableLikePaperTable4(t *testing.T) {
+	// §5.1: policies are data; SIEVE (and administrators) can query them.
+	s := newStore(t)
+	if err := s.BulkLoad(samplePolicies()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.DB().Query(
+		"SELECT p.id, oc.attr, oc.op, oc.val FROM " + TableP + " AS p, " + TableOC + " AS oc " +
+			"WHERE oc.policy_id = p.id AND p.querier = 'Prof. Smith' AND oc.attr = 'wifiAP' ORDER BY p.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("join over rP/rOC returned %d rows", len(res.Rows))
+	}
+	if res.Rows[0][2].S != "=" || res.Rows[0][3].S != "1200" {
+		t.Errorf("first condition row = %v", res.Rows[0])
+	}
+}

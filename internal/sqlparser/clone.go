@@ -1,0 +1,104 @@
+package sqlparser
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Literal:
+		c := *x
+		return &c
+	case *ColRef:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *CompareExpr:
+		return &CompareExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *NotExpr:
+		return &NotExpr{E: CloneExpr(x.E)}
+	case *BetweenExpr:
+		return &BetweenExpr{E: CloneExpr(x.E), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi), Not: x.Not}
+	case *InExpr:
+		c := &InExpr{E: CloneExpr(x.E), Not: x.Not, Sub: CloneStmt(x.Sub)}
+		for _, it := range x.List {
+			c.List = append(c.List, CloneExpr(it))
+		}
+		return c
+	case *IsNullExpr:
+		return &IsNullExpr{E: CloneExpr(x.E), Not: x.Not}
+	case *FuncCall:
+		c := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *SubqueryExpr:
+		return &SubqueryExpr{Select: CloneStmt(x.Select)}
+	case *ExistsExpr:
+		return &ExistsExpr{Select: CloneStmt(x.Select)}
+	}
+	return e
+}
+
+// CloneStmt deep-copies a statement tree.
+func CloneStmt(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := &SelectStmt{}
+	for _, cte := range s.With {
+		out.With = append(out.With, CTE{Name: cte.Name, Select: CloneStmt(cte.Select)})
+	}
+	out.Body = CloneCore(s.Body)
+	for _, op := range s.Ops {
+		out.Ops = append(out.Ops, SetOp{Kind: op.Kind, All: op.All, Core: CloneCore(op.Core)})
+	}
+	return out
+}
+
+// CloneCore deep-copies one select core.
+func CloneCore(c *SelectCore) *SelectCore {
+	if c == nil {
+		return nil
+	}
+	out := &SelectCore{Distinct: c.Distinct, Star: c.Star, Limit: c.Limit}
+	for _, it := range c.Items {
+		out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	for _, t := range c.From {
+		ref := TableRef{Name: t.Name, Alias: t.Alias, Subquery: CloneStmt(t.Subquery)}
+		if t.Hint != nil {
+			h := &IndexHint{Kind: t.Hint.Kind}
+			if t.Hint.Indexes != nil {
+				h.Indexes = append([]string{}, t.Hint.Indexes...)
+			}
+			ref.Hint = h
+		}
+		out.From = append(out.From, ref)
+	}
+	out.Where = CloneExpr(c.Where)
+	for _, g := range c.GroupBy {
+		out.GroupBy = append(out.GroupBy, CloneExpr(g))
+	}
+	out.Having = CloneExpr(c.Having)
+	for _, o := range c.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	return out
+}
+
+// RequalifyExpr returns a deep copy of e with every column qualifier equal
+// to from replaced by to (from == "" rewrites unqualified references). The
+// rewrite descends into subqueries, where references to the outer alias may
+// appear as correlations.
+func RequalifyExpr(e Expr, from, to string) Expr {
+	c := CloneExpr(e)
+	Walk(c, true, func(x Expr) {
+		if col, ok := x.(*ColRef); ok && col.Table == from {
+			col.Table = to
+		}
+	})
+	return c
+}

@@ -1,0 +1,322 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Print renders a statement as SQL text. The output re-parses to an AST
+// equal to the input (property-tested); SIEVE relies on this to hand
+// rewritten queries back to the engine as text, exactly as the paper's
+// middleware hands SQL to MySQL/PostgreSQL.
+func Print(s *SelectStmt) string {
+	var b strings.Builder
+	printStmt(&b, s)
+	return b.String()
+}
+
+// PrintExpr renders an expression as SQL text.
+func PrintExpr(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s *SelectStmt) {
+	if len(s.With) > 0 {
+		b.WriteString("WITH ")
+		for i, cte := range s.With {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(cte.Name)
+			b.WriteString(" AS (")
+			printStmt(b, cte.Select)
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+	}
+	printCore(b, s.Body)
+	for _, u := range s.Ops {
+		switch u.Kind {
+		case SetUnion:
+			if u.All {
+				b.WriteString(" UNION ALL ")
+			} else {
+				b.WriteString(" UNION ")
+			}
+		case SetMinus:
+			b.WriteString(" MINUS ")
+		}
+		printCore(b, u.Core)
+	}
+}
+
+func printCore(b *strings.Builder, c *SelectCore) {
+	b.WriteString("SELECT ")
+	if c.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if c.Star {
+		b.WriteString("*")
+	} else {
+		for i, it := range c.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, it.Expr, 0)
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range c.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		printTableRef(b, t)
+	}
+	if c.Where != nil {
+		b.WriteString(" WHERE ")
+		printExpr(b, c.Where, 0)
+	}
+	if len(c.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range c.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, g, 0)
+		}
+	}
+	if c.Having != nil {
+		b.WriteString(" HAVING ")
+		printExpr(b, c.Having, 0)
+	}
+	if len(c.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range c.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, o.Expr, 0)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if c.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(c.Limit, 10))
+	}
+}
+
+func printTableRef(b *strings.Builder, t TableRef) {
+	if t.Subquery != nil {
+		b.WriteString("(")
+		printStmt(b, t.Subquery)
+		b.WriteString(")")
+	} else {
+		b.WriteString(t.Name)
+	}
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+	if t.Hint != nil {
+		switch t.Hint.Kind {
+		case HintForce:
+			b.WriteString(" FORCE INDEX (")
+		case HintUse:
+			b.WriteString(" USE INDEX (")
+		}
+		b.WriteString(strings.Join(t.Hint.Indexes, ", "))
+		b.WriteString(")")
+	}
+}
+
+// Operator precedence levels for minimal parenthesisation. Higher binds
+// tighter; children printed at a level below their parent's requirement get
+// parentheses.
+func binPrec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpAdd, OpSub:
+		return 5
+	case OpMul, OpDiv:
+		return 6
+	}
+	return 0
+}
+
+const (
+	precNot  = 3
+	precPred = 4
+)
+
+func printExpr(b *strings.Builder, e Expr, parent int) {
+	switch x := e.(type) {
+	case *Literal:
+		printLiteral(b, x.Val)
+	case *ColRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(x.Column)
+	case *BinaryExpr:
+		prec := binPrec(x.Op)
+		if prec < parent {
+			b.WriteString("(")
+		}
+		printExpr(b, x.L, prec)
+		switch x.Op {
+		case OpAnd:
+			b.WriteString(" AND ")
+		case OpOr:
+			b.WriteString(" OR ")
+		case OpAdd:
+			b.WriteString(" + ")
+		case OpSub:
+			b.WriteString(" - ")
+		case OpMul:
+			b.WriteString(" * ")
+		case OpDiv:
+			b.WriteString(" / ")
+		}
+		// Right side printed one level tighter so left-associativity
+		// round-trips: a - (b - c) keeps its parens.
+		printExpr(b, x.R, prec+1)
+		if prec < parent {
+			b.WriteString(")")
+		}
+	case *CompareExpr:
+		if precPred < parent {
+			b.WriteString("(")
+		}
+		printExpr(b, x.L, precPred+1)
+		b.WriteString(" ")
+		b.WriteString(x.Op.String())
+		b.WriteString(" ")
+		printExpr(b, x.R, precPred+1)
+		if precPred < parent {
+			b.WriteString(")")
+		}
+	case *NotExpr:
+		if precNot < parent {
+			b.WriteString("(")
+		}
+		b.WriteString("NOT ")
+		printExpr(b, x.E, precNot)
+		if precNot < parent {
+			b.WriteString(")")
+		}
+	case *BetweenExpr:
+		if precPred < parent {
+			b.WriteString("(")
+		}
+		printExpr(b, x.E, precPred+1)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		printExpr(b, x.Lo, precPred+1)
+		b.WriteString(" AND ")
+		printExpr(b, x.Hi, precPred+1)
+		if precPred < parent {
+			b.WriteString(")")
+		}
+	case *InExpr:
+		if precPred < parent {
+			b.WriteString("(")
+		}
+		printExpr(b, x.E, precPred+1)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Sub != nil {
+			printStmt(b, x.Sub)
+		} else {
+			for i, it := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				printExpr(b, it, 0)
+			}
+		}
+		b.WriteString(")")
+		if precPred < parent {
+			b.WriteString(")")
+		}
+	case *IsNullExpr:
+		if precPred < parent {
+			b.WriteString("(")
+		}
+		printExpr(b, x.E, precPred+1)
+		if x.Not {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+		if precPred < parent {
+			b.WriteString(")")
+		}
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		if x.Star {
+			b.WriteString("*")
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				printExpr(b, a, 0)
+			}
+		}
+		b.WriteString(")")
+	case *SubqueryExpr:
+		b.WriteString("(")
+		printStmt(b, x.Select)
+		b.WriteString(")")
+	case *ExistsExpr:
+		b.WriteString("EXISTS (")
+		printStmt(b, x.Select)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "/*unknown expr %T*/", e)
+	}
+}
+
+func printLiteral(b *strings.Builder, v storage.Value) {
+	switch v.K {
+	case storage.KindFloat:
+		// Keep a decimal point so the literal re-parses as FLOAT (the lexer
+		// has no exponent form, so use fixed notation).
+		s := strconv.FormatFloat(v.F, 'f', -1, 64)
+		if !strings.ContainsRune(s, '.') {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case storage.KindTime:
+		fmt.Fprintf(b, "TIME '%02d:%02d:%02d'", v.I/3600, (v.I/60)%60, v.I%60)
+	case storage.KindDate:
+		b.WriteString("DATE '")
+		b.WriteString(storage.FormatDate(v))
+		b.WriteString("'")
+	default:
+		b.WriteString(v.String())
+	}
+}

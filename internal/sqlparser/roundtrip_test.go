@@ -1,0 +1,210 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Property test: Print followed by Parse yields the original AST for
+// randomly generated statements covering the whole grammar SIEVE emits.
+
+func randIdent(r *rand.Rand) string {
+	names := []string{"wifi", "owner", "ts_time", "ts_date", "wifiAP", "t", "u", "W", "grp", "val", "shop_id"}
+	return names[r.Intn(len(names))]
+}
+
+func randLiteral(r *rand.Rand) *Literal {
+	switch r.Intn(6) {
+	case 0:
+		return Lit(storage.NewInt(int64(r.Intn(2000) - 1000)))
+	case 1:
+		return Lit(storage.NewFloat(float64(r.Intn(1000)) / 8)) // dyadic: exact print round-trip
+	case 2:
+		return Lit(storage.NewString("s'" + randIdent(r)))
+	case 3:
+		return Lit(storage.NewBool(r.Intn(2) == 0))
+	case 4:
+		return Lit(storage.NewTime(int64(r.Intn(86400))))
+	default:
+		return Lit(storage.NewDate(int64(r.Intn(5000))))
+	}
+}
+
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		if r.Intn(2) == 0 {
+			return randLiteral(r)
+		}
+		tbl := ""
+		if r.Intn(2) == 0 {
+			tbl = randIdent(r)
+		}
+		return Col(tbl, randIdent(r))
+	}
+	switch r.Intn(10) {
+	case 0, 1:
+		op := []BinOp{OpAnd, OpOr, OpAdd, OpSub, OpMul, OpDiv}[r.Intn(6)]
+		return &BinaryExpr{Op: op, L: randExpr(r, depth-1), R: randExpr(r, depth-1)}
+	case 2, 3:
+		op := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}[r.Intn(6)]
+		return &CompareExpr{Op: op, L: randExpr(r, depth-1), R: randExpr(r, depth-1)}
+	case 4:
+		return &NotExpr{E: randExpr(r, depth-1)}
+	case 5:
+		return &BetweenExpr{E: randExpr(r, depth-1), Lo: randExpr(r, depth-1), Hi: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 6:
+		in := &InExpr{E: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+		if r.Intn(3) == 0 {
+			in.Sub = randStmt(r, depth-1)
+		} else {
+			for i := 0; i <= r.Intn(3); i++ {
+				in.List = append(in.List, randExpr(r, depth-1))
+			}
+		}
+		return in
+	case 7:
+		return &IsNullExpr{E: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 8:
+		fc := &FuncCall{Name: randIdent(r)}
+		switch r.Intn(3) {
+		case 0:
+			fc.Star = true
+		case 1:
+			fc.Distinct = true
+			fc.Args = []Expr{randExpr(r, depth-1)}
+		default:
+			for i := 0; i < r.Intn(3); i++ {
+				fc.Args = append(fc.Args, randExpr(r, depth-1))
+			}
+		}
+		return fc
+	default:
+		if r.Intn(2) == 0 {
+			return &SubqueryExpr{Select: randStmt(r, depth-1)}
+		}
+		return &ExistsExpr{Select: randStmt(r, depth-1)}
+	}
+}
+
+func randCore(r *rand.Rand, depth int) *SelectCore {
+	c := &SelectCore{Limit: -1}
+	c.Distinct = r.Intn(4) == 0
+	if r.Intn(3) == 0 {
+		c.Star = true
+	} else {
+		for i := 0; i <= r.Intn(3); i++ {
+			it := SelectItem{Expr: randExpr(r, depth-1)}
+			if r.Intn(2) == 0 {
+				it.Alias = "a" + randIdent(r)
+			}
+			c.Items = append(c.Items, it)
+		}
+	}
+	for i := 0; i <= r.Intn(2); i++ {
+		ref := TableRef{Name: randIdent(r)}
+		if depth > 0 && r.Intn(5) == 0 {
+			ref = TableRef{Subquery: randStmt(r, depth-1)}
+		}
+		if r.Intn(2) == 0 || ref.Subquery != nil {
+			ref.Alias = "t" + randIdent(r)
+		}
+		if ref.Subquery == nil && r.Intn(4) == 0 {
+			if r.Intn(2) == 0 {
+				ref.Hint = &IndexHint{Kind: HintForce, Indexes: []string{randIdent(r)}}
+			} else {
+				h := &IndexHint{Kind: HintUse}
+				if r.Intn(2) == 0 {
+					h.Indexes = []string{randIdent(r)}
+				}
+				ref.Hint = h
+			}
+		}
+		c.From = append(c.From, ref)
+	}
+	if r.Intn(2) == 0 {
+		c.Where = randExpr(r, depth)
+	}
+	if r.Intn(4) == 0 {
+		for i := 0; i <= r.Intn(2); i++ {
+			c.GroupBy = append(c.GroupBy, Col("", randIdent(r)))
+		}
+		if r.Intn(2) == 0 {
+			c.Having = randExpr(r, depth-1)
+		}
+	}
+	if r.Intn(4) == 0 {
+		c.OrderBy = append(c.OrderBy, OrderItem{Expr: Col("", randIdent(r)), Desc: r.Intn(2) == 0})
+	}
+	if r.Intn(4) == 0 {
+		c.Limit = int64(r.Intn(100))
+	}
+	return c
+}
+
+func randStmt(r *rand.Rand, depth int) *SelectStmt {
+	if depth < 0 {
+		depth = 0
+	}
+	s := &SelectStmt{Body: randCore(r, depth)}
+	if depth > 0 && r.Intn(4) == 0 {
+		for i := 0; i <= r.Intn(2); i++ {
+			s.With = append(s.With, CTE{Name: "cte" + randIdent(r), Select: randStmt(r, depth-1)})
+		}
+	}
+	if r.Intn(3) == 0 {
+		for i := 0; i <= r.Intn(2); i++ {
+			kind := SetUnion
+			if r.Intn(4) == 0 {
+				kind = SetMinus
+			}
+			s.Ops = append(s.Ops, SetOp{Kind: kind, All: kind == SetUnion && r.Intn(2) == 0, Core: randCore(r, depth-1)})
+		}
+	}
+	return s
+}
+
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s1 := randStmt(r, 3)
+		text := Print(s1)
+		s2, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: parse error on %q: %v", seed, text, err)
+			return false
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Logf("seed %d: round-trip mismatch:\n%s\nvs\n%s", seed, text, Print(s2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrintExprRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e1 := randExpr(r, 4)
+		text := PrintExpr(e1)
+		e2, err := ParseExpr(text)
+		if err != nil {
+			t.Logf("seed %d: parse error on %q: %v", seed, text, err)
+			return false
+		}
+		if !reflect.DeepEqual(e1, e2) {
+			t.Logf("seed %d: mismatch: %q vs %q", seed, text, PrintExpr(e2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

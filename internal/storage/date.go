@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// dateEpochYear anchors DATE values: day 0 is 2000-01-01, matching the
+// generated datasets (three months of WiFi logs land in small positive
+// integers, keeping histograms readable in experiment output).
+const dateEpochYear = 2000
+
+func isLeap(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+
+var daysInMonth = [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// DateFromYMD converts a civil date to days since 2000-01-01.
+func DateFromYMD(year, month, day int) (Value, error) {
+	if month < 1 || month > 12 {
+		return Null, fmt.Errorf("storage: month %d out of range", month)
+	}
+	dim := daysInMonth[month-1]
+	if month == 2 && isLeap(year) {
+		dim = 29
+	}
+	if day < 1 || day > dim {
+		return Null, fmt.Errorf("storage: day %d out of range for %d-%02d", day, year, month)
+	}
+	days := 0
+	if year >= dateEpochYear {
+		for y := dateEpochYear; y < year; y++ {
+			days += 365
+			if isLeap(y) {
+				days++
+			}
+		}
+	} else {
+		for y := year; y < dateEpochYear; y++ {
+			days -= 365
+			if isLeap(y) {
+				days--
+			}
+		}
+	}
+	for m := 1; m < month; m++ {
+		days += daysInMonth[m-1]
+		if m == 2 && isLeap(year) {
+			days++
+		}
+	}
+	return NewDate(int64(days + day - 1)), nil
+}
+
+// ParseDate parses "YYYY-MM-DD" into a DATE value.
+func ParseDate(s string) (Value, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return Null, fmt.Errorf("storage: invalid date %q", s)
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return Null, fmt.Errorf("storage: invalid date %q", s)
+		}
+		nums[i] = n
+	}
+	return DateFromYMD(nums[0], nums[1], nums[2])
+}
+
+// MustDate is ParseDate that panics; for literals in tests and generators.
+func MustDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FormatDate renders a DATE value as YYYY-MM-DD.
+func FormatDate(v Value) string {
+	days := int(v.I)
+	year := dateEpochYear
+	for {
+		y := 365
+		if isLeap(year) {
+			y++
+		}
+		if days >= y {
+			days -= y
+			year++
+		} else if days < 0 {
+			year--
+			y = 365
+			if isLeap(year) {
+				y++
+			}
+			days += y
+		} else {
+			break
+		}
+	}
+	month := 1
+	for {
+		dim := daysInMonth[month-1]
+		if month == 2 && isLeap(year) {
+			dim = 29
+		}
+		if days < dim {
+			break
+		}
+		days -= dim
+		month++
+	}
+	return fmt.Sprintf("%04d-%02d-%02d", year, month, days+1)
+}

@@ -1,0 +1,206 @@
+package storage
+
+import "sort"
+
+// Histogram is an equi-depth histogram over one numeric-ordered column. The
+// paper estimates guard cardinalities "using histograms maintained by the
+// database" (§4, footnote 5); this is that facility. String columns fall
+// back to a distinct-value (most-common-values-free) uniform model.
+type Histogram struct {
+	Column string
+	Rows   int // rows with non-NULL keys at build time
+
+	// numeric equi-depth buckets; bounds[i] is the upper bound of bucket i
+	// (inclusive); all buckets hold ~Rows/len(bounds) values.
+	numeric bool
+	lo      float64
+	bounds  []float64
+
+	// distinct-value model, also used for strings
+	distinct int
+}
+
+// BuildHistogram constructs a histogram with at most buckets buckets from
+// the values of column col in table t. NULLs are skipped.
+func BuildHistogram(t *Table, col string, buckets int) *Histogram {
+	ci := t.Schema.ColumnIndex(col)
+	h := &Histogram{Column: col}
+	if ci < 0 {
+		return h
+	}
+	kind := t.Schema.Columns[ci].Type
+	var nums []float64
+	seen := make(map[Value]struct{})
+	t.Scan(func(_ RowID, r Row) bool {
+		v := r[ci]
+		if v.IsNull() {
+			return true
+		}
+		h.Rows++
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+		}
+		if kind != KindString {
+			nums = append(nums, v.Float())
+		}
+		return true
+	})
+	h.distinct = len(seen)
+	if kind == KindString || len(nums) == 0 {
+		return h
+	}
+	h.numeric = true
+	sort.Float64s(nums)
+	h.lo = nums[0]
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > len(nums) {
+		buckets = len(nums)
+	}
+	h.bounds = make([]float64, buckets)
+	for b := 0; b < buckets; b++ {
+		// Upper bound of bucket b is the value at its last position.
+		pos := (b+1)*len(nums)/buckets - 1
+		h.bounds[b] = nums[pos]
+	}
+	return h
+}
+
+// Distinct returns the number of distinct non-NULL values observed.
+func (h *Histogram) Distinct() int { return h.distinct }
+
+// EstimateEq returns the estimated selectivity (fraction of rows) of
+// column = v, using the uniform-within-distinct model.
+func (h *Histogram) EstimateEq(v Value) float64 {
+	if h.Rows == 0 || h.distinct == 0 || v.IsNull() {
+		return 0
+	}
+	return 1 / float64(h.distinct)
+}
+
+// EstimateRange returns the estimated selectivity of lo ≤ column ≤ hi
+// (NULL bound = unbounded). Open bounds are approximated by the closed
+// estimate, which is the standard histogram simplification.
+func (h *Histogram) EstimateRange(lo, hi Value) float64 {
+	if h.Rows == 0 {
+		return 0
+	}
+	if !h.numeric {
+		// Distinct model: a range over an unordered domain — assume a third.
+		if lo.IsNull() && hi.IsNull() {
+			return 1
+		}
+		return 1.0 / 3.0
+	}
+	lof, hif := h.lo, h.bounds[len(h.bounds)-1]
+	if !lo.IsNull() {
+		lof = lo.Float()
+	}
+	if !hi.IsNull() {
+		hif = hi.Float()
+	}
+	if hif < lof {
+		return 0
+	}
+	return clamp01(h.cdf(hif) - h.cdfBefore(lof))
+}
+
+// cdf returns the estimated fraction of rows with value <= x.
+func (h *Histogram) cdf(x float64) float64 {
+	n := len(h.bounds)
+	// Buckets whose upper bound is <= x are fully included. A point mass can
+	// span several equi-depth buckets with identical bounds; include them all.
+	full := sort.SearchFloat64s(h.bounds, x)
+	for full < n && h.bounds[full] == x {
+		full++
+	}
+	frac := float64(full) / float64(n)
+	if full >= n {
+		return 1
+	}
+	// Linear interpolation within the straddled bucket.
+	blo := h.lo
+	if full > 0 {
+		blo = h.bounds[full-1]
+	}
+	bhi := h.bounds[full]
+	if x > blo && bhi > blo {
+		frac += (x - blo) / (bhi - blo) / float64(n)
+	}
+	return clamp01(frac)
+}
+
+// cdfBefore returns the estimated fraction of rows with value < x; the
+// histogram cannot distinguish < from <= so it reuses cdf shifted by an
+// epsilon-free convention: fraction strictly below the bucket containing x.
+func (h *Histogram) cdfBefore(x float64) float64 {
+	if x <= h.lo {
+		return 0
+	}
+	n := len(h.bounds)
+	full := sort.SearchFloat64s(h.bounds, x)
+	frac := float64(full) / float64(n)
+	if full >= n {
+		return 1
+	}
+	blo := h.lo
+	if full > 0 {
+		blo = h.bounds[full-1]
+	}
+	bhi := h.bounds[full]
+	if x > blo && bhi > blo {
+		frac += (x - blo) / (bhi - blo) / float64(n)
+	}
+	return clamp01(frac)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// TableStats bundles per-column histograms with the row count, mirroring a
+// DBMS catalog's statistics view. SIEVE's guard generation reads ρ(pred)
+// from here.
+type TableStats struct {
+	Table      string
+	RowCount   int
+	Histograms map[string]*Histogram
+}
+
+// Analyze builds statistics for the given columns (all indexed columns is
+// the usual choice) with the given bucket budget per column.
+func Analyze(t *Table, columns []string, buckets int) *TableStats {
+	s := &TableStats{Table: t.Name, RowCount: t.NumRows(), Histograms: make(map[string]*Histogram, len(columns))}
+	for _, c := range columns {
+		s.Histograms[c] = BuildHistogram(t, c, buckets)
+	}
+	return s
+}
+
+// SelectivityEq estimates the fraction of rows with col = v.
+func (s *TableStats) SelectivityEq(col string, v Value) float64 {
+	if h, ok := s.Histograms[col]; ok {
+		return h.EstimateEq(v)
+	}
+	return 0.1 // planner default when no stats exist
+}
+
+// SelectivityRange estimates the fraction of rows with lo ≤ col ≤ hi.
+func (s *TableStats) SelectivityRange(col string, lo, hi Value) float64 {
+	if h, ok := s.Histograms[col]; ok {
+		return h.EstimateRange(lo, hi)
+	}
+	return 1.0 / 3.0
+}
+
+// Cardinality converts a selectivity into an estimated row count.
+func (s *TableStats) Cardinality(sel float64) float64 {
+	return sel * float64(s.RowCount)
+}

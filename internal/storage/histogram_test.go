@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func histTable(t *testing.T, keys []int64) *Table {
+	t.Helper()
+	tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+	rows := make([]Row, len(keys))
+	for i, k := range keys {
+		rows[i] = Row{NewInt(k)}
+	}
+	if err := tb.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestHistogramUniformRange(t *testing.T) {
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	h := BuildHistogram(histTable(t, keys), "k", 32)
+	if h.Rows != 1000 || h.Distinct() != 1000 {
+		t.Fatalf("rows=%d distinct=%d", h.Rows, h.Distinct())
+	}
+	// [250, 500) covers ~25% of a uniform domain.
+	got := h.EstimateRange(NewInt(250), NewInt(500))
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("EstimateRange(250,500) = %.3f, want ≈0.25", got)
+	}
+	if full := h.EstimateRange(Null, Null); math.Abs(full-1) > 1e-9 {
+		t.Errorf("unbounded range = %.3f, want 1", full)
+	}
+	if zero := h.EstimateRange(NewInt(5000), NewInt(6000)); zero > 0.05 {
+		t.Errorf("out-of-domain range = %.3f, want ≈0", zero)
+	}
+	if inv := h.EstimateRange(NewInt(500), NewInt(250)); inv != 0 {
+		t.Errorf("inverted range = %.3f, want 0", inv)
+	}
+}
+
+func TestHistogramSkewedRange(t *testing.T) {
+	// 90% of values are 0; 10% spread over 1..100. Equi-depth buckets must
+	// capture the mass at 0.
+	var keys []int64
+	for i := 0; i < 900; i++ {
+		keys = append(keys, 0)
+	}
+	for i := 0; i < 100; i++ {
+		keys = append(keys, int64(1+i))
+	}
+	h := BuildHistogram(histTable(t, keys), "k", 16)
+	got := h.EstimateRange(NewInt(0), NewInt(0))
+	if got < 0.7 {
+		t.Errorf("mass at 0 estimated %.3f, want ≥0.7 under equi-depth", got)
+	}
+}
+
+func TestHistogramEq(t *testing.T) {
+	keys := []int64{1, 1, 2, 3}
+	h := BuildHistogram(histTable(t, keys), "k", 4)
+	if got := h.EstimateEq(NewInt(1)); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("EstimateEq = %.3f, want 1/3 (3 distinct)", got)
+	}
+	if h.EstimateEq(Null) != 0 {
+		t.Error("EstimateEq(NULL) must be 0")
+	}
+}
+
+func TestHistogramStringFallback(t *testing.T) {
+	tb := NewTable("t", MustSchema(Column{Name: "s", Type: KindString}))
+	for _, s := range []string{"a", "b", "b", "c"} {
+		if _, err := tb.Insert(Row{NewString(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := BuildHistogram(tb, "s", 8)
+	if got := h.EstimateEq(NewString("b")); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("string EstimateEq = %.3f, want 1/3", got)
+	}
+	if got := h.EstimateRange(NewString("a"), NewString("c")); got <= 0 || got > 1 {
+		t.Errorf("string EstimateRange = %.3f, want in (0,1]", got)
+	}
+}
+
+func TestHistogramEmptyAndMissingColumn(t *testing.T) {
+	tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+	h := BuildHistogram(tb, "k", 8)
+	if h.EstimateEq(NewInt(1)) != 0 || h.EstimateRange(NewInt(0), NewInt(5)) != 0 {
+		t.Error("empty histogram must estimate 0")
+	}
+	h2 := BuildHistogram(tb, "missing", 8)
+	if h2.Rows != 0 {
+		t.Error("missing column histogram must be empty")
+	}
+}
+
+func TestAnalyzeAndTableStats(t *testing.T) {
+	keys := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i % 10)
+	}
+	tb := histTable(t, keys)
+	s := Analyze(tb, []string{"k"}, 8)
+	if s.RowCount != 100 {
+		t.Fatalf("RowCount = %d", s.RowCount)
+	}
+	if got := s.SelectivityEq("k", NewInt(3)); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("SelectivityEq = %.3f, want 0.1", got)
+	}
+	if got := s.SelectivityEq("nohist", NewInt(1)); got != 0.1 {
+		t.Errorf("default eq selectivity = %.3f, want 0.1", got)
+	}
+	if got := s.SelectivityRange("nohist", Null, Null); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("default range selectivity = %.3f", got)
+	}
+	if got := s.Cardinality(0.25); got != 25 {
+		t.Errorf("Cardinality(0.25) = %.1f, want 25", got)
+	}
+}
+
+// Property: estimates are always within [0,1], and a wider range never has
+// a smaller estimate (monotonicity).
+func TestHistogramMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(500)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(r.Intn(100))
+		}
+		tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+		rows := make([]Row, n)
+		for i, k := range keys {
+			rows[i] = Row{NewInt(k)}
+		}
+		if err := tb.BulkInsert(rows); err != nil {
+			return false
+		}
+		h := BuildHistogram(tb, "k", 1+r.Intn(32))
+		lo := int64(r.Intn(100))
+		hi := lo + int64(r.Intn(50))
+		narrow := h.EstimateRange(NewInt(lo), NewInt(hi))
+		wide := h.EstimateRange(NewInt(lo-5), NewInt(hi+5))
+		if narrow < 0 || narrow > 1 || wide < 0 || wide > 1 {
+			return false
+		}
+		return wide >= narrow-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the histogram estimate of a range is close to the true fraction
+// for uniform data (within a few buckets of slack).
+func TestHistogramAccuracyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 500
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(r.Intn(1000))
+		}
+		tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+		rows := make([]Row, n)
+		for i, k := range keys {
+			rows[i] = Row{NewInt(k)}
+		}
+		if err := tb.BulkInsert(rows); err != nil {
+			return false
+		}
+		h := BuildHistogram(tb, "k", 32)
+		lo := int64(r.Intn(900))
+		hi := lo + int64(r.Intn(100))
+		est := h.EstimateRange(NewInt(lo), NewInt(hi))
+		truth := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				truth++
+			}
+		}
+		return math.Abs(est-float64(truth)/float64(n)) < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

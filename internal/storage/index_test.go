@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func loadedTable(t *testing.T, keys []int64) (*Table, *Index) {
+	t.Helper()
+	tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+	rows := make([]Row, len(keys))
+	for i, k := range keys {
+		rows[i] = Row{NewInt(k)}
+	}
+	if err := tb.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tb.CreateIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, idx
+}
+
+func TestIndexEq(t *testing.T) {
+	_, idx := loadedTable(t, []int64{5, 3, 5, 1, 5, 9})
+	if got := len(idx.Eq(nil, NewInt(5))); got != 3 {
+		t.Errorf("Eq(5) = %d rows, want 3", got)
+	}
+	if got := len(idx.Eq(nil, NewInt(7))); got != 0 {
+		t.Errorf("Eq(7) = %d rows, want 0", got)
+	}
+	if got := len(idx.Eq(nil, Null)); got != 0 {
+		t.Errorf("Eq(NULL) = %d rows, want 0", got)
+	}
+}
+
+func TestIndexRangeBounds(t *testing.T) {
+	_, idx := loadedTable(t, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	cases := []struct {
+		lo, hi             Value
+		loStrict, hiStrict bool
+		want               int
+	}{
+		{NewInt(3), NewInt(7), false, false, 5}, // 3..7 inclusive
+		{NewInt(3), NewInt(7), true, false, 4},  // (3,7]
+		{NewInt(3), NewInt(7), false, true, 4},  // [3,7)
+		{NewInt(3), NewInt(7), true, true, 3},   // (3,7)
+		{Null, NewInt(4), false, false, 4},      // unbounded below
+		{NewInt(8), Null, false, false, 3},      // unbounded above
+		{Null, Null, false, false, 10},          // full
+		{NewInt(20), NewInt(30), false, false, 0},
+		{NewInt(7), NewInt(3), false, false, 0}, // inverted
+	}
+	for _, c := range cases {
+		got := len(idx.Range(nil, c.lo, c.loStrict, c.hi, c.hiStrict))
+		if got != c.want {
+			t.Errorf("Range(%v,%v,%v,%v) = %d, want %d", c.lo, c.loStrict, c.hi, c.hiStrict, got, c.want)
+		}
+		if cnt := idx.CountRange(c.lo, c.loStrict, c.hi, c.hiStrict); cnt != c.want {
+			t.Errorf("CountRange(%v,%v,%v,%v) = %d, want %d", c.lo, c.loStrict, c.hi, c.hiStrict, cnt, c.want)
+		}
+	}
+}
+
+func TestIndexMinMax(t *testing.T) {
+	_, idx := loadedTable(t, []int64{4, 2, 9})
+	min, max, ok := idx.MinMax()
+	if !ok || min.I != 2 || max.I != 9 {
+		t.Errorf("MinMax = %v,%v,%v", min, max, ok)
+	}
+	_, empty := loadedTable(t, nil)
+	if _, _, ok := empty.MinMax(); ok {
+		t.Error("MinMax on empty index must report !ok")
+	}
+}
+
+func TestIndexSkipsNullKeys(t *testing.T) {
+	tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+	if _, err := tb.Insert(Row{Null}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(Row{NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tb.CreateIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1 {
+		t.Errorf("index Len = %d, want 1 (NULL keys excluded)", idx.Len())
+	}
+}
+
+func TestIndexIncrementalInsertKeepsOrder(t *testing.T) {
+	tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+	idx, err := tb.CreateIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{9, 1, 5, 5, 0, 7} {
+		if _, err := tb.Insert(Row{NewInt(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := int64(-1 << 62)
+	for _, e := range idx.entries {
+		if e.key.I < prev {
+			t.Fatalf("index out of order: %d after %d", e.key.I, prev)
+		}
+		prev = e.key.I
+	}
+	if got := len(idx.Range(nil, NewInt(1), false, NewInt(7), false)); got != 4 {
+		t.Errorf("Range(1..7) = %d, want 4", got)
+	}
+}
+
+// Property: Range(lo..hi) matches a brute-force filter over the heap for
+// random multisets and random bounds, all four strictness combinations.
+func TestIndexRangeMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(r.Intn(50))
+		}
+		tb := NewTable("t", MustSchema(Column{Name: "k", Type: KindInt}))
+		rows := make([]Row, n)
+		for i, k := range keys {
+			rows[i] = Row{NewInt(k)}
+		}
+		if err := tb.BulkInsert(rows); err != nil {
+			return false
+		}
+		idx, err := tb.CreateIndex("k")
+		if err != nil {
+			return false
+		}
+		lo, hi := int64(r.Intn(50)), int64(r.Intn(50))
+		for _, loS := range []bool{false, true} {
+			for _, hiS := range []bool{false, true} {
+				got := len(idx.Range(nil, NewInt(lo), loS, NewInt(hi), hiS))
+				want := 0
+				for _, k := range keys {
+					okLo := k > lo || (!loS && k == lo)
+					okHi := k < hi || (!hiS && k == hi)
+					if okLo && okHi {
+						want++
+					}
+				}
+				if got != want {
+					return false
+				}
+				if idx.CountRange(NewInt(lo), loS, NewInt(hi), hiS) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

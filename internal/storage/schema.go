@@ -1,0 +1,74 @@
+package storage
+
+import "fmt"
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Kind
+}
+
+// Schema is an ordered list of columns with O(1) name lookup.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique
+// (case-insensitively the engine treats names as given; generators use
+// lower_snake names throughout).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for fixed schemas in
+// generators and tests.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the schema contains the named column.
+func (s *Schema) HasColumn(name string) bool { return s.ColumnIndex(name) >= 0 }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Validate checks a row against the schema: arity and kind (NULL is allowed
+// in any column).
+func (s *Schema) Validate(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("storage: row has %d values, schema has %d columns", len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		if v.K == KindNull {
+			continue
+		}
+		if v.K != s.Columns[i].Type {
+			return fmt.Errorf("storage: column %q expects %s, got %s",
+				s.Columns[i].Name, s.Columns[i].Type, v.K)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RowID identifies a row within a table's heap. IDs are stable for the life
+// of the row; deleted rows leave tombstones until Compact.
+type RowID = int32
+
+// Table is a heap-organised relation with optional secondary indexes.
+// All methods are safe for concurrent readers with a single writer guarded
+// by the embedding DB; Table itself serialises writes with a mutex because
+// SIEVE's trigger path (policy insert → guard invalidation) may re-enter
+// from executor goroutines in benchmarks.
+type Table struct {
+	Name   string
+	Schema *Schema
+
+	mu      sync.RWMutex
+	rows    []Row
+	deleted []bool
+	live    int
+	indexes map[string]*Index // keyed by column name
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: make(map[string]*Index)}
+}
+
+// NumRows returns the number of live rows.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// heapSize returns the total heap slots including tombstones.
+func (t *Table) heapSize() int { return len(t.rows) }
+
+// Insert appends a row and maintains indexes. The row is cloned so callers
+// may reuse their buffer.
+func (t *Table) Insert(r Row) (RowID, error) {
+	if err := t.Schema.Validate(r); err != nil {
+		return -1, fmt.Errorf("table %s: %w", t.Name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, r.Clone())
+	t.deleted = append(t.deleted, false)
+	t.live++
+	for _, idx := range t.indexes {
+		idx.insert(r[idx.col], id)
+	}
+	return id, nil
+}
+
+// BulkInsert appends many rows without per-row index maintenance and then
+// rebuilds indexes once. It is the loading path for generated datasets.
+func (t *Table) BulkInsert(rows []Row) error {
+	for _, r := range rows {
+		if err := t.Schema.Validate(r); err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		t.rows = append(t.rows, r.Clone())
+		t.deleted = append(t.deleted, false)
+	}
+	t.live += len(rows)
+	for _, idx := range t.indexes {
+		idx.rebuild(t)
+	}
+	return nil
+}
+
+// Get returns the row for id. ok is false for tombstoned or out-of-range ids.
+func (t *Table) Get(id RowID) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.rows) || t.deleted[id] {
+		return nil, false
+	}
+	return t.rows[id], true
+}
+
+// Update replaces the row at id in place and fixes indexes.
+func (t *Table) Update(id RowID, r Row) error {
+	if err := t.Schema.Validate(r); err != nil {
+		return fmt.Errorf("table %s: %w", t.Name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.deleted[id] {
+		return fmt.Errorf("table %s: update of missing row %d", t.Name, id)
+	}
+	old := t.rows[id]
+	for _, idx := range t.indexes {
+		if !Equal(old[idx.col], r[idx.col]) {
+			idx.remove(old[idx.col], id)
+			idx.insert(r[idx.col], id)
+		}
+	}
+	t.rows[id] = r.Clone()
+	return nil
+}
+
+// Delete tombstones the row at id.
+func (t *Table) Delete(id RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.deleted[id] {
+		return fmt.Errorf("table %s: delete of missing row %d", t.Name, id)
+	}
+	for _, idx := range t.indexes {
+		idx.remove(t.rows[id][idx.col], id)
+	}
+	t.deleted[id] = true
+	t.live--
+	return nil
+}
+
+// Scan calls fn for every live row in heap order. Returning false stops the
+// scan. The callback must not mutate the row.
+func (t *Table) Scan(fn func(id RowID, r Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.rows {
+		if t.deleted[i] {
+			continue
+		}
+		if !fn(RowID(i), r) {
+			return
+		}
+	}
+}
+
+// CreateIndex builds an ordered secondary index over column col. Creating an
+// index that already exists is a no-op. SIEVE assumes r.owner is always
+// indexed (§3.1); the engine leaves that to the caller (engine.DB does it).
+func (t *Table) CreateIndex(col string) (*Index, error) {
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("table %s: no column %q to index", t.Name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.indexes[col]; ok {
+		return idx, nil
+	}
+	idx := newIndex(t.Name, col, ci)
+	idx.rebuild(t)
+	t.indexes[col] = idx
+	return idx, nil
+}
+
+// Index returns the index on col, if any.
+func (t *Table) Index(col string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	return idx, ok
+}
+
+// IndexedColumns lists columns that currently carry an index.
+func (t *Table) IndexedColumns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Compact rewrites the heap without tombstones. Row IDs change; indexes are
+// rebuilt. Only safe when no readers hold RowIDs (maintenance path).
+func (t *Table) Compact() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rows := make([]Row, 0, t.live)
+	for i, r := range t.rows {
+		if !t.deleted[i] {
+			rows = append(rows, r)
+		}
+	}
+	t.rows = rows
+	t.deleted = make([]bool, len(rows))
+	for _, idx := range t.indexes {
+		idx.rebuild(t)
+	}
+}

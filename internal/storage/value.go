@@ -1,0 +1,234 @@
+// Package storage implements the storage substrate of the embedded relational
+// engine used by SIEVE: typed values, heap tables, ordered secondary indexes,
+// and equi-depth histograms for cardinality estimation.
+//
+// The engine plays the role MySQL and PostgreSQL play in the paper. Only the
+// feature contracts SIEVE relies on are implemented (index range scans, bitmap
+// OR combination, statistics, triggers); see DESIGN.md for the substitution
+// rationale.
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+// Supported value kinds. Time is seconds since midnight; Date is days since
+// the epoch 2000-01-01. Both are stored as int64 so range predicates over
+// them behave exactly like integer ranges, which is what guard merging
+// (Theorem 1) operates on.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOL"
+	case KindTime:
+		return "TIME"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged scalar. Int, Bool, Time and Date live in I;
+// Float in F; String in S. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{K: KindNull}
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{K: KindInt, I: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{K: KindString, S: v} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// NewTime returns a TIME value from seconds since midnight.
+func NewTime(secs int64) Value { return Value{K: KindTime, I: secs} }
+
+// NewDate returns a DATE value from days since 2000-01-01.
+func NewDate(days int64) Value { return Value{K: KindDate, I: days} }
+
+// TimeOfDay parses "HH:MM" or "HH:MM:SS" into a TIME value.
+func TimeOfDay(s string) (Value, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return Null, fmt.Errorf("storage: invalid time %q", s)
+	}
+	var secs int64
+	mult := []int64{3600, 60, 1}
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || n < 0 {
+			return Null, fmt.Errorf("storage: invalid time %q", s)
+		}
+		secs += n * mult[i]
+	}
+	if secs >= 24*3600 {
+		return Null, fmt.Errorf("storage: time %q out of range", s)
+	}
+	return NewTime(secs), nil
+}
+
+// MustTime is TimeOfDay that panics on malformed input; for literals in
+// tests and generators.
+func MustTime(s string) Value {
+	v, err := TimeOfDay(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool reports the truth value of a BOOL; NULL and non-bools are false.
+func (v Value) Bool() bool { return v.K == KindBool && v.I != 0 }
+
+// Int returns the integer payload for INT/TIME/DATE/BOOL values.
+func (v Value) Int() int64 { return v.I }
+
+// Float returns the value as float64, coercing integers.
+func (v Value) Float() float64 {
+	if v.K == KindFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// numericKind reports whether a kind is ordered on the I/F payload.
+func numericKind(k Kind) bool {
+	switch k {
+	case KindInt, KindFloat, KindBool, KindTime, KindDate:
+		return true
+	}
+	return false
+}
+
+// Comparable reports whether two kinds may be compared with <,=,>.
+// Numeric kinds are mutually comparable (INT vs FLOAT coerces); strings
+// compare only with strings.
+func Comparable(a, b Kind) bool {
+	if a == KindNull || b == KindNull {
+		return false
+	}
+	if a == KindString || b == KindString {
+		return a == b
+	}
+	return numericKind(a) && numericKind(b)
+}
+
+// Compare orders a relative to b: -1, 0, or +1. Comparing a NULL or
+// incomparable kinds returns 0 and ok=false, mirroring SQL's UNKNOWN.
+func Compare(a, b Value) (int, bool) {
+	if !Comparable(a.K, b.K) {
+		return 0, false
+	}
+	if a.K == KindString {
+		return strings.Compare(a.S, b.S), true
+	}
+	if a.K == KindFloat || b.K == KindFloat {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	switch {
+	case a.I < b.I:
+		return -1, true
+	case a.I > b.I:
+		return 1, true
+	}
+	return 0, true
+}
+
+// Equal reports a == b under Compare semantics (NULL equals nothing).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Less reports a < b under Compare semantics.
+func Less(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c < 0
+}
+
+// String renders the value as a SQL literal.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindTime:
+		return fmt.Sprintf("TIME '%02d:%02d:%02d'", v.I/3600, (v.I/60)%60, v.I%60)
+	case KindDate:
+		return fmt.Sprintf("DATE %d", v.I)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.K)
+	}
+}
+
+// Row is a tuple: one Value per schema column.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{NewInt(42), KindInt},
+		{NewFloat(3.5), KindFloat},
+		{NewString("x"), KindString},
+		{NewBool(true), KindBool},
+		{NewTime(3600), KindTime},
+		{NewDate(100), KindDate},
+		{Null, KindNull},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("value %v: kind = %v, want %v", c.v, c.v.K, c.kind)
+		}
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool() mismatch")
+	}
+	if Null.Bool() {
+		t.Error("NULL must not be truthy")
+	}
+	if NewInt(7).Int() != 7 {
+		t.Error("Int() mismatch")
+	}
+	if NewInt(7).Float() != 7.0 || NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float() coercion mismatch")
+	}
+}
+
+func TestTimeOfDay(t *testing.T) {
+	cases := []struct {
+		in   string
+		secs int64
+		ok   bool
+	}{
+		{"09:00", 9 * 3600, true},
+		{"09:30:15", 9*3600 + 30*60 + 15, true},
+		{"00:00", 0, true},
+		{"23:59:59", 24*3600 - 1, true},
+		{"24:00", 0, false},
+		{"9am", 0, false},
+		{"", 0, false},
+		{"-1:00", 0, false},
+	}
+	for _, c := range cases {
+		v, err := TimeOfDay(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("TimeOfDay(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && v.I != c.secs {
+			t.Errorf("TimeOfDay(%q) = %d secs, want %d", c.in, v.I, c.secs)
+		}
+	}
+}
+
+func TestMustTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTime on bad input must panic")
+		}
+	}()
+	MustTime("bogus")
+}
+
+func TestCompareSemantics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(1), NewFloat(1.5), -1, true},
+		{NewFloat(2.5), NewInt(2), 1, true},
+		{NewString("a"), NewString("b"), -1, true},
+		{NewString("b"), NewString("b"), 0, true},
+		{NewTime(100), NewTime(200), -1, true},
+		{NewDate(5), NewDate(5), 0, true},
+		{NewTime(100), NewInt(100), 0, true}, // numeric kinds mutually comparable
+		{NewString("1"), NewInt(1), 0, false},
+		{Null, NewInt(1), 0, false},
+		{NewInt(1), Null, 0, false},
+		{Null, Null, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && got != c.cmp) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, got, ok, c.cmp, c.ok)
+		}
+	}
+	if Equal(Null, Null) {
+		t.Error("NULL must not equal NULL")
+	}
+	if !Less(NewInt(1), NewInt(2)) || Less(NewInt(2), NewInt(1)) {
+		t.Error("Less mismatch")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(-3), "-3"},
+		{NewString("o'hare"), "'o''hare'"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+		{Null, "NULL"},
+		{NewTime(9*3600 + 5*60), "TIME '09:05:00'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].I != 1 {
+		t.Error("Clone must not alias the original")
+	}
+	if !reflect.DeepEqual(r[1], c[1]) {
+		t.Error("Clone must copy values")
+	}
+}
+
+// randomComparable produces a random value of a random numeric kind so
+// Compare is always defined.
+func randomNumeric(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return NewInt(int64(r.Intn(100) - 50))
+	case 1:
+		return NewFloat(float64(r.Intn(100)) / 4)
+	case 2:
+		return NewTime(int64(r.Intn(86400)))
+	default:
+		return NewDate(int64(r.Intn(1000)))
+	}
+}
+
+// Property: Compare is antisymmetric and transitive-enough for sorting
+// (total order on comparable pairs).
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomNumeric(r), randomNumeric(r)
+		ab, ok1 := Compare(a, b)
+		ba, ok2 := Compare(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		return !ok1 || ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is consistent with Compare == 0.
+func TestEqualConsistentWithCompareProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomNumeric(r), randomNumeric(r)
+		c, ok := Compare(a, b)
+		return Equal(a, b) == (ok && c == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// MallConfig scales the Mall dataset (§7.1, Table 3): the paper generates
+// 1.7M events for 2,651 customers over 35 shops of six types, with 19,364
+// policies (551 per shop querier on average).
+type MallConfig struct {
+	Seed      int64
+	Customers int // paper: 2,651
+	Shops     int // paper: 35
+	Days      int
+	// VisitsPerCustomerDay is the mean connectivity events per active
+	// customer day.
+	VisitsPerCustomerDay int
+}
+
+// TestMallConfig is sized for unit tests.
+func TestMallConfig() MallConfig {
+	return MallConfig{Seed: 3, Customers: 300, Shops: 12, Days: 14, VisitsPerCustomerDay: 3}
+}
+
+// BenchMallConfig approximates the paper's corpus at reduced scale.
+func BenchMallConfig() MallConfig {
+	return MallConfig{Seed: 3, Customers: 2651, Shops: 35, Days: 60, VisitsPerCustomerDay: 5}
+}
+
+// ShopTypes are the six §7.1 categories.
+var ShopTypes = []string{"arcade", "movies", "food", "clothing", "electronics", "grocery"}
+
+// Mall relation names (Table 3).
+const (
+	TableMallUsers = "Mall_Users"
+	TableShop      = "Shop"
+	TableMallWiFi  = "WiFi_Connectivity"
+)
+
+// Customer is one mall visitor.
+type Customer struct {
+	ID       int64
+	Regular  bool
+	TopShop  int64  // most-visited shop
+	Interest string // preferred shop type
+}
+
+// Mall is the generated mall database.
+type Mall struct {
+	Cfg       MallConfig
+	DB        *engine.DB
+	Customers []Customer
+	NumEvents int
+}
+
+// ShopQuerier is the querier identity of a shop.
+func ShopQuerier(shop int64) string { return fmt.Sprintf("shop:%d", shop) }
+
+// BuildMall generates the dataset into a fresh database.
+func BuildMall(cfg MallConfig, dialect engine.Dialect) (*Mall, error) {
+	db := engine.New(dialect)
+	m := &Mall{Cfg: cfg, DB: db}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	users := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "device", Type: storage.KindString},
+		storage.Column{Name: "interest", Type: storage.KindString},
+	)
+	shops := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "name", Type: storage.KindString},
+		storage.Column{Name: "type", Type: storage.KindString},
+	)
+	wifi := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "shop_id", Type: storage.KindInt},
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "obs_time", Type: storage.KindTime},
+		storage.Column{Name: "obs_date", Type: storage.KindDate},
+	)
+	for _, t := range []struct {
+		name   string
+		schema *storage.Schema
+	}{{TableMallUsers, users}, {TableShop, shops}, {TableMallWiFi, wifi}} {
+		if _, err := db.CreateTable(t.name, t.schema); err != nil {
+			return nil, err
+		}
+	}
+
+	var srows []storage.Row
+	for s := 0; s < cfg.Shops; s++ {
+		srows = append(srows, storage.Row{
+			storage.NewInt(int64(s)),
+			storage.NewString(fmt.Sprintf("shop-%02d", s)),
+			storage.NewString(ShopTypes[s%len(ShopTypes)]),
+		})
+	}
+	if err := db.BulkInsert(TableShop, srows); err != nil {
+		return nil, err
+	}
+
+	m.Customers = make([]Customer, cfg.Customers)
+	var urows []storage.Row
+	for i := range m.Customers {
+		cust := Customer{
+			ID:       int64(i),
+			Regular:  r.Float64() < 0.4,
+			TopShop:  int64(r.Intn(cfg.Shops)),
+			Interest: ShopTypes[r.Intn(len(ShopTypes))],
+		}
+		m.Customers[i] = cust
+		urows = append(urows, storage.Row{
+			storage.NewInt(cust.ID),
+			storage.NewString(fmt.Sprintf("cust-%05d", cust.ID)),
+			storage.NewString(cust.Interest),
+		})
+	}
+	if err := db.BulkInsert(TableMallUsers, urows); err != nil {
+		return nil, err
+	}
+
+	var rows []storage.Row
+	id := int64(0)
+	for _, cust := range m.Customers {
+		activeProb := 0.6
+		if !cust.Regular {
+			activeProb = 0.15
+		}
+		for d := 0; d < cfg.Days; d++ {
+			if r.Float64() > activeProb {
+				continue
+			}
+			n := 1 + r.Intn(cfg.VisitsPerCustomerDay)
+			for v := 0; v < n; v++ {
+				shop := cust.TopShop
+				if !cust.Regular || r.Float64() < 0.5 {
+					shop = int64(r.Intn(cfg.Shops))
+				}
+				h := 10 + (r.Intn(12)+r.Intn(12))/2 // 10:00–21:59
+				secs := int64(h)*3600 + int64(r.Intn(3600))
+				if secs >= 24*3600 {
+					secs = 24*3600 - 1
+				}
+				rows = append(rows, storage.Row{
+					storage.NewInt(id), storage.NewInt(shop), storage.NewInt(cust.ID),
+					storage.NewTime(secs), storage.NewDate(int64(d)),
+				})
+				id++
+			}
+		}
+	}
+	m.NumEvents = len(rows)
+	if err := db.BulkInsert(TableMallWiFi, rows); err != nil {
+		return nil, err
+	}
+	for _, col := range []string{"owner", "shop_id", "obs_time", "obs_date"} {
+		if err := db.CreateIndex(TableMallWiFi, col); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Analyze(TableMallWiFi); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GeneratePolicies builds the mall corpus (§7.1): regular customers allow
+// their top shop during open hours; irregular customers allow shop types
+// during sale windows; interested customers allow shops of their category
+// for short periods (lightning sales). Queriers are shops.
+func (m *Mall) GeneratePolicies(seed int64, perCustomer int) []*policy.Policy {
+	r := rand.New(rand.NewSource(seed))
+	openHours := policy.RangeClosed("obs_time", storage.MustTime("10:00"), storage.MustTime("22:00"))
+	shopsOfType := make(map[string][]int64)
+	for s := 0; s < m.Cfg.Shops; s++ {
+		ty := ShopTypes[s%len(ShopTypes)]
+		shopsOfType[ty] = append(shopsOfType[ty], int64(s))
+	}
+	var out []*policy.Policy
+	for _, cust := range m.Customers {
+		n := 1 + r.Intn(perCustomer)
+		for i := 0; i < n; i++ {
+			p := &policy.Policy{
+				Owner: cust.ID, Purpose: "marketing", Relation: TableMallWiFi, Action: policy.Allow,
+			}
+			switch {
+			case cust.Regular && i == 0:
+				p.Querier = ShopQuerier(cust.TopShop)
+				p.Conditions = []policy.ObjectCondition{openHours}
+			case !cust.Regular:
+				// Sale-window grant to a shop of some type.
+				shops := shopsOfType[ShopTypes[r.Intn(len(ShopTypes))]]
+				p.Querier = ShopQuerier(shops[r.Intn(len(shops))])
+				start := r.Intn(m.Cfg.Days)
+				p.Conditions = []policy.ObjectCondition{
+					policy.RangeClosed("obs_date",
+						storage.NewDate(int64(start)),
+						storage.NewDate(int64(start+1+r.Intn(5)))),
+				}
+			default:
+				// Lightning sale: interest-category shop, short time window.
+				shops := shopsOfType[cust.Interest]
+				p.Querier = ShopQuerier(shops[r.Intn(len(shops))])
+				h := 10 + r.Intn(10)
+				p.Conditions = []policy.ObjectCondition{
+					policy.RangeClosed("obs_time",
+						storage.NewTime(int64(h)*3600),
+						storage.NewTime(int64(h+1)*3600)),
+					policy.Compare("shop_id", sqlparser.CmpEq, storage.NewInt(cust.TopShop)),
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SelectAllQuery is the Experiment 4/5 SELECT-ALL workload over the mall
+// connectivity relation.
+func (m *Mall) SelectAllQuery() string {
+	return "SELECT * FROM " + TableMallWiFi
+}

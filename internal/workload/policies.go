@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// PolicyConfig scales the synthetic campus policy corpus (§7.1): the paper
+// generates 869,470 policies, 472 per owner on average, 188 per querier on
+// average, from a profile-based recipe.
+type PolicyConfig struct {
+	Seed int64
+	// AdvancedPolicies is the mean number of policies an advanced user
+	// defines (paper: ~40).
+	AdvancedPolicies int
+	// PopularQueriers is the size of the heavily-targeted querier pool
+	// (lecturers in the §2.1 classroom scenario); policies pick their
+	// querier from this pool with PopularBias probability, giving the
+	// querier-side counts Experiments 1 and 4 sweep over.
+	PopularQueriers int
+	PopularBias     float64
+}
+
+// TestPolicyConfig is sized for unit tests.
+func TestPolicyConfig() PolicyConfig {
+	return PolicyConfig{Seed: 2, AdvancedPolicies: 8, PopularQueriers: 6, PopularBias: 0.5}
+}
+
+// BenchPolicyConfig approximates the paper's per-querier load: a small pool
+// of heavily-targeted queriers (the §2.1 lecturers) accumulates policy
+// counts in the high hundreds, the scale-adjusted analogue of the paper's
+// 3.3K–7.2K policies per analytical query.
+func BenchPolicyConfig() PolicyConfig {
+	return PolicyConfig{Seed: 2, AdvancedPolicies: 40, PopularQueriers: 10, PopularBias: 0.5}
+}
+
+// GeneratePolicies builds the campus policy corpus: two default policies
+// per unconcerned resident (group-scoped, working hours; group∩profile,
+// any time) and ~AdvancedPolicies fine-grained policies per advanced
+// resident with time/AP/date conditions.
+func (c *Campus) GeneratePolicies(cfg PolicyConfig) []*policy.Policy {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	residents := c.ResidentUsers()
+
+	// Popular queriers are sampled among faculty and staff first.
+	var popular []string
+	for _, u := range residents {
+		if (u.Profile == Faculty || u.Profile == Staff) && len(popular) < cfg.PopularQueriers {
+			popular = append(popular, u.Name())
+		}
+	}
+	for len(popular) < cfg.PopularQueriers && len(residents) > 0 {
+		popular = append(popular, residents[r.Intn(len(residents))].Name())
+	}
+
+	// Each popular querier teaches in a fixed classroom at a fixed hour —
+	// the §2.1 scenario where a whole class shares "my data at AP X during
+	// class time" conditions, which is exactly what guard grouping exploits.
+	type classroom struct {
+		ap    int64
+		start int64 // class start hour
+	}
+	classes := make(map[string]classroom, len(popular))
+	for i, q := range popular {
+		classes[q] = classroom{ap: int64(i % c.Cfg.APs), start: int64(9 + i%6)}
+	}
+
+	pickQuerier := func(owner User) string {
+		if len(popular) > 0 && r.Float64() < cfg.PopularBias {
+			return popular[r.Intn(len(popular))]
+		}
+		switch r.Intn(3) {
+		case 0:
+			return GroupName(r.Intn(c.Cfg.GroupCount))
+		case 1:
+			return ProfileName(profileShares[1+r.Intn(len(profileShares)-1)].p)
+		default:
+			return residents[r.Intn(len(residents))].Name()
+		}
+	}
+
+	var out []*policy.Policy
+	workingHours := policy.RangeClosed("ts_time", storage.MustTime("08:00"), storage.MustTime("18:00"))
+	for _, u := range residents {
+		if !u.Advanced {
+			// Default policy 1: group members during working hours.
+			out = append(out, &policy.Policy{
+				Owner: u.ID, Querier: GroupName(u.Group), Purpose: policy.AnyPurpose,
+				Relation: TableWiFi, Action: policy.Allow,
+				Conditions: []policy.ObjectCondition{workingHours},
+			})
+			// Default policy 2: profile peers at any time.
+			out = append(out, &policy.Policy{
+				Owner: u.ID, Querier: ProfileName(u.Profile), Purpose: policy.AnyPurpose,
+				Relation: TableWiFi, Action: policy.Allow,
+			})
+			continue
+		}
+		n := cfg.AdvancedPolicies/2 + r.Intn(cfg.AdvancedPolicies+1)
+		for i := 0; i < n; i++ {
+			p := &policy.Policy{
+				Owner: u.ID, Querier: pickQuerier(u),
+				Purpose:  Purposes[r.Intn(len(Purposes))],
+				Relation: TableWiFi, Action: policy.Allow,
+			}
+			// Conditions mirror the §2.1 control dimensions: location (AP),
+			// time window, date window. Grants to a lecturer cluster around
+			// that lecturer's classroom and class hour.
+			cls, isClass := classes[p.Querier]
+			if isClass && r.Float64() < 0.6 {
+				p.Purpose = Purposes[0] // attendance
+				p.Conditions = append(p.Conditions,
+					policy.Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(cls.ap)))
+				if r.Float64() < 0.7 {
+					jitter := int64(r.Intn(2)) // overlapping, not identical (Theorem 1)
+					p.Conditions = append(p.Conditions, policy.RangeClosed("ts_time",
+						storage.NewTime(cls.start*3600-jitter*600),
+						storage.NewTime((cls.start+1)*3600+jitter*600)))
+				}
+				out = append(out, p)
+				continue
+			}
+			if r.Float64() < 0.65 {
+				ap := u.HomeAP
+				if r.Float64() < 0.4 {
+					ap = int64(r.Intn(c.Cfg.APs))
+				}
+				p.Conditions = append(p.Conditions,
+					policy.Compare("wifiAP", sqlparser.CmpEq, storage.NewInt(ap)))
+			}
+			if r.Float64() < 0.7 {
+				startHour := 8 + r.Intn(9)
+				dur := 1 + r.Intn(4)
+				p.Conditions = append(p.Conditions, policy.RangeClosed("ts_time",
+					storage.NewTime(int64(startHour)*3600),
+					storage.NewTime(int64(startHour+dur)*3600)))
+			}
+			if r.Float64() < 0.3 {
+				start := r.Intn(c.Cfg.Days)
+				end := start + 1 + r.Intn(c.Cfg.Days/2+1)
+				p.Conditions = append(p.Conditions, policy.RangeClosed("ts_date",
+					storage.NewDate(int64(start)), storage.NewDate(int64(end))))
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// QuerierCounts tallies policies per querier identity.
+func QuerierCounts(ps []*policy.Policy) map[string]int {
+	out := make(map[string]int)
+	for _, p := range ps {
+		out[p.Querier]++
+	}
+	return out
+}
+
+// TopQueriers returns up to n queriers with at least minPolicies policies,
+// by descending policy count (used to pick Experiment 4/5 queriers).
+func TopQueriers(ps []*policy.Policy, n, minPolicies int) []string {
+	counts := QuerierCounts(ps)
+	type qc struct {
+		q string
+		n int
+	}
+	var all []qc
+	for q, cnt := range counts {
+		if cnt >= minPolicies {
+			all = append(all, qc{q, cnt})
+		}
+	}
+	// Insertion sort by count descending, name ascending for determinism.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].n > all[j-1].n || (all[j].n == all[j-1].n && all[j].q < all[j-1].q)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	var out []string
+	for i := 0; i < len(all) && i < n; i++ {
+		out = append(out, all[i].q)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// SelectivityClass is the query cardinality class of §7.2 Experiment 3.
+type SelectivityClass string
+
+// The three classes.
+const (
+	Low  SelectivityClass = "low"
+	Mid  SelectivityClass = "mid"
+	High SelectivityClass = "high"
+)
+
+// SelectivityClasses in presentation order.
+var SelectivityClasses = []SelectivityClass{Low, Mid, High}
+
+// QueryTemplate identifies one of the §7.1 SmartBench-derived templates.
+type QueryTemplate string
+
+// The three templates: Q1 location sweep, Q2 device sweep, Q3 group join.
+const (
+	Q1 QueryTemplate = "Q1"
+	Q2 QueryTemplate = "Q2"
+	Q3 QueryTemplate = "Q3"
+)
+
+// QueryTemplates in presentation order.
+var QueryTemplates = []QueryTemplate{Q1, Q2, Q3}
+
+// classParams maps a selectivity class to the fraction of the domain each
+// dimension spans.
+type classParams struct {
+	aps     int     // Q1: locations listed
+	devices int     // Q2: devices listed
+	hours   int     // time window length
+	dayFrac float64 // fraction of the date range
+}
+
+func paramsFor(class SelectivityClass, cfg CampusConfig) classParams {
+	switch class {
+	case Low:
+		return classParams{aps: 1, devices: 2, hours: 1, dayFrac: 0.1}
+	case Mid:
+		return classParams{aps: maxi(1, cfg.APs/8), devices: 8, hours: 4, dayFrac: 0.4}
+	default: // High
+		return classParams{aps: maxi(1, cfg.APs/2), devices: 32, hours: 10, dayFrac: 1.0}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Query generates one SQL query of the given template and class.
+func (c *Campus) Query(tmpl QueryTemplate, class SelectivityClass, r *rand.Rand) string {
+	p := paramsFor(class, c.Cfg)
+	startHour := 8 + r.Intn(maxi(1, 12-p.hours))
+	t1 := fmt.Sprintf("TIME '%02d:00'", startHour)
+	t2 := fmt.Sprintf("TIME '%02d:00'", startHour+p.hours)
+	days := int(float64(c.Cfg.Days) * p.dayFrac)
+	if days < 1 {
+		days = 1
+	}
+	d1 := r.Intn(maxi(1, c.Cfg.Days-days))
+	dateLo := storage.FormatDate(storage.NewDate(int64(d1)))
+	dateHi := storage.FormatDate(storage.NewDate(int64(d1 + days)))
+
+	switch tmpl {
+	case Q1:
+		aps := make([]string, p.aps)
+		base := r.Intn(maxi(1, c.Cfg.APs-p.aps))
+		for i := range aps {
+			aps[i] = fmt.Sprintf("%d", base+i)
+		}
+		return fmt.Sprintf(
+			"SELECT * FROM %s AS W WHERE W.wifiAP IN (%s) AND W.ts_time BETWEEN %s AND %s AND W.ts_date BETWEEN DATE '%s' AND DATE '%s'",
+			TableWiFi, strings.Join(aps, ", "), t1, t2, dateLo, dateHi)
+	case Q2:
+		devs := make([]string, p.devices)
+		for i := range devs {
+			devs[i] = fmt.Sprintf("%d", r.Intn(c.Cfg.Devices))
+		}
+		return fmt.Sprintf(
+			"SELECT * FROM %s AS W WHERE W.owner IN (%s) AND W.ts_time BETWEEN %s AND %s AND W.ts_date BETWEEN DATE '%s' AND DATE '%s'",
+			TableWiFi, strings.Join(devs, ", "), t1, t2, dateLo, dateHi)
+	default: // Q3
+		gid := r.Intn(c.Cfg.GroupCount)
+		return fmt.Sprintf(
+			"SELECT W.id, W.owner FROM %s AS W, %s AS UG WHERE UG.user_group_id = %d AND UG.user_id = W.owner AND W.ts_time BETWEEN %s AND %s AND W.ts_date BETWEEN DATE '%s' AND DATE '%s'",
+			TableWiFi, TableMembership, gid, t1, t2, dateLo, dateHi)
+	}
+}
+
+// Queries generates n deterministic queries for a template and class.
+func (c *Campus) Queries(tmpl QueryTemplate, class SelectivityClass, n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = c.Query(tmpl, class, r)
+	}
+	return out
+}
+
+// StudentPerfQuery is the §2.1 motivating analytical query: attendance of
+// the members of one group at one AP during class hours, joined back per
+// student — adapted to the generated schema.
+func (c *Campus) StudentPerfQuery(gid int, ap int64) string {
+	return fmt.Sprintf(`SELECT T.student, count(*) AS sessions FROM (
+SELECT W.owner AS student, W.ts_date AS day FROM %s AS W, %s AS E
+WHERE E.user_group_id = %d AND E.user_id = W.owner
+  AND W.ts_time BETWEEN TIME '09:00' AND TIME '10:00' AND W.wifiAP = %d
+GROUP BY W.owner, W.ts_date) AS T GROUP BY T.student ORDER BY T.student`,
+		TableWiFi, TableMembership, gid, ap)
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+)
+
+func testCampus(t *testing.T) *Campus {
+	t.Helper()
+	c, err := BuildCampus(TestCampusConfig(), engine.MySQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildCampusDeterministic(t *testing.T) {
+	a := testCampus(t)
+	b := testCampus(t)
+	if a.NumEvents != b.NumEvents {
+		t.Fatalf("non-deterministic events: %d vs %d", a.NumEvents, b.NumEvents)
+	}
+	if a.NumEvents == 0 {
+		t.Fatal("no events generated")
+	}
+	if len(a.Users) != a.Cfg.Devices {
+		t.Fatalf("users = %d", len(a.Users))
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatalf("user %d differs across builds", i)
+		}
+	}
+}
+
+func TestCampusPopulationShape(t *testing.T) {
+	c := testCampus(t)
+	counts := map[Profile]int{}
+	for _, u := range c.Users {
+		counts[u.Profile]++
+	}
+	// Visitors dominate (~87% in the paper).
+	if frac := float64(counts[Visitor]) / float64(len(c.Users)); frac < 0.75 || frac > 0.95 {
+		t.Errorf("visitor fraction = %.2f, want ≈0.87", frac)
+	}
+	for _, p := range []Profile{Staff, Faculty, Undergrad, Grad} {
+		if counts[p] == 0 {
+			t.Errorf("no %s users generated", p)
+		}
+	}
+	// Events are owned by known users and times are within the day.
+	res, err := c.DB.Query("SELECT count(*), min(ts_time), max(ts_time) FROM " + TableWiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != int64(c.NumEvents) {
+		t.Errorf("loaded events = %v, want %d", res.Rows[0][0], c.NumEvents)
+	}
+	if res.Rows[0][2].I >= 24*3600 {
+		t.Errorf("event time out of range: %v", res.Rows[0][2])
+	}
+}
+
+func TestCampusTablesQueryable(t *testing.T) {
+	c := testCampus(t)
+	res, err := c.DB.Query(
+		"SELECT count(*) FROM " + TableMembership + " AS M, " + TableUsers + " AS U WHERE M.user_id = U.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != int64(c.Cfg.Devices) {
+		t.Fatalf("membership join = %v, want %d", res.Rows[0][0], c.Cfg.Devices)
+	}
+	loc, err := c.DB.Query("SELECT count(*) FROM " + TableLocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Rows[0][0].I != int64(c.Cfg.APs) {
+		t.Fatalf("locations = %v", loc.Rows[0][0])
+	}
+}
+
+func TestGeneratePoliciesShape(t *testing.T) {
+	c := testCampus(t)
+	ps := c.GeneratePolicies(TestPolicyConfig())
+	if len(ps) == 0 {
+		t.Fatal("no policies")
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid generated policy: %v (%s)", err, p)
+		}
+		if p.Relation != TableWiFi {
+			t.Fatalf("policy on %q", p.Relation)
+		}
+	}
+	counts := QuerierCounts(ps)
+	if len(counts) < 5 {
+		t.Fatalf("only %d distinct queriers", len(counts))
+	}
+	top := TopQueriers(ps, 3, 1)
+	if len(top) != 3 || counts[top[0]] < counts[top[1]] || counts[top[1]] < counts[top[2]] {
+		t.Fatalf("TopQueriers not descending: %v", top)
+	}
+	// Determinism.
+	ps2 := testCampusPolicies(t)
+	if len(ps) != len(ps2) {
+		t.Fatalf("non-deterministic policy count: %d vs %d", len(ps), len(ps2))
+	}
+	// Unconcerned users contribute the two default policies.
+	defaults := 0
+	for _, p := range ps {
+		if p.Purpose == policy.AnyPurpose {
+			defaults++
+		}
+	}
+	if defaults == 0 {
+		t.Error("no default policies generated")
+	}
+}
+
+func testCampusPolicies(t *testing.T) []*policy.Policy {
+	t.Helper()
+	return testCampus(t).GeneratePolicies(TestPolicyConfig())
+}
+
+func TestGroupsResolver(t *testing.T) {
+	c := testCampus(t)
+	u := c.Users[0]
+	gs := c.Groups().GroupsOf(u.Name())
+	if len(gs) != 2 {
+		t.Fatalf("groups = %v", gs)
+	}
+	wantGroup, wantProfile := GroupName(u.Group), ProfileName(u.Profile)
+	if gs[0] != wantGroup || gs[1] != wantProfile {
+		t.Fatalf("groups = %v, want [%s %s]", gs, wantGroup, wantProfile)
+	}
+}
+
+func TestQueryTemplatesParseAndRun(t *testing.T) {
+	c := testCampus(t)
+	r := rand.New(rand.NewSource(9))
+	for _, tmpl := range QueryTemplates {
+		for _, class := range SelectivityClasses {
+			q := c.Query(tmpl, class, r)
+			res, err := c.DB.Query(q)
+			if err != nil {
+				t.Fatalf("%s/%s: %v\n%s", tmpl, class, err, q)
+			}
+			_ = res
+		}
+	}
+	// Selectivity ordering: high-class Q1 should match at least as many
+	// rows as low-class Q1 on average.
+	lowN, highN := 0, 0
+	for i := 0; i < 10; i++ {
+		lq := c.Queries(Q1, Low, 1, int64(i))[0]
+		hq := c.Queries(Q1, High, 1, int64(i))[0]
+		lr, err := c.DB.Query(lq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := c.DB.Query(hq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowN += len(lr.Rows)
+		highN += len(hr.Rows)
+	}
+	if highN <= lowN {
+		t.Errorf("selectivity classes inverted: low=%d high=%d", lowN, highN)
+	}
+}
+
+func TestStudentPerfQueryRuns(t *testing.T) {
+	c := testCampus(t)
+	res, err := c.DB.Query(c.StudentPerfQuery(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // row counts depend on the seed; parsing/execution is the point
+}
+
+func TestBuildMallShape(t *testing.T) {
+	m, err := BuildMall(TestMallConfig(), engine.Postgres())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEvents == 0 {
+		t.Fatal("no mall events")
+	}
+	res, err := m.DB.Query("SELECT count(*) FROM " + TableShop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != int64(m.Cfg.Shops) {
+		t.Fatalf("shops = %v", res.Rows[0][0])
+	}
+	ps := m.GeneratePolicies(5, 6)
+	if len(ps) == 0 {
+		t.Fatal("no mall policies")
+	}
+	shopQueriers := 0
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid mall policy: %v", err)
+		}
+		if strings.HasPrefix(p.Querier, "shop:") {
+			shopQueriers++
+		}
+	}
+	if shopQueriers != len(ps) {
+		t.Errorf("non-shop queriers: %d of %d", len(ps)-shopQueriers, len(ps))
+	}
+	if _, err := m.DB.Query(m.SelectAllQuery()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMallTopQueriersHaveManyPolicies(t *testing.T) {
+	m, err := BuildMall(TestMallConfig(), engine.MySQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.GeneratePolicies(5, 8)
+	top := TopQueriers(ps, 5, 10)
+	if len(top) < 3 {
+		t.Fatalf("too few heavy shop queriers: %v", top)
+	}
+}

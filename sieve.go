@@ -1,0 +1,248 @@
+// Package sieve is a middleware for scalable fine-grained access control
+// over relational data, implementing the system of Pappachan, Yus,
+// Mehrotra and Freytag, "SIEVE: A Middleware Approach to Scalable Access
+// Control for Database Management Systems" (VLDB 2020, arXiv:2004.07498).
+//
+// SIEVE enforces large corpora of tuple-level allow policies at query time.
+// Instead of appending thousands of policy predicates to the WHERE clause,
+// it (1) filters the corpus by query metadata — who is asking, for what
+// purpose —, (2) factors the surviving policies into guarded expressions
+// whose guards are cheap index-backed predicates, and (3) evaluates large
+// policy partitions through a Δ operator UDF that prunes policies by tuple
+// context. A calibrated cost model picks, per query and per table, among a
+// linear scan, an index scan on the query's own predicate, or index scans
+// on the guards.
+//
+// The package embeds its own relational engine (see internal/engine) with
+// two dialects reproducing the DBMS features SIEVE exploits: "mysql"
+// honours FORCE INDEX/USE INDEX hints; "postgres" ignores hints but
+// OR-combines index scans through bitmaps.
+//
+// A minimal session:
+//
+//	db := sieve.NewDB(sieve.MySQL())
+//	// ... create tables, load data, create indexes ...
+//	store, _ := sieve.NewStore(db)
+//	m, _ := sieve.New(store)
+//	m.Protect("WiFi_Dataset")
+//	store.Insert(&sieve.Policy{
+//		Owner: 120, Querier: "Prof. Smith", Purpose: "Attendance",
+//		Relation: "WiFi_Dataset", Action: sieve.Allow,
+//		Conditions: []sieve.ObjectCondition{
+//			sieve.RangeClosed("ts_time", sieve.Time("09:00"), sieve.Time("10:00")),
+//			sieve.Compare("wifiAP", sieve.Eq, sieve.Int(1200)),
+//		},
+//	})
+//	res, _ := m.Execute("SELECT * FROM WiFi_Dataset", sieve.Metadata{
+//		Querier: "Prof. Smith", Purpose: "Attendance",
+//	})
+package sieve
+
+import (
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/guard"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Core re-exported types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// DB is the embedded relational engine instance SIEVE is layered on.
+	DB = engine.DB
+	// Dialect selects the engine's feature profile (MySQL or Postgres).
+	Dialect = engine.Dialect
+	// Result is a materialised query result.
+	Result = engine.Result
+	// Explain summarises the engine's plan for a statement.
+	Explain = engine.Explain
+	// Counters expose the engine's work counters.
+	Counters = engine.Counters
+
+	// Middleware is a SIEVE instance.
+	Middleware = core.Middleware
+	// Option configures a Middleware.
+	Option = core.Option
+	// Report describes one rewrite: final SQL plus per-table decisions.
+	Report = core.Report
+	// TableDecision is the per-table strategy choice of a rewrite.
+	TableDecision = core.TableDecision
+	// Strategy is a §5.5 execution strategy.
+	Strategy = core.Strategy
+	// BaselineKind selects one of the paper's baseline strategies.
+	BaselineKind = core.BaselineKind
+	// RegenConfig parameterises deferred guard regeneration (§6).
+	RegenConfig = core.RegenConfig
+	// Calibration holds measured cost-model constants (§5.4).
+	Calibration = core.Calibration
+
+	// Store persists policies in the engine (rP/rOC).
+	Store = policy.Store
+	// Policy is one fine-grained access-control policy.
+	Policy = policy.Policy
+	// ObjectCondition is one conjunct of a policy's object conditions.
+	ObjectCondition = policy.ObjectCondition
+	// Metadata is query metadata: querier identity and purpose.
+	Metadata = policy.Metadata
+	// Groups resolves querier group memberships.
+	Groups = policy.Groups
+	// StaticGroups is a map-backed Groups.
+	StaticGroups = policy.StaticGroups
+	// Action is a policy action (Allow; Deny is factored away).
+	Action = policy.Action
+
+	// CostModel carries the guard cost-model constants.
+	CostModel = guard.CostModel
+	// GuardedExpression is a generated G(P) for one querier/purpose/relation.
+	GuardedExpression = guard.GuardedExpression
+	// Guard is one guarded expression Gi = oc_g ∧ PG_i.
+	Guard = guard.Guard
+
+	// Value is the engine's typed scalar.
+	Value = storage.Value
+	// Row is one tuple.
+	Row = storage.Row
+	// Schema describes a relation's columns.
+	Schema = storage.Schema
+	// Column is one schema column.
+	Column = storage.Column
+	// Kind is a scalar type tag.
+	Kind = storage.Kind
+
+	// CmpOp is a comparison operator in conditions.
+	CmpOp = sqlparser.CmpOp
+)
+
+// Dialect constructors.
+var (
+	// MySQL returns the hint-honouring dialect.
+	MySQL = engine.MySQL
+	// Postgres returns the bitmap-OR dialect that ignores hints.
+	Postgres = engine.Postgres
+)
+
+// NewDB creates an empty embedded database.
+func NewDB(d Dialect) *DB { return engine.New(d) }
+
+// NewStore creates (or reattaches to) the policy relations in db.
+func NewStore(db *DB) (*Store, error) { return policy.NewStore(db) }
+
+// New builds a SIEVE middleware over a policy store's database. A
+// middleware re-attached to an existing database may call
+// Middleware.LoadPersistedGuards to resume from the persisted guarded
+// expressions (§5.1) instead of regenerating them on first query.
+func New(store *Store, opts ...Option) (*Middleware, error) { return core.New(store, opts...) }
+
+// Middleware options.
+var (
+	// WithGroups supplies the group-membership resolver.
+	WithGroups = core.WithGroups
+	// WithCostModel overrides the calibrated cost model.
+	WithCostModel = core.WithCostModel
+	// WithDeltaThreshold overrides the Inline-vs-Δ partition threshold.
+	WithDeltaThreshold = core.WithDeltaThreshold
+	// WithRegenInterval enables §6 deferred guard regeneration.
+	WithRegenInterval = core.WithRegenInterval
+	// WithForcedStrategy pins the §5.5 strategy (ablations).
+	WithForcedStrategy = core.WithForcedStrategy
+)
+
+// Policy actions.
+const (
+	// Allow grants access; the enforcement default is deny.
+	Allow = policy.Allow
+	// Deny policies are folded into allows with FactorDeny.
+	Deny = policy.Deny
+	// AnyPurpose matches every query purpose.
+	AnyPurpose = policy.AnyPurpose
+	// AnyQuerier (deny policies only) applies to every querier.
+	AnyQuerier = policy.AnyQuerier
+	// OwnerAttr is the mandatory indexed owner attribute of protected
+	// relations.
+	OwnerAttr = policy.OwnerAttr
+)
+
+// Baselines (for comparative evaluation).
+const (
+	BaselineP = core.BaselineP
+	BaselineI = core.BaselineI
+	BaselineU = core.BaselineU
+)
+
+// Strategies.
+const (
+	LinearScan  = core.LinearScan
+	IndexQuery  = core.IndexQuery
+	IndexGuards = core.IndexGuards
+)
+
+// Comparison operators for Compare and DerivedValue conditions.
+const (
+	Eq = sqlparser.CmpEq
+	Ne = sqlparser.CmpNe
+	Lt = sqlparser.CmpLt
+	Le = sqlparser.CmpLe
+	Gt = sqlparser.CmpGt
+	Ge = sqlparser.CmpGe
+)
+
+// Scalar type tags for schema definitions.
+const (
+	KindInt    = storage.KindInt
+	KindFloat  = storage.KindFloat
+	KindString = storage.KindString
+	KindBool   = storage.KindBool
+	KindTime   = storage.KindTime
+	KindDate   = storage.KindDate
+)
+
+// Value constructors.
+
+// Int returns an INT value.
+func Int(v int64) Value { return storage.NewInt(v) }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return storage.NewFloat(v) }
+
+// Str returns a VARCHAR value.
+func Str(v string) Value { return storage.NewString(v) }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value { return storage.NewBool(v) }
+
+// Time parses "HH:MM[:SS]" into a TIME value; it panics on malformed input
+// (intended for literals).
+func Time(s string) Value { return storage.MustTime(s) }
+
+// DateOf parses "YYYY-MM-DD" into a DATE value; it panics on malformed
+// input (intended for literals).
+func DateOf(s string) Value { return storage.MustDate(s) }
+
+// NewSchema builds a relation schema.
+func NewSchema(cols ...Column) (*Schema, error) { return storage.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols ...Column) *Schema { return storage.MustSchema(cols...) }
+
+// Condition constructors.
+var (
+	// Compare builds attr op constant.
+	Compare = policy.Compare
+	// RangeClosed builds lo ≤ attr ≤ hi.
+	RangeClosed = policy.RangeClosed
+	// In builds attr IN (values…).
+	In = policy.In
+	// NotIn builds attr NOT IN (values…).
+	NotIn = policy.NotIn
+	// DerivedValue builds attr op (SELECT …), evaluated per tuple.
+	DerivedValue = policy.DerivedValue
+	// FactorDeny folds deny policies into the allow set (§3.1).
+	FactorDeny = policy.FactorDeny
+)
+
+// FactorDenyPolicies is a readable alias of FactorDeny.
+func FactorDenyPolicies(allows, denies []*Policy) []*Policy {
+	return policy.FactorDeny(allows, denies)
+}
