@@ -10,6 +10,7 @@ package sieve_test
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -208,6 +209,70 @@ func BenchmarkExecuteSieveVsBaselineP(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPreparedVsExecute quantifies what Stmt amortises: Execute
+// parses and policy-rewrites on every call, while a prepared statement
+// pays the parse once and reuses the rewritten plan per
+// (querier, purpose) until a policy change invalidates it.
+func BenchmarkPreparedVsExecute(b *testing.B) {
+	env, qm := benchEnv(b, sieve.MySQL())
+	q := "SELECT * FROM " + workload.TableWiFi
+	ctx := context.Background()
+	// Warm the guard cache so neither arm measures guard generation.
+	if _, err := env.M.Execute(q, qm); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("Execute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.M.Execute(q, qm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Prepared", func(b *testing.B) {
+		sess := env.M.NewSession(qm)
+		stmt, err := env.M.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Execute(ctx, sess); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if stmt.Rewrites() != 1 {
+			b.Fatalf("prepared plan rewritten %d times, want 1", stmt.Rewrites())
+		}
+	})
+	b.Run("PreparedStream10", func(b *testing.B) {
+		// Streaming the first 10 rows then closing: the early-termination
+		// path a paginating caller takes.
+		sess := env.M.NewSession(qm)
+		stmt, err := env.M.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := stmt.Query(ctx, sess)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 10 && rows.Next(); j++ {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+		}
+	})
 }
 
 // BenchmarkDeltaOperator measures the Δ UDF's per-tuple evaluation.

@@ -4,15 +4,22 @@
 //
 //	sieve-bench -scale test -run all
 //	sieve-bench -scale bench -run fig5,fig6
+//	sieve-bench -micro
+//
+// -micro measures the execution-surface amortisations instead: prepared
+// statements (parse + rewrite paid once) versus per-call Execute, and
+// streaming LIMIT termination versus full materialisation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	sieve "github.com/sieve-db/sieve"
 	"github.com/sieve-db/sieve/internal/experiment"
 	"github.com/sieve-db/sieve/internal/workload"
 )
@@ -51,11 +58,19 @@ func main() {
 	scale := flag.String("scale", "test", "corpus scale: test | medium | bench")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	micro := flag.Bool("micro", false, "measure the Session/Stmt/Rows execution surface and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	if *micro {
+		if err := runMicro(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -99,4 +114,69 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runMicro measures what the query execution surface amortises: the
+// parse+rewrite per call that Stmt caches, and the scan work a streamed
+// LIMIT avoids versus materialising the full result.
+func runMicro() error {
+	env, err := experiment.NewCampusEnv(experiment.TestConfig(), sieve.MySQL())
+	if err != nil {
+		return err
+	}
+	querier := workload.TopQueriers(env.Policies, 1, 1)[0]
+	sess := env.M.NewSession(sieve.Metadata{Querier: querier, Purpose: "analytics"})
+	q := "SELECT * FROM " + workload.TableWiFi
+	ctx := context.Background()
+	const iters = 200
+
+	// Warm the guard cache so both paths measure rewrite+execute only.
+	if _, err := sess.Execute(ctx, q); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := env.M.Execute(q, sess.Metadata()); err != nil {
+			return err
+		}
+	}
+	perExec := time.Since(start) / iters
+
+	stmt, err := env.M.Prepare(q)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := stmt.Execute(ctx, sess); err != nil {
+			return err
+		}
+	}
+	perPrepared := time.Since(start) / iters
+
+	fmt.Printf("execute (parse+rewrite per call) : %v/op\n", perExec)
+	fmt.Printf("prepared (rewrite cached, %d uses): %v/op (%.2fx)\n",
+		stmt.Rewrites(), perPrepared, float64(perExec)/float64(perPrepared))
+
+	env.Campus.DB.Counters.Reset()
+	rows, err := sess.Query(ctx, q)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10 && rows.Next(); i++ {
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	rows.Close()
+	streamed := env.Campus.DB.Counters.TuplesRead
+
+	env.Campus.DB.Counters.Reset()
+	if _, err := sess.Execute(ctx, q); err != nil {
+		return err
+	}
+	full := env.Campus.DB.Counters.TuplesRead
+	fmt.Printf("streaming 10 rows reads %d tuples; materialising reads %d\n", streamed, full)
+	return nil
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -60,9 +61,10 @@ func main() {
 		q = workload.TopQueriers(policies, 1, 1)[0]
 	}
 	qm := sieve.Metadata{Querier: q, Purpose: *purpose}
+	sess := m.NewSession(qm)
 	fmt.Printf("dialect : %s\nquerier : %s (purpose %s)\nquery   : %s\n\n", d.Name(), q, *purpose, *query)
 
-	rewritten, report, err := m.Rewrite(*query, qm)
+	rewritten, report, err := sess.Rewrite(*query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,11 +94,19 @@ func main() {
 	}
 	fmt.Printf("\nengine plan:\n%s", plan.String())
 
-	res, err := m.Execute(*query, qm)
+	rows, err := sess.Query(context.Background(), *query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nresult: %d rows\n", len(res.Rows))
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresult: %d rows\n", n)
 }
 
 func orDash(s string) string {

@@ -1,10 +1,15 @@
 // Command sieve-repl is an interactive shell over a generated demo campus:
-// type SQL, see policy-compliant results as a chosen querier. Middleware
+// type SQL, see policy-compliant results as a chosen querier. Each
+// identity switch opens a fresh sieve.Session; results stream through
+// sieve.Rows, so only the rows actually printed are produced, and Ctrl-C
+// cancels a long-running query through its context. Middleware
 // meta-commands start with a backslash.
 //
-//	\querier u:42        switch querier identity
-//	\purpose analytics   switch query purpose
+//	\querier u:42        switch querier identity (opens a new session)
+//	\purpose analytics   switch query purpose (opens a new session)
 //	\rewrite             toggle printing the rewritten SQL
+//	\prepare <sql>       prepare a statement; run it with \exec
+//	\exec                execute the prepared statement for this session
 //	\policies            count policies for the current metadata
 //	\guards              show the cached guarded expression
 //	\quit
@@ -12,15 +17,26 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	sieve "github.com/sieve-db/sieve"
 	"github.com/sieve-db/sieve/internal/workload"
 )
+
+// repl holds the shell's state: one middleware, one current session, and
+// at most one prepared statement.
+type repl struct {
+	m           *sieve.Middleware
+	sess        *sieve.Session
+	prepared    *sieve.Stmt
+	showRewrite bool
+}
 
 func main() {
 	dialect := flag.String("dialect", "mysql", "engine dialect: mysql | postgres")
@@ -57,14 +73,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	qm := sieve.Metadata{
+	r := &repl{m: m}
+	r.sess = m.NewSession(sieve.Metadata{
 		Querier: workload.TopQueriers(policies, 1, 1)[0],
 		Purpose: "analytics",
-	}
-	showRewrite := false
+	})
 
 	fmt.Printf("sieve-repl on %s dialect — %d events, %d policies\n",
 		d.Name(), campus.NumEvents, len(policies))
+	qm := r.sess.Metadata()
 	fmt.Printf("querier=%s purpose=%s; \\quit to exit, \\help for commands\n", qm.Querier, qm.Purpose)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -78,13 +95,13 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
-			if handleMeta(line, m, &qm, &showRewrite) {
+			if r.handleMeta(line) {
 				return
 			}
 			continue
 		}
-		if showRewrite {
-			text, rep, err := m.Rewrite(line, qm)
+		if r.showRewrite {
+			text, rep, err := r.sess.Rewrite(line)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -95,40 +112,76 @@ func main() {
 					dec.Relation, dec.Strategy, dec.Guards, dec.Policies)
 			}
 		}
-		res, err := m.Execute(line, qm)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		printResult(res)
+		r.run(func(ctx context.Context) (*sieve.Rows, error) {
+			return r.sess.Query(ctx, line)
+		})
 	}
 }
 
-func handleMeta(line string, m *sieve.Middleware, qm *sieve.Metadata, showRewrite *bool) (quit bool) {
+// run executes one query under an interrupt-cancellable context and
+// streams its rows to the terminal, closing early past maxRows.
+func (r *repl) run(open func(ctx context.Context) (*sieve.Rows, error)) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rows, err := open(ctx)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	printRows(rows)
+}
+
+func (r *repl) handleMeta(line string) (quit bool) {
 	fields := strings.Fields(line)
+	qm := r.sess.Metadata()
 	switch fields[0] {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\policies | \\guards | \\quit")
+		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\prepare <sql> | \\exec | \\policies | \\guards | \\quit")
 	case "\\querier":
 		if len(fields) > 1 {
 			qm.Querier = fields[1]
+			r.sess = r.m.NewSession(qm)
 		}
 		fmt.Println("querier =", qm.Querier)
 	case "\\purpose":
 		if len(fields) > 1 {
 			qm.Purpose = fields[1]
+			r.sess = r.m.NewSession(qm)
 		}
 		fmt.Println("purpose =", qm.Purpose)
 	case "\\rewrite":
-		*showRewrite = !*showRewrite
-		fmt.Println("show rewrite =", *showRewrite)
+		r.showRewrite = !r.showRewrite
+		fmt.Println("show rewrite =", r.showRewrite)
+	case "\\prepare":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\prepare"))
+		if sql == "" {
+			fmt.Println("usage: \\prepare <sql>")
+			break
+		}
+		stmt, err := r.m.Prepare(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		r.prepared = stmt
+		fmt.Println("prepared:", sql)
+	case "\\exec":
+		if r.prepared == nil {
+			fmt.Println("nothing prepared; \\prepare <sql> first")
+			break
+		}
+		r.run(func(ctx context.Context) (*sieve.Rows, error) {
+			return r.prepared.Query(ctx, r.sess)
+		})
+		fmt.Printf("(%d rewrites amortised over executions)\n", r.prepared.Rewrites())
 	case "\\policies":
-		ps := m.Store().PoliciesFor(*qm, workload.TableWiFi, m.Groups())
+		ps := r.m.Store().PoliciesFor(qm, workload.TableWiFi, r.m.Groups())
 		fmt.Printf("%d policies apply to %s/%s on %s\n", len(ps), qm.Querier, qm.Purpose, workload.TableWiFi)
 	case "\\guards":
-		if ge, ok := m.GuardedExpression(*qm, workload.TableWiFi); ok {
+		if ge, ok := r.m.GuardedExpression(qm, workload.TableWiFi); ok {
 			fmt.Print(ge.String())
 		} else {
 			fmt.Println("no cached guarded expression (run a query first)")
@@ -139,19 +192,30 @@ func handleMeta(line string, m *sieve.Middleware, qm *sieve.Metadata, showRewrit
 	return false
 }
 
-func printResult(res *sieve.Result) {
+// printRows streams a result to the terminal. Past maxRows the Rows is
+// closed, which terminates the underlying scan — the remaining row count
+// is intentionally not known.
+func printRows(rows *sieve.Rows) {
 	const maxRows = 20
-	fmt.Println(strings.Join(res.Columns, " | "))
-	for i, r := range res.Rows {
-		if i == maxRows {
-			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+	fmt.Println(strings.Join(rows.Columns(), " | "))
+	n := 0
+	for rows.Next() {
+		if n == maxRows {
+			rows.Close()
+			fmt.Println("... (output truncated; scan stopped)")
 			break
 		}
+		r := rows.Row()
 		cells := make([]string, len(r))
 		for j, v := range r {
 			cells[j] = v.String()
 		}
 		fmt.Println(strings.Join(cells, " | "))
+		n++
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("(%d rows shown)\n", n)
 }

@@ -1,14 +1,16 @@
 package sieve_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	sieve "github.com/sieve-db/sieve"
 )
 
-// Example demonstrates the minimal SIEVE session: one protected relation,
-// one policy, one enforced query.
+// Example demonstrates the minimal SIEVE session of the package comment:
+// one protected relation, one policy, one session streaming an enforced
+// query.
 func Example() {
 	db := sieve.NewDB(sieve.MySQL())
 	schema := sieve.MustSchema(
@@ -19,11 +21,10 @@ func Example() {
 	if _, err := db.CreateTable("WiFi_Dataset", schema); err != nil {
 		log.Fatal(err)
 	}
-	rows := []sieve.Row{
+	for _, r := range []sieve.Row{
 		{sieve.Int(1), sieve.Int(120), sieve.Int(1200)},
 		{sieve.Int(2), sieve.Int(999), sieve.Int(1200)},
-	}
-	for _, r := range rows {
+	} {
 		if err := db.Insert("WiFi_Dataset", r); err != nil {
 			log.Fatal(err)
 		}
@@ -37,13 +38,67 @@ func Example() {
 		Owner: 120, Querier: "Prof. Smith", Purpose: "Attendance",
 		Relation: "WiFi_Dataset", Action: sieve.Allow,
 	})
-	res, err := m.Execute("SELECT id FROM WiFi_Dataset",
-		sieve.Metadata{Querier: "Prof. Smith", Purpose: "Attendance"})
+
+	sess := m.NewSession(sieve.Metadata{Querier: "Prof. Smith", Purpose: "Attendance"})
+	rows, err := sess.Query(context.Background(), "SELECT id FROM WiFi_Dataset")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("visible rows:", len(res.Rows))
+	defer rows.Close()
+	visible := 0
+	for rows.Next() {
+		visible++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("visible rows:", visible)
 	// Output: visible rows: 1
+}
+
+// ExampleStmt prepares a query once and executes it repeatedly: the parse
+// and the policy rewrite are paid on the first call only, until a policy
+// change invalidates the cached plan.
+func ExampleStmt() {
+	db := sieve.NewDB(sieve.MySQL())
+	schema := sieve.MustSchema(
+		sieve.Column{Name: "id", Type: sieve.KindInt},
+		sieve.Column{Name: "owner", Type: sieve.KindInt},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		if err := db.Insert("t", sieve.Row{sieve.Int(i), sieve.Int(i % 2)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, _ := sieve.NewStore(db)
+	m, _ := sieve.New(store)
+	if err := m.Protect("t"); err != nil {
+		log.Fatal(err)
+	}
+	_ = store.Insert(&sieve.Policy{
+		Owner: 1, Querier: "alice", Purpose: "audit", Relation: "t", Action: sieve.Allow,
+	})
+
+	sess := m.NewSession(sieve.Metadata{Querier: "alice", Purpose: "audit"})
+	stmt, err := m.Prepare("SELECT id FROM t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := stmt.Execute(ctx, sess)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("run", i, "rows:", len(res.Rows), "rewrites:", stmt.Rewrites())
+	}
+	// Output:
+	// run 0 rows: 2 rewrites: 1
+	// run 1 rows: 2 rewrites: 1
+	// run 2 rows: 2 rewrites: 1
 }
 
 // ExampleMiddleware_Rewrite shows how to inspect the SQL SIEVE would send

@@ -1,10 +1,14 @@
 // Command dynamicpolicies demonstrates §6: policy churn flips the persisted
 // outdated flag through the rP insert trigger, and the middleware either
 // regenerates guards eagerly or defers until the optimal insertion count k̃
-// while answering from stale guards plus appended arms.
+// while answering from stale guards plus appended arms. The query runs
+// through a prepared statement, so the same churn also exercises
+// prepared-plan invalidation: every insert bumps the policy epoch and the
+// next execution transparently re-rewrites.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,14 +36,20 @@ func run(mode string, opts ...sieve.Option) error {
 		return err
 	}
 	prof := workload.TopQueriers(store.All(), 1, 1)[0]
-	qm := sieve.Metadata{Querier: prof, Purpose: "attendance"}
-	query := "SELECT count(*) FROM " + workload.TableWiFi
+	sess := m.NewSession(sieve.Metadata{Querier: prof, Purpose: "attendance"})
+	qm := sess.Metadata()
+	ctx := context.Background()
 
-	if _, err := m.Execute(query, qm); err != nil {
+	stmt, err := m.Prepare("SELECT count(*) FROM " + workload.TableWiFi)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("[%s] initial: regens=%d pending=%d\n",
-		mode, m.Regens(qm, workload.TableWiFi), m.PendingPolicies(qm, workload.TableWiFi))
+	if _, err := stmt.Execute(ctx, sess); err != nil {
+		return err
+	}
+	fmt.Printf("[%s] initial: regens=%d pending=%d rewrites=%d\n",
+		mode, m.Regens(qm, workload.TableWiFi), m.PendingPolicies(qm, workload.TableWiFi),
+		stmt.Rewrites())
 
 	for i := 0; i < 8; i++ {
 		p := &sieve.Policy{
@@ -52,13 +62,13 @@ func run(mode string, opts ...sieve.Option) error {
 		if err := m.AddPolicy(p); err != nil {
 			return err
 		}
-		res, err := m.Execute(query, qm)
+		res, err := stmt.Execute(ctx, sess)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("[%s] +policy %d: visible=%v regens=%d pending=%d\n",
+		fmt.Printf("[%s] +policy %d: visible=%v regens=%d pending=%d rewrites=%d\n",
 			mode, i+1, res.Rows[0][0].I, m.Regens(qm, workload.TableWiFi),
-			m.PendingPolicies(qm, workload.TableWiFi))
+			m.PendingPolicies(qm, workload.TableWiFi), stmt.Rewrites())
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 // Command quickstart is the smallest end-to-end SIEVE session: create a
 // relation, load a few tuples, define the paper's two sample policies
 // (§3.1), and watch the middleware rewrite and answer queries under
-// default-deny semantics.
+// default-deny semantics — through the Session / Rows surface, with
+// results streamed tuple-at-a-time.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,9 +78,12 @@ func main() {
 	}
 
 	query := "SELECT id, owner, wifiAP FROM WiFi_Dataset"
-	qm := sieve.Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}
+	ctx := context.Background()
 
-	rewritten, report, err := m.Rewrite(query, qm)
+	// A session binds the querier identity and purpose once.
+	smith := m.NewSession(sieve.Metadata{Querier: "Prof. Smith", Purpose: "Attendance"})
+
+	rewritten, report, err := smith.Rewrite(query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,16 +94,26 @@ func main() {
 			d.Relation, d.Strategy, d.Guards, d.Policies)
 	}
 
-	res, err := m.Execute(query, qm)
+	// Results stream: each Next produces one policy-compliant tuple.
+	stream, err := smith.Query(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer stream.Close()
 	fmt.Println("\nProf. Smith sees:")
-	for _, r := range res.Rows {
-		fmt.Printf("  id=%v owner=%v wifiAP=%v\n", r[0].I, r[1].I, r[2].I)
+	var id, owner, ap int64
+	for stream.Next() {
+		if err := stream.Scan(&id, &owner, &ap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  id=%v owner=%v wifiAP=%v\n", id, owner, ap)
+	}
+	if err := stream.Err(); err != nil {
+		log.Fatal(err)
 	}
 
-	other, err := m.Execute(query, sieve.Metadata{Querier: "Mallory", Purpose: "Snooping"})
+	mallory := m.NewSession(sieve.Metadata{Querier: "Mallory", Purpose: "Snooping"})
+	other, err := mallory.Execute(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}

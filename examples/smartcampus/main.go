@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,24 +46,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The busiest querier plays Prof. Smith.
+	// The busiest querier plays Prof. Smith; the session binds their
+	// identity, purpose, and group resolution once.
 	prof := workload.TopQueriers(policies, 1, 1)[0]
-	qm := sieve.Metadata{Querier: prof, Purpose: "attendance"}
+	sess := m.NewSession(sieve.Metadata{Querier: prof, Purpose: "attendance"})
 	fmt.Printf("querier: %s (%d policies)\n\n", prof, workload.QuerierCounts(policies)[prof])
 
 	query := campus.StudentPerfQuery(1, 3)
 	fmt.Println("attendance query:")
 	fmt.Println(" ", query)
 
+	ctx := context.Background()
 	start := time.Now()
-	res, err := m.Execute(query, qm)
+	res, err := sess.Execute(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sieveTime := time.Since(start)
 
 	start = time.Now()
-	base, err := m.ExecuteBaseline(sieve.BaselineP, query, qm)
+	base, err := m.ExecuteBaselineContext(ctx, sieve.BaselineP, query, sess.Metadata())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +77,7 @@ func main() {
 		log.Fatal("strategies disagree — soundness violation")
 	}
 
-	if ge, ok := m.GuardedExpression(qm, workload.TableWiFi); ok {
+	if ge, ok := m.GuardedExpression(sess.Metadata(), workload.TableWiFi); ok {
 		fmt.Printf("\nguarded expression: %d guards over %d policies (Σρ=%.4f)\n",
 			len(ge.Guards), ge.PolicyCount(), ge.TotalSel())
 		for i, g := range ge.Guards {

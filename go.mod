@@ -1,0 +1,3 @@
+module github.com/sieve-db/sieve
+
+go 1.24

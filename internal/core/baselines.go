@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sieve-db/sieve/internal/engine"
@@ -28,11 +29,17 @@ const (
 
 // ExecuteBaseline rewrites with the chosen baseline and runs the query.
 func (m *Middleware) ExecuteBaseline(kind BaselineKind, sql string, qm policy.Metadata) (*engine.Result, error) {
+	return m.ExecuteBaselineContext(context.Background(), kind, sql, qm)
+}
+
+// ExecuteBaselineContext is ExecuteBaseline under a context: cancellation
+// aborts the baseline's scan like any other query.
+func (m *Middleware) ExecuteBaselineContext(ctx context.Context, kind BaselineKind, sql string, qm policy.Metadata) (*engine.Result, error) {
 	stmt, err := m.RewriteBaseline(kind, sql, qm)
 	if err != nil {
 		return nil, err
 	}
-	return m.db.QueryStmt(stmt)
+	return m.db.QueryStmtCtx(ctx, stmt)
 }
 
 // RewriteBaseline parses and rewrites a query with one of the baseline

@@ -17,9 +17,15 @@ import (
 type checkSet struct {
 	relation string
 	schema   *storage.Schema
-	compiled *policy.CompiledSet
-	ownerIdx int
-	sub      policy.SubqueryEvaluator
+	// qualified lays the relation's tuple out under its own name for
+	// derived-value conditions that re-enter the engine (§3.1's
+	// documented correlation convention).
+	qualified *engine.RelSchema
+	compiled  *policy.CompiledSet
+	ownerIdx  int
+	// hasDerived caches compiled.HasSubqueryConditions so the per-tuple
+	// Δ path only builds a sub-evaluator when one can actually be called.
+	hasDerived bool
 }
 
 // registerCheckSetLocked compiles and registers a policy set; caller holds
@@ -33,23 +39,13 @@ func (m *Middleware) registerCheckSetLocked(ps []*policy.Policy, relation string
 	if ownerIdx < 0 {
 		return 0, fmt.Errorf("sieve: relation %q lacks owner attribute", relation)
 	}
-	qualified := engine.QualifiedSchema(relation, schema)
-	db := m.db
 	cs := &checkSet{
-		relation: relation,
-		schema:   schema,
-		compiled: compiled,
-		ownerIdx: ownerIdx,
-		// Derived-value conditions re-enter the engine: the condition's
-		// comparison is evaluated with the tuple addressable under the
-		// relation's own name (the documented correlation convention).
-		sub: func(cond policy.ObjectCondition, row storage.Row) (bool, error) {
-			v, err := db.EvalPredicate(cond.Expr(relation), qualified, row)
-			if err != nil {
-				return false, err
-			}
-			return engine.Truthy(v), nil
-		},
+		relation:   relation,
+		schema:     schema,
+		qualified:  engine.QualifiedSchema(relation, schema),
+		compiled:   compiled,
+		ownerIdx:   ownerIdx,
+		hasDerived: compiled.HasSubqueryConditions(),
 	}
 	m.nextSetID++
 	id := m.nextSetID
@@ -94,7 +90,21 @@ func (m *Middleware) registerDeltaUDF() {
 		if owner.IsNull() {
 			return storage.NewBool(false), nil // unowned tuples are denied by default
 		}
-		matched, checked, err := cs.compiled.EvalOwnerFirstMatch(owner.I, row, cs.sub)
+		// Derived-value conditions re-enter the engine; their work tallies
+		// into the invoking query's own counters, so no global merge lock
+		// is taken on this per-tuple path. The closure is only built when
+		// the set actually contains such conditions.
+		var sub policy.SubqueryEvaluator
+		if cs.hasDerived {
+			sub = func(cond policy.ObjectCondition, row storage.Row) (bool, error) {
+				v, err := m.db.EvalPredicateWith(ctx.Counters, cond.Expr(cs.relation), cs.qualified, row)
+				if err != nil {
+					return false, err
+				}
+				return engine.Truthy(v), nil
+			}
+		}
+		matched, checked, err := cs.compiled.EvalOwnerFirstMatch(owner.I, row, sub)
 		ctx.Counters.PolicyEvals += int64(checked)
 		if err != nil {
 			return storage.Null, err

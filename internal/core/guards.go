@@ -239,7 +239,10 @@ func (m *Middleware) guardedExpressionFor(qm policy.Metadata, relation string) (
 }
 
 // regenerateLocked rebuilds the guarded expression for a key. Caller holds
-// m.mu.
+// m.mu. The corpus is always filtered with the middleware-wide resolver:
+// the state is cached under a key shared by every session, so letting a
+// session's older pinned resolution populate it would leak that session's
+// view of group membership into everyone else's queries.
 func (m *Middleware) regenerateLocked(key geKey) (*geState, error) {
 	ps := m.store.PoliciesFor(policy.Metadata{Querier: key.querier, Purpose: key.purpose}, key.relation, m.groups)
 	sel, err := m.selectivityFor(key.relation)
@@ -281,6 +284,9 @@ func (m *Middleware) regenerateLocked(key geKey) (*geState, error) {
 // InvalidateAll marks every cached guarded expression outdated; mainly for
 // tests and administrative resets.
 func (m *Middleware) InvalidateAll() {
+	// Epoch bump deferred until after the outdated flags are set — see
+	// RevokePolicy for the prepared-plan staleness argument.
+	defer m.epoch.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, st := range m.states {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,12 +12,17 @@ import (
 )
 
 // Execute rewrites the query under the metadata's policies and runs it.
+// It is a legacy convenience: a one-shot Session without a context. New
+// code should hold a Session and pass a context (Session.Execute /
+// Session.Query).
 func (m *Middleware) Execute(sql string, qm policy.Metadata) (*engine.Result, error) {
-	stmt, _, err := m.RewriteQuery(sql, qm)
-	if err != nil {
-		return nil, err
-	}
-	return m.db.QueryStmt(stmt)
+	return m.NewSession(qm).Execute(context.Background(), sql)
+}
+
+// ExecuteContext rewrites and runs the query under ctx through a fresh
+// Session.
+func (m *Middleware) ExecuteContext(ctx context.Context, sql string, qm policy.Metadata) (*engine.Result, error) {
+	return m.NewSession(qm).Execute(ctx, sql)
 }
 
 // Rewrite returns the rewritten SQL text plus the decision report.
@@ -38,6 +44,13 @@ func (m *Middleware) RewriteQuery(sql string, qm policy.Metadata) (*sqlparser.Se
 	if err != nil {
 		return nil, nil, err
 	}
+	return m.rewriteParsed(stmt, qm)
+}
+
+// rewriteParsed rewrites a parsed statement in place under qm's policies.
+// Callers that keep the original AST (prepared statements) must pass a
+// clone.
+func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadata) (*sqlparser.SelectStmt, *Report, error) {
 	if qm.Querier == "" {
 		return nil, nil, fmt.Errorf("sieve: query metadata must identify the querier")
 	}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+)
+
+// Session is the unit of per-user query state: it binds one querier
+// identity and purpose (the paper's query metadata, §3.2), with the
+// querier's group memberships resolved once at session creation for
+// introspection. Sessions are cheap — a few words — and safe to use
+// from one goroutine each; any number of Sessions may share one
+// Middleware concurrently, which is how a server front end maps
+// connections onto SIEVE.
+//
+// Group membership is assumed stable while guarded expressions stay
+// cached: the guard cache is keyed by (querier, purpose, relation) and
+// always regenerated from the middleware-wide resolver, so a membership
+// change is not an invalidation event (policy inserts and revocations
+// flip the outdated flag; membership edits never did). After changing a
+// resolver's answers, call InvalidateAll.
+type Session struct {
+	m      *Middleware
+	qm     policy.Metadata
+	groups []string
+}
+
+// NewSession binds query metadata to the middleware, resolving the
+// querier's group memberships now (see Groups).
+func (m *Middleware) NewSession(qm policy.Metadata) *Session {
+	return &Session{
+		m:      m,
+		qm:     qm,
+		groups: m.groups.GroupsOf(qm.Querier),
+	}
+}
+
+// Middleware returns the middleware the session runs against.
+func (s *Session) Middleware() *Middleware { return s.m }
+
+// Metadata returns the session's bound query metadata.
+func (s *Session) Metadata() policy.Metadata { return s.qm }
+
+// Groups returns the querier's group memberships as resolved at session
+// creation. Informational: enforcement always uses the middleware's
+// live resolver, so a session never sees more than the current
+// membership grants.
+func (s *Session) Groups() []string { return s.groups }
+
+// Query rewrites sql under the session's policies and opens it as a
+// streaming result. Rows are produced on demand; ctx cancellation or
+// deadline expiry aborts the scan within the executor's check interval,
+// and closing the Rows early releases the scan (LIMIT-style early
+// termination without a LIMIT clause).
+func (s *Session) Query(ctx context.Context, sql string) (*engine.Rows, error) {
+	stmt, _, err := s.rewrite(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.db.StreamStmt(ctx, stmt)
+}
+
+// Execute rewrites sql under the session's policies, runs it under ctx,
+// and materialises the result.
+func (s *Session) Execute(ctx context.Context, sql string) (*engine.Result, error) {
+	stmt, _, err := s.rewrite(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.db.QueryStmtCtx(ctx, stmt)
+}
+
+// Rewrite returns the rewritten SQL and decision report for sql under the
+// session's metadata without executing it.
+func (s *Session) Rewrite(sql string) (string, *Report, error) {
+	stmt, rep, err := s.rewrite(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	return sqlparser.Print(stmt), rep, nil
+}
+
+// Prepare parses sql once for repeated execution through this session
+// (or any other session on the same middleware).
+func (s *Session) Prepare(sql string) (*Stmt, error) { return s.m.Prepare(sql) }
+
+func (s *Session) rewrite(sql string) (*sqlparser.SelectStmt, *Report, error) {
+	parsed, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.m.rewriteParsed(parsed, s.qm)
+}

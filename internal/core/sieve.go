@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/guard"
@@ -44,6 +45,13 @@ type Middleware struct {
 	forced         Strategy         // non-empty pins the §5.5 strategy (ablations)
 	genOpts        guard.GenOptions // guard-generation ablation switches
 	noHints        bool             // suppress index hints even on mysql (ablation)
+
+	// epoch counts policy-visibility changes (inserts, revocations,
+	// newly protected relations, administrative invalidation). Prepared
+	// statements stamp their cached rewritten plans with the epoch and
+	// re-rewrite when it moves — the same guard-invalidation events that
+	// flip the §5.1 outdated flag invalidate prepared plans.
+	epoch atomic.Uint64
 
 	mu        sync.Mutex
 	protected map[string]bool
@@ -190,8 +198,15 @@ func (m *Middleware) Protect(relation string) error {
 	m.mu.Lock()
 	m.protected[relation] = true
 	m.mu.Unlock()
+	m.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the policy-visibility epoch: it advances on every event
+// that can change what any querier is allowed to see (policy insert or
+// revocation, Protect, InvalidateAll). Cached rewritten plans are valid
+// only for the epoch they were produced under.
+func (m *Middleware) Epoch() uint64 { return m.epoch.Load() }
 
 // Protected reports whether a relation is access-controlled.
 func (m *Middleware) Protected(relation string) bool {
@@ -211,6 +226,11 @@ func (m *Middleware) RevokePolicy(id int64) error {
 	if err != nil {
 		return err
 	}
+	// The epoch must move only after the guard states are invalidated:
+	// a prepared statement stamps its plan with the epoch read before
+	// rewriting, so bumping first would let a rewrite that still saw the
+	// fresh state cache a stale plan under the post-revocation epoch.
+	defer m.epoch.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for key, st := range m.states {
@@ -264,6 +284,9 @@ func (m *Middleware) selectivityFor(relation string) (guard.Selectivity, error) 
 // ⟨id, owner, querier, associated_table, purpose, action, inserted_at⟩.
 func (m *Middleware) onPolicyInserted(_ string, row storage.Row) {
 	id, querier, relation, purpose := row[0].I, row[2].S, row[3].S, row[4].S
+	// Epoch bump deferred until after the outdated flags are set — see
+	// RevokePolicy for the prepared-plan staleness argument.
+	defer m.epoch.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for key, st := range m.states {

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+)
+
+// Stmt is a prepared query: the SQL is parsed once, and the policy
+// rewrite (guard lookup, strategy choice, CTE construction — the per-
+// query work SIEVE amortises, §5) is cached per (querier, purpose).
+// Cached plans are stamped with the middleware's policy epoch and
+// re-rewritten transparently after any policy insert or revocation, so a
+// prepared statement can never serve rows under stale policies. A Stmt
+// is safe for concurrent use by multiple Sessions.
+type Stmt struct {
+	m   *Middleware
+	sql string
+	ast *sqlparser.SelectStmt
+
+	mu    sync.Mutex
+	plans map[planKey]*preparedPlan
+
+	rewrites atomic.Int64
+}
+
+type planKey struct {
+	querier string
+	purpose string
+}
+
+type preparedPlan struct {
+	stmt  *sqlparser.SelectStmt
+	rep   *Report
+	epoch uint64
+}
+
+// Prepare parses sql for repeated execution. The rewrite itself is
+// deferred to the first Query/Execute per (querier, purpose), since it
+// depends on who is asking.
+func (m *Middleware) Prepare(sql string) (*Stmt, error) {
+	ast, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{m: m, sql: sql, ast: ast, plans: make(map[planKey]*preparedPlan)}, nil
+}
+
+// SQL returns the statement's original text.
+func (st *Stmt) SQL() string { return st.sql }
+
+// Query runs the prepared statement for the session, streaming the
+// result. The cached rewritten plan for the session's (querier, purpose)
+// is reused when the policy epoch has not moved; otherwise the statement
+// is re-rewritten from the pristine parse.
+func (st *Stmt) Query(ctx context.Context, s *Session) (*engine.Rows, error) {
+	p, err := st.planFor(s.qm)
+	if err != nil {
+		return nil, err
+	}
+	return st.m.db.StreamStmt(ctx, p.stmt)
+}
+
+// Execute runs the prepared statement for the session and materialises
+// the result.
+func (st *Stmt) Execute(ctx context.Context, s *Session) (*engine.Result, error) {
+	p, err := st.planFor(s.qm)
+	if err != nil {
+		return nil, err
+	}
+	return st.m.db.QueryStmtCtx(ctx, p.stmt)
+}
+
+// Report returns the decision report of the session's current cached
+// plan, rewriting first if the cache is cold or stale.
+func (st *Stmt) Report(s *Session) (*Report, error) {
+	p, err := st.planFor(s.qm)
+	if err != nil {
+		return nil, err
+	}
+	return p.rep, nil
+}
+
+// Rewrites reports how many policy rewrites the statement has performed —
+// the work a non-prepared Execute would have paid once per call.
+func (st *Stmt) Rewrites() int64 { return st.rewrites.Load() }
+
+// CachedPlans reports how many (querier, purpose) plans are cached.
+func (st *Stmt) CachedPlans() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.plans)
+}
+
+// maxCachedPlans bounds one Stmt's plan cache. A server sharing one
+// prepared statement across an unbounded querier population must not
+// grow memory linearly with queriers that never return; past the cap,
+// stale-epoch entries are evicted first, then arbitrary ones.
+const maxCachedPlans = 1024
+
+// planFor returns a rewritten plan no older than the current policy
+// epoch. The epoch is read before rewriting: if a policy change lands
+// mid-rewrite the stored stamp no longer matches and the next call
+// rewrites again, so staleness never outlives the racing change.
+func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, error) {
+	key := planKey{querier: qm.Querier, purpose: qm.Purpose}
+	cur := st.m.Epoch()
+	st.mu.Lock()
+	p := st.plans[key]
+	st.mu.Unlock()
+	if p != nil && p.epoch == cur {
+		return p, nil
+	}
+	stmt, rep, err := st.m.rewriteParsed(sqlparser.CloneStmt(st.ast), qm)
+	if err != nil {
+		return nil, err
+	}
+	st.rewrites.Add(1)
+	p = &preparedPlan{stmt: stmt, rep: rep, epoch: cur}
+	st.mu.Lock()
+	if len(st.plans) >= maxCachedPlans {
+		st.evictLocked(cur)
+	}
+	st.plans[key] = p
+	st.mu.Unlock()
+	return p, nil
+}
+
+// evictLocked makes room in the plan cache: stale-epoch entries go
+// first (they can never be served again without a rewrite), and if the
+// cache is all fresh, an arbitrary entry is dropped. Caller holds st.mu.
+func (st *Stmt) evictLocked(cur uint64) {
+	for k, p := range st.plans {
+		if p.epoch != cur {
+			delete(st.plans, k)
+		}
+	}
+	if len(st.plans) < maxCachedPlans {
+		return
+	}
+	for k := range st.plans {
+		delete(st.plans, k)
+		return
+	}
+}

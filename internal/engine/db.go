@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -57,9 +58,15 @@ type DB struct {
 	// Experiment 2.1 measures. Each invocation spins this many iterations.
 	UDFOverheadIters int
 
-	// Counters accumulate work across queries; use CountersSnapshot/Reset
-	// around a measured region.
-	Counters Counters
+	// Counters accumulate work across queries. Each query tallies into a
+	// private counter set merged here when it finishes (materialising
+	// calls merge on return; streaming results on Close/exhaustion), so
+	// concurrent sessions do not contend or race on per-row updates.
+	// Direct field access is only safe while no query or open Rows is
+	// live; concurrent readers must use CountersSnapshot, and
+	// ResetCounters likewise takes the merge lock.
+	countersMu sync.Mutex
+	Counters   Counters
 
 	// HistogramBuckets controls Analyze resolution.
 	HistogramBuckets int
@@ -197,6 +204,22 @@ func (db *DB) Stats(table string) (*storage.TableStats, bool) {
 	return s, ok
 }
 
+// CountersSnapshot returns the accumulated work counters under the merge
+// lock — safe while queries are running (counters of still-open queries
+// are not yet included).
+func (db *DB) CountersSnapshot() Counters {
+	db.countersMu.Lock()
+	defer db.countersMu.Unlock()
+	return db.Counters
+}
+
+// ResetCounters zeroes the accumulated counters under the merge lock.
+func (db *DB) ResetCounters() {
+	db.countersMu.Lock()
+	defer db.countersMu.Unlock()
+	db.Counters.Reset()
+}
+
 // simulateUDFOverhead burns the configured per-invocation work.
 func (db *DB) simulateUDFOverhead() {
 	acc := 0
@@ -209,25 +232,68 @@ func (db *DB) simulateUDFOverhead() {
 	}
 }
 
-// Query parses and executes a SQL statement.
+// Query parses and executes a SQL statement, materialising the result.
 func (db *DB) Query(sqlText string) (*Result, error) {
+	return db.QueryCtx(context.Background(), sqlText)
+}
+
+// QueryCtx parses and executes a SQL statement under ctx: cancellation or
+// deadline expiry aborts the scan within ctxCheckInterval rows.
+func (db *DB) QueryCtx(ctx context.Context, sqlText string) (*Result, error) {
 	stmt, err := sqlparser.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryStmt(stmt)
+	return db.QueryStmtCtx(ctx, stmt)
 }
 
-// QueryStmt executes a parsed statement.
+// QueryStmt executes a parsed statement, materialising the result.
 func (db *DB) QueryStmt(stmt *sqlparser.SelectStmt) (*Result, error) {
-	ex := &executor{db: db, counters: &db.Counters}
+	return db.QueryStmtCtx(context.Background(), stmt)
+}
+
+// QueryStmtCtx executes a parsed statement under ctx. It is a thin
+// materialising wrapper over the streaming executor: it drains the same
+// pipeline StreamStmt exposes.
+func (db *DB) QueryStmtCtx(ctx context.Context, stmt *sqlparser.SelectStmt) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex := db.newExecutor(ctx)
+	defer ex.flush(db)
 	return ex.selectStmt(stmt, newScope(nil), nil)
+}
+
+// Stream parses and opens a SQL statement as a streaming result.
+func (db *DB) Stream(ctx context.Context, sqlText string) (*Rows, error) {
+	stmt, err := sqlparser.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.StreamStmt(ctx, stmt)
+}
+
+// StreamStmt opens a parsed statement as a streaming result: tuples are
+// produced as Rows.Next is called, ctx is polled every ctxCheckInterval
+// rows, and closing the Rows early releases the underlying scans.
+func (db *DB) StreamStmt(ctx context.Context, stmt *sqlparser.SelectStmt) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex := db.newExecutor(ctx)
+	cols, it, err := ex.stmtIter(stmt, newScope(nil), nil)
+	if err != nil {
+		ex.flush(db)
+		return nil, err
+	}
+	return &Rows{cols: cols, it: it, ex: ex, db: db}, nil
 }
 
 // Explain plans the statement's first select core without executing it and
 // reports, per base table, the access path the optimizer would use and its
 // estimated selectivity. This is the §5.5 input to SIEVE's strategy choice.
 func (db *DB) Explain(stmt *sqlparser.SelectStmt) (*Explain, error) {
-	ex := &executor{db: db, counters: &db.Counters}
+	ex := db.newExecutor(context.Background())
+	defer ex.flush(db)
 	return ex.explain(stmt)
 }

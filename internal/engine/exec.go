@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,36 +11,98 @@ import (
 	"github.com/sieve-db/sieve/internal/storage"
 )
 
-// Result is a materialised query result.
+// Result is a materialised query result: a thin wrapper that collects the
+// streaming executor's output. Callers that do not need every row at once
+// should prefer the streaming surface (DB.StreamStmt and Rows).
 type Result struct {
 	Columns []string
 	Rows    []storage.Row
+}
+
+// cteEntry is one WITH-clause relation visible in a scope. An entry is
+// either materialised (res set) or lazy (stmt set): a lazy entry is
+// registered when the CTE is referenced exactly once and outside any
+// expression subquery, and is opened as a stream by that single consumer.
+// LIMIT satisfaction and early Rows.Close then terminate the CTE body's
+// scan instead of paying to materialise it — the §5.3 guarded projections
+// are exactly such single-use CTEs.
+type cteEntry struct {
+	res      *Result
+	stmt     *sqlparser.SelectStmt
+	sc       *scope
+	outer    *env
+	streamed bool
 }
 
 // scope tracks the relations visible by name beyond the catalog: WITH
 // clauses, nested per statement.
 type scope struct {
 	parent *scope
-	rels   map[string]*Result
+	rels   map[string]*cteEntry
 }
 
 func newScope(parent *scope) *scope {
-	return &scope{parent: parent, rels: make(map[string]*Result)}
+	return &scope{parent: parent, rels: make(map[string]*cteEntry)}
 }
 
-func (sc *scope) lookup(name string) (*Result, bool) {
+func (sc *scope) lookup(name string) (*cteEntry, bool) {
 	for cur := sc; cur != nil; cur = cur.parent {
-		if r, ok := cur.rels[name]; ok {
-			return r, true
+		if e, ok := cur.rels[name]; ok {
+			return e, true
 		}
 	}
 	return nil, false
 }
 
-// executor runs one statement tree. It is not safe for concurrent use.
+// ctxCheckInterval is how many executor ticks (roughly, per-row
+// operations) pass between context polls: cancellation and deadlines are
+// honoured within this many rows of work.
+const ctxCheckInterval = 64
+
+// executor runs one statement tree. It is not safe for concurrent use;
+// every query gets its own executor with its own work counters, merged
+// into the DB's accumulators when the query finishes (flush), so
+// concurrent sessions never contend on counter updates mid-query.
 type executor struct {
 	db       *DB
-	counters *Counters
+	ctx      context.Context
+	counters *Counters // points at local
+	local    Counters
+	tick     int
+	flushed  bool
+}
+
+// newExecutor builds a per-query executor bound to ctx.
+func (db *DB) newExecutor(ctx context.Context) *executor {
+	ex := &executor{db: db, ctx: ctx}
+	ex.counters = &ex.local
+	return ex
+}
+
+// checkCtx polls the context every ctxCheckInterval ticks.
+func (ex *executor) checkCtx() error {
+	ex.tick++
+	if ex.tick%ctxCheckInterval != 0 || ex.ctx == nil {
+		return nil
+	}
+	select {
+	case <-ex.ctx.Done():
+		return ex.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// flush merges the executor's work counters into the DB's accumulators;
+// idempotent, so both materialising calls and Rows.Close may invoke it.
+func (ex *executor) flush(db *DB) {
+	if ex.flushed {
+		return
+	}
+	ex.flushed = true
+	db.countersMu.Lock()
+	db.Counters.Add(ex.local)
+	db.countersMu.Unlock()
 }
 
 // rel is an intermediate relation during execution.
@@ -48,26 +111,56 @@ type rel struct {
 	rows   []storage.Row
 }
 
+// selectStmt materialises a statement's full result.
 func (ex *executor) selectStmt(s *sqlparser.SelectStmt, sc *scope, outer *env) (*Result, error) {
-	sc = newScope(sc)
-	for _, cte := range s.With {
-		res, err := ex.selectStmt(cte.Select, sc, outer)
-		if err != nil {
-			return nil, fmt.Errorf("in WITH %s: %w", cte.Name, err)
-		}
-		sc.rels[cte.Name] = res
-	}
-	res, err := ex.selectCore(s.Body, sc, outer)
+	cols, it, err := ex.stmtIter(s, sc, outer)
 	if err != nil {
 		return nil, err
 	}
+	rows, err := drainIter(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// stmtIter opens a statement as a stream of rows. Set operations (UNION /
+// MINUS) materialise their arms; plain selects stream through coreIter.
+func (ex *executor) stmtIter(s *sqlparser.SelectStmt, sc *scope, outer *env) ([]string, rowIter, error) {
+	lazy := lazyCTENames(s)
+	// Each CTE gets its own scope link whose parent holds only the
+	// *earlier* CTEs: a body's reference to a later sibling must resolve
+	// past the WITH clause (to a base table, or fail) exactly as under
+	// eager in-order evaluation, even when the body runs lazily later.
+	for _, cte := range s.With {
+		entry := &cteEntry{}
+		if lazy[cte.Name] {
+			entry.stmt, entry.sc, entry.outer = cte.Select, sc, outer
+		} else {
+			res, err := ex.selectStmt(cte.Select, sc, outer)
+			if err != nil {
+				return nil, nil, fmt.Errorf("in WITH %s: %w", cte.Name, err)
+			}
+			entry.res = res
+		}
+		next := newScope(sc)
+		next.rels[cte.Name] = entry
+		sc = next
+	}
+	if len(s.Ops) == 0 {
+		return ex.coreIter(s.Body, sc, outer)
+	}
+	res, err := ex.coreResult(s.Body, sc, outer)
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, op := range s.Ops {
-		arm, err := ex.selectCore(op.Core, sc, outer)
+		arm, err := ex.coreResult(op.Core, sc, outer)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(arm.Columns) != len(res.Columns) {
-			return nil, fmt.Errorf("engine: set operation arms have %d vs %d columns", len(res.Columns), len(arm.Columns))
+			return nil, nil, fmt.Errorf("engine: set operation arms have %d vs %d columns", len(res.Columns), len(arm.Columns))
 		}
 		switch op.Kind {
 		case sqlparser.SetUnion:
@@ -76,7 +169,97 @@ func (ex *executor) selectStmt(s *sqlparser.SelectStmt, sc *scope, outer *env) (
 			res = minusResults(res, arm)
 		}
 	}
-	return res, nil
+	return res.Columns, &sliceIter{ex: ex, rows: res.Rows}, nil
+}
+
+// coreResult materialises one select core.
+func (ex *executor) coreResult(core *sqlparser.SelectCore, sc *scope, outer *env) (*Result, error) {
+	cols, it, err := ex.coreIter(core, sc, outer)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drainIter(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// lazyCTENames reports which WITH names may stream: referenced exactly
+// once across the whole statement, with that reference in a FROM clause
+// rather than inside an expression subquery (expression subqueries
+// re-execute per outer row and would consume a stream repeatedly).
+// Anything else keeps the materialise-up-front semantics.
+func lazyCTENames(s *sqlparser.SelectStmt) map[string]bool {
+	if len(s.With) == 0 {
+		return nil
+	}
+	total := make(map[string]int)
+	inExpr := make(map[string]int)
+	countTableRefs(s, false, total, inExpr)
+	out := make(map[string]bool, len(s.With))
+	for _, cte := range s.With {
+		if total[cte.Name] == 1 && inExpr[cte.Name] == 0 {
+			out[cte.Name] = true
+		}
+	}
+	return out
+}
+
+// countTableRefs tallies FROM references per relation name; insideExpr is
+// true below any expression subquery (which may re-execute per row).
+func countTableRefs(s *sqlparser.SelectStmt, insideExpr bool, total, inExpr map[string]int) {
+	if s == nil {
+		return
+	}
+	visitExpr := func(e sqlparser.Expr) {
+		sqlparser.Walk(e, false, func(x sqlparser.Expr) {
+			switch sub := x.(type) {
+			case *sqlparser.SubqueryExpr:
+				countTableRefs(sub.Select, true, total, inExpr)
+			case *sqlparser.ExistsExpr:
+				countTableRefs(sub.Select, true, total, inExpr)
+			case *sqlparser.InExpr:
+				if sub.Sub != nil {
+					countTableRefs(sub.Sub, true, total, inExpr)
+				}
+			}
+		})
+	}
+	visitCore := func(c *sqlparser.SelectCore) {
+		if c == nil {
+			return
+		}
+		for i := range c.From {
+			ref := &c.From[i]
+			if ref.Subquery != nil {
+				countTableRefs(ref.Subquery, insideExpr, total, inExpr)
+				continue
+			}
+			total[ref.Name]++
+			if insideExpr {
+				inExpr[ref.Name]++
+			}
+		}
+		for _, it := range c.Items {
+			visitExpr(it.Expr)
+		}
+		visitExpr(c.Where)
+		for _, g := range c.GroupBy {
+			visitExpr(g)
+		}
+		visitExpr(c.Having)
+		for _, o := range c.OrderBy {
+			visitExpr(o.Expr)
+		}
+	}
+	for _, cte := range s.With {
+		countTableRefs(cte.Select, insideExpr, total, inExpr)
+	}
+	visitCore(s.Body)
+	for _, op := range s.Ops {
+		visitCore(op.Core)
+	}
 }
 
 func unionResults(l, r *Result, all bool) *Result {
@@ -144,11 +327,13 @@ func encodeValue(b *strings.Builder, v storage.Value) {
 
 // sourceInfo is a resolved FROM entry.
 type sourceInfo struct {
-	ref  sqlparser.TableRef
-	name string
-	tbl  *storage.Table // base table, or nil
-	res  *Result        // derived table / CTE result, or nil
-	cols map[string]bool
+	ref        sqlparser.TableRef
+	name       string
+	tbl        *storage.Table // base table, or nil
+	res        *Result        // materialised derived table / CTE, or nil
+	stream     rowIter        // opened single-use CTE stream, or nil
+	streamCols []string
+	cols       map[string]bool
 }
 
 func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer *env) ([]*sourceInfo, error) {
@@ -166,7 +351,26 @@ func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer 
 				src.cols[c] = true
 			}
 		default:
-			if res, ok := sc.lookup(ref.Name); ok {
+			if e, ok := sc.lookup(ref.Name); ok {
+				if e.res == nil && !e.streamed {
+					// Single-use CTE: open its body as a stream. Opening
+					// only builds the pipeline; no rows are read yet.
+					cols, it, err := ex.stmtIter(e.stmt, e.sc, e.outer)
+					if err != nil {
+						return nil, fmt.Errorf("in WITH %s: %w", ref.Name, err)
+					}
+					e.streamed = true
+					src.stream = &cteIter{src: it, name: ref.Name}
+					src.streamCols = cols
+					for _, c := range cols {
+						src.cols[c] = true
+					}
+					break
+				}
+				res, err := ex.materializeCTE(e, ref.Name)
+				if err != nil {
+					return nil, err
+				}
 				src.res = res
 				for _, c := range res.Columns {
 					src.cols[c] = true
@@ -185,6 +389,23 @@ func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer 
 		sources = append(sources, src)
 	}
 	return sources, nil
+}
+
+// materializeCTE runs a lazy WITH body to completion and caches the
+// result for further references.
+func (ex *executor) materializeCTE(e *cteEntry, name string) (*Result, error) {
+	if e.res != nil {
+		return e.res, nil
+	}
+	if e.streamed {
+		return nil, fmt.Errorf("engine: internal error: WITH %s stream consumed twice", name)
+	}
+	res, err := ex.selectStmt(e.stmt, e.sc, e.outer)
+	if err != nil {
+		return nil, fmt.Errorf("in WITH %s: %w", name, err)
+	}
+	e.res = res
+	return res, nil
 }
 
 // refSet computes which local sources an expression references. Qualified
@@ -218,12 +439,34 @@ func qualifySchema(name string, s *storage.Schema) *RelSchema {
 	return &RelSchema{Cols: cols}
 }
 
-func qualifyResult(name string, res *Result) *rel {
-	cols := make([]RelCol, len(res.Columns))
-	for i, c := range res.Columns {
-		cols[i] = RelCol{Table: name, Name: c}
+func qualifyCols(name string, cols []string) *RelSchema {
+	out := make([]RelCol, len(cols))
+	for i, c := range cols {
+		out[i] = RelCol{Table: name, Name: c}
 	}
-	return &rel{schema: &RelSchema{Cols: cols}, rows: res.Rows}
+	return &RelSchema{Cols: out}
+}
+
+func qualifyResult(name string, res *Result) *rel {
+	return &rel{schema: qualifyCols(name, res.Columns), rows: res.Rows}
+}
+
+// rowPasses evaluates conjuncts against one row laid out as schema,
+// rejecting on the first conjunct that is not true. The single
+// WHERE-evaluation semantics shared by the streaming scans and the
+// materialising filter.
+func rowPasses(ev *evaluator, schema *RelSchema, row storage.Row, conjs []sqlparser.Expr, outer *env) (bool, error) {
+	en := &env{schema: schema, row: row, outer: outer}
+	for _, cj := range conjs {
+		v, err := ev.eval(cj, en)
+		if err != nil {
+			return false, err
+		}
+		if t, _ := truth(v); !t {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // filterRel keeps rows satisfying every conjunct.
@@ -234,84 +477,59 @@ func (ex *executor) filterRel(r *rel, conjs []sqlparser.Expr, sc *scope, outer *
 	ev := &evaluator{ex: ex, scope: sc}
 	out := &rel{schema: r.schema}
 	for _, row := range r.rows {
-		en := &env{schema: r.schema, row: row, outer: outer}
-		ok := true
-		for _, cj := range conjs {
-			v, err := ev.eval(cj, en)
-			if err != nil {
-				return nil, err
-			}
-			if t, _ := truth(v); !t {
-				ok = false
-				break
-			}
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
 		}
-		if ok {
+		keep, err := rowPasses(ev, r.schema, row, conjs, outer)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
 			out.rows = append(out.rows, row)
 		}
 	}
 	return out, nil
 }
 
-// scanSource materialises one FROM entry, applying its single-source
-// conjuncts (through the chosen access path for base tables).
-func (ex *executor) scanSource(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env) (*rel, error) {
-	if src.res != nil {
-		return ex.filterRel(qualifyResult(src.name, src.res), conjs, sc, outer)
-	}
-	t := src.tbl
-	plan := planAccess(ex.db, t, src.name, conjs, src.ref.Hint)
-	schema := qualifySchema(src.name, t.Schema)
+// scanSourceIter opens one FROM entry as a stream with its single-source
+// conjuncts applied (through the chosen access path for base tables).
+func (ex *executor) scanSourceIter(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env) (*RelSchema, rowIter, error) {
 	ev := &evaluator{ex: ex, scope: sc}
-	out := &rel{schema: schema}
-	keep := func(row storage.Row) (bool, error) {
-		en := &env{schema: schema, row: row, outer: outer}
-		for _, cj := range conjs {
-			v, err := ev.eval(cj, en)
-			if err != nil {
-				return false, err
-			}
-			if t, _ := truth(v); !t {
-				return false, nil
-			}
+	switch {
+	case src.stream != nil:
+		schema := qualifyCols(src.name, src.streamCols)
+		var it rowIter = src.stream
+		if len(conjs) > 0 {
+			it = &filterIter{ex: ex, src: it, schema: schema, conjs: conjs, ev: ev, outer: outer}
 		}
-		return true, nil
+		return schema, it, nil
+	case src.res != nil:
+		r := qualifyResult(src.name, src.res)
+		var it rowIter = &sliceIter{ex: ex, rows: r.rows}
+		if len(conjs) > 0 {
+			it = &filterIter{ex: ex, src: it, schema: r.schema, conjs: conjs, ev: ev, outer: outer}
+		}
+		return r.schema, it, nil
+	default:
+		t := src.tbl
+		plan := planAccess(ex.db, t, src.name, conjs, src.ref.Hint)
+		schema := qualifySchema(src.name, t.Schema)
+		it := &tableIter{ex: ex, t: t, plan: plan, schema: schema, conjs: conjs, ev: ev, outer: outer}
+		return schema, it, nil
 	}
-	if plan.fetch == nil {
-		ex.counters.SeqScans++
-		var scanErr error
-		t.Scan(func(_ storage.RowID, row storage.Row) bool {
-			ex.counters.TuplesRead++
-			ok, err := keep(row)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if ok {
-				out.rows = append(out.rows, row)
-			}
-			return true
-		})
-		if scanErr != nil {
-			return nil, scanErr
-		}
-		return out, nil
+}
+
+// scanSource materialises one FROM entry (the join path's build input).
+func (ex *executor) scanSource(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env) (*rel, error) {
+	schema, it, err := ex.scanSourceIter(src, conjs, sc, outer)
+	if err != nil {
+		return nil, err
 	}
-	for _, id := range plan.fetch(ex.counters) {
-		row, ok := t.Get(id)
-		if !ok {
-			continue
-		}
-		ex.counters.TuplesRead++
-		keepIt, err := keep(row)
-		if err != nil {
-			return nil, err
-		}
-		if keepIt {
-			out.rows = append(out.rows, row)
-		}
+	rows, err := drainIter(it)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &rel{schema: schema, rows: rows}, nil
 }
 
 // asEquiJoin recognises cur.col = next.col conjuncts usable as hash-join
@@ -356,11 +574,14 @@ func concatRows(a, b storage.Row) storage.Row {
 // hashJoin joins cur and next on the given key offsets. The hash table is
 // built on next (typically the smaller, later FROM entry) and probed with
 // cur, preserving cur's row order.
-func hashJoin(cur, next *rel, lkeys, rkeys []int) *rel {
+func (ex *executor) hashJoin(cur, next *rel, lkeys, rkeys []int) (*rel, error) {
 	out := &rel{schema: concatSchemas(cur.schema, next.schema)}
 	table := make(map[string][]storage.Row, len(next.rows))
 	var b strings.Builder
 	for _, row := range next.rows {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		b.Reset()
 		null := false
 		for _, k := range rkeys {
@@ -376,6 +597,9 @@ func hashJoin(cur, next *rel, lkeys, rkeys []int) *rel {
 		table[b.String()] = append(table[b.String()], row)
 	}
 	for _, lrow := range cur.rows {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		b.Reset()
 		null := false
 		for _, k := range lkeys {
@@ -389,35 +613,46 @@ func hashJoin(cur, next *rel, lkeys, rkeys []int) *rel {
 			continue
 		}
 		for _, rrow := range table[b.String()] {
+			// Inner-loop tick: a skewed key matching millions of build
+			// rows must still honour cancellation within the interval.
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
 			out.rows = append(out.rows, concatRows(lrow, rrow))
 		}
 	}
-	return out
+	return out, nil
 }
 
-func crossJoin(cur, next *rel) *rel {
+func (ex *executor) crossJoin(cur, next *rel) (*rel, error) {
 	out := &rel{schema: concatSchemas(cur.schema, next.schema)}
 	for _, l := range cur.rows {
 		for _, r := range next.rows {
+			// Per-output-row tick: cancellation latency must not scale
+			// with the inner relation's size.
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
 			out.rows = append(out.rows, concatRows(l, r))
 		}
 	}
-	return out
+	return out, nil
 }
 
-func (ex *executor) selectCore(core *sqlparser.SelectCore, sc *scope, outer *env) (*Result, error) {
-	sources, err := ex.resolveSources(core, sc, outer)
-	if err != nil {
-		return nil, err
-	}
+// classified is one WHERE conjunct with the set of local sources it
+// touches and whether it has been applied somewhere in the pipeline.
+type classified struct {
+	expr    sqlparser.Expr
+	refs    map[int]bool
+	applied bool
+}
 
-	// Classify WHERE conjuncts by the set of local sources they touch.
+// classifyConjuncts assigns WHERE conjuncts to the sources they can be
+// pushed into: constant/correlated conjuncts evaluate with the first
+// scan; single-source conjuncts push into their source's scan; the rest
+// wait for the join that binds them.
+func classifyConjuncts(core *sqlparser.SelectCore, sources []*sourceInfo) ([]*classified, [][]sqlparser.Expr) {
 	conjuncts := sqlparser.Conjuncts(core.Where)
-	type classified struct {
-		expr    sqlparser.Expr
-		refs    map[int]bool
-		applied bool
-	}
 	classifieds := make([]*classified, len(conjuncts))
 	perSource := make([][]sqlparser.Expr, len(sources))
 	for i, cj := range conjuncts {
@@ -425,7 +660,6 @@ func (ex *executor) selectCore(core *sqlparser.SelectCore, sc *scope, outer *env
 		classifieds[i] = cl
 		switch len(cl.refs) {
 		case 0:
-			// Constant or purely correlated: evaluate with the first scan.
 			perSource[0] = append(perSource[0], cj)
 			cl.applied = true
 		case 1:
@@ -435,8 +669,12 @@ func (ex *executor) selectCore(core *sqlparser.SelectCore, sc *scope, outer *env
 			cl.applied = true
 		}
 	}
+	return classifieds, perSource
+}
 
-	// Scan and join left to right in FROM order.
+// joinSources scans and joins all FROM entries left to right, applying
+// multi-source conjuncts as soon as the join binds them.
+func (ex *executor) joinSources(sources []*sourceInfo, classifieds []*classified, perSource [][]sqlparser.Expr, sc *scope, outer *env) (*rel, error) {
 	cur, err := ex.scanSource(sources[0], perSource[0], sc, outer)
 	if err != nil {
 		return nil, err
@@ -460,9 +698,12 @@ func (ex *executor) selectCore(core *sqlparser.SelectCore, sc *scope, outer *env
 			}
 		}
 		if len(lkeys) > 0 {
-			cur = hashJoin(cur, next, lkeys, rkeys)
+			cur, err = ex.hashJoin(cur, next, lkeys, rkeys)
 		} else {
-			cur = crossJoin(cur, next)
+			cur, err = ex.crossJoin(cur, next)
+		}
+		if err != nil {
+			return nil, err
 		}
 		// Apply any remaining conjuncts that became fully bound.
 		var pending []sqlparser.Expr
@@ -483,11 +724,68 @@ func (ex *executor) selectCore(core *sqlparser.SelectCore, sc *scope, outer *env
 			leftovers = append(leftovers, cl.expr)
 		}
 	}
-	if cur, err = ex.filterRel(cur, leftovers, sc, outer); err != nil {
-		return nil, err
+	return ex.filterRel(cur, leftovers, sc, outer)
+}
+
+// coreIter opens one select core as a stream. Single-source cores without
+// grouping or ordering stream end to end: scan → filter → project →
+// [distinct] → [limit], producing tuples on demand. Joins, aggregation
+// and ORDER BY materialise at the stage that requires it and stream from
+// there on.
+func (ex *executor) coreIter(core *sqlparser.SelectCore, sc *scope, outer *env) ([]string, rowIter, error) {
+	sources, err := ex.resolveSources(core, sc, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	classifieds, perSource := classifyConjuncts(core, sources)
+	grouped := coreIsGrouped(core)
+
+	var cur *rel // set when the join path materialised the input
+	var schema *RelSchema
+	var it rowIter
+	if len(sources) == 1 {
+		schema, it, err = ex.scanSourceIter(sources[0], perSource[0], sc, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		cur, err = ex.joinSources(sources, classifieds, perSource, sc, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema, it = cur.schema, &sliceIter{ex: ex, rows: cur.rows}
 	}
 
-	return ex.project(core, cur, sc, outer)
+	if grouped || len(core.OrderBy) > 0 {
+		if cur == nil {
+			rows, err := drainIter(it)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = &rel{schema: schema, rows: rows}
+		}
+		res, err := ex.project(core, cur, sc, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Columns, &sliceIter{ex: ex, rows: res.Rows}, nil
+	}
+
+	// Streaming projection: no grouping, no ordering.
+	var columns []string
+	if core.Star {
+		columns = schema.ColumnNames()
+	} else {
+		columns = ex.outputColumns(core)
+		it = &projIter{src: it, items: core.Items, schema: schema, ev: &evaluator{ex: ex, scope: sc}, outer: outer}
+	}
+	if core.Distinct {
+		it = &distinctIter{src: it}
+	}
+	if core.Limit >= 0 {
+		it = &limitIter{src: it, n: core.Limit}
+	}
+	return columns, it, nil
 }
 
 func subset(a, b map[int]bool) bool {
@@ -499,19 +797,26 @@ func subset(a, b map[int]bool) bool {
 	return true
 }
 
-// project evaluates GROUP BY / aggregation, the select list, DISTINCT,
-// ORDER BY and LIMIT over the joined relation.
-func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, outer *env) (*Result, error) {
-	hasAgg := false
+// coreIsGrouped reports whether the core needs grouping semantics: an
+// explicit GROUP BY, or aggregates in the select list or HAVING. Both
+// the streaming and materialising paths route on this single predicate.
+func coreIsGrouped(core *sqlparser.SelectCore) bool {
+	if len(core.GroupBy) > 0 {
+		return true
+	}
 	for _, it := range core.Items {
 		if containsAggregate(it.Expr) {
-			hasAgg = true
+			return true
 		}
 	}
-	if core.Having != nil && containsAggregate(core.Having) {
-		hasAgg = true
-	}
-	grouped := len(core.GroupBy) > 0 || hasAgg
+	return core.Having != nil && containsAggregate(core.Having)
+}
+
+// project evaluates GROUP BY / aggregation, the select list, DISTINCT,
+// ORDER BY and LIMIT over the joined relation (the materialising path;
+// cores without grouping or ordering stream through coreIter instead).
+func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, outer *env) (*Result, error) {
+	grouped := coreIsGrouped(core)
 
 	columns := ex.outputColumns(core)
 
@@ -552,6 +857,9 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 				ev := &evaluator{ex: ex, scope: sc}
 				orderKeys = make([][]storage.Value, len(outRows))
 				for i, row := range cur.rows {
+					if err := ex.checkCtx(); err != nil {
+						return nil, err
+					}
 					en := &env{schema: cur.schema, row: row, outer: outer}
 					keys, err := evalOrderKeys(ev, en)
 					if err != nil {
@@ -563,6 +871,9 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 		} else {
 			ev := &evaluator{ex: ex, scope: sc}
 			for _, row := range cur.rows {
+				if err := ex.checkCtx(); err != nil {
+					return nil, err
+				}
 				en := &env{schema: cur.schema, row: row, outer: outer}
 				out, err := evalRowItems(ev, en)
 				if err != nil {
@@ -721,6 +1032,9 @@ func (ex *executor) buildGroups(core *sqlparser.SelectCore, cur *rel, sc *scope,
 	}
 	var b strings.Builder
 	for _, row := range cur.rows {
+		if err := ex.checkCtx(); err != nil {
+			return nil, nil, err
+		}
 		en := &env{schema: cur.schema, row: row, outer: outer}
 		b.Reset()
 		for _, gexpr := range core.GroupBy {
@@ -791,6 +1105,9 @@ func (ex *executor) computeAggregates(nodes []*sqlparser.FuncCall, g *group, sch
 			distinct = make(map[string]struct{})
 		}
 		for _, row := range g.rows {
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
 			en := &env{schema: schema, row: row, outer: outer}
 			v, err := ev.eval(fc.Args[0], en)
 			if err != nil {

@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// rowIter is the pull-based iterator the executor's streaming pipeline is
+// built from. Next returns (nil, nil) once the stream is exhausted; any
+// error (including context cancellation) terminates the stream. Close
+// releases upstream resources and must be idempotent.
+type rowIter interface {
+	Next() (storage.Row, error)
+	Close()
+}
+
+// Rows is a streaming query result: tuples are produced on demand as Next
+// is called instead of being materialised up front. Closing early (or a
+// LIMIT running out) stops the underlying scan, so abandoned queries do
+// not pay for rows never read. A Rows is not safe for concurrent use; run
+// concurrent queries through separate Rows.
+//
+// The usual loop:
+//
+//	rows, err := sess.Query(ctx, "SELECT id FROM t")
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		r := rows.Row()
+//		...
+//	}
+//	if err := rows.Err(); err != nil { ... }
+type Rows struct {
+	cols   []string
+	it     rowIter
+	ex     *executor
+	db     *DB
+	cur    storage.Row
+	err    error
+	closed bool
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row. It returns false when the stream is
+// exhausted, an error occurred (see Err), or the Rows was closed.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	row, err := r.it.Next()
+	if err != nil {
+		r.err = err
+		r.release()
+		return false
+	}
+	if row == nil {
+		r.release()
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Row returns the current row. Valid until the next call to Next; the
+// caller must not mutate it.
+func (r *Rows) Row() storage.Row { return r.cur }
+
+// Scan copies the current row into dest, one destination per column.
+// Destinations may be *storage.Value or *any (accept any column,
+// including NULL), *int64 (INT, TIME, DATE), *float64 (any numeric),
+// *string (VARCHAR, the raw stored string), or *bool (BOOL). A NULL or a
+// kind the destination cannot hold is an error, never a silent zero.
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("engine: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("engine: Scan expects %d destinations, got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		switch p := d.(type) {
+		case *storage.Value:
+			*p = v
+			continue
+		case *any:
+			*p = v
+			continue
+		}
+		if v.IsNull() {
+			return fmt.Errorf("engine: Scan: column %q is NULL; scan into *storage.Value to observe NULLs", r.cols[i])
+		}
+		mismatch := func() error {
+			return fmt.Errorf("engine: Scan: cannot store %s column %q in %T", v.K, r.cols[i], d)
+		}
+		switch p := d.(type) {
+		case *int64:
+			switch v.K {
+			case storage.KindInt, storage.KindTime, storage.KindDate:
+				*p = v.I
+			default:
+				return mismatch()
+			}
+		case *float64:
+			switch v.K {
+			case storage.KindInt, storage.KindFloat, storage.KindTime, storage.KindDate:
+				*p = v.Float()
+			default:
+				return mismatch()
+			}
+		case *string:
+			if v.K != storage.KindString {
+				return mismatch()
+			}
+			*p = v.S
+		case *bool:
+			if v.K != storage.KindBool {
+				return mismatch()
+			}
+			*p = v.Bool()
+		default:
+			return fmt.Errorf("engine: unsupported Scan destination %T for column %q", d, r.cols[i])
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. Context
+// cancellation surfaces here as the context's error.
+func (r *Rows) Err() error { return r.err }
+
+// Close stops iteration and releases the underlying scan. It is
+// idempotent and safe after exhaustion.
+func (r *Rows) Close() error {
+	r.release()
+	return nil
+}
+
+// release tears the pipeline down exactly once and flushes the query's
+// work counters into the database's accumulators.
+func (r *Rows) release() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.cur = nil
+	r.it.Close()
+	r.ex.flush(r.db)
+}
+
+// drain consumes an iterator to completion, closing it.
+func drainIter(it rowIter) ([]storage.Row, error) {
+	defer it.Close()
+	var rows []storage.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+// sliceIter yields from a materialised row slice.
+type sliceIter struct {
+	ex   *executor
+	rows []storage.Row
+	pos  int
+}
+
+func (it *sliceIter) Next() (storage.Row, error) {
+	if err := it.ex.checkCtx(); err != nil {
+		return nil, err
+	}
+	if it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	row := it.rows[it.pos]
+	it.pos++
+	return row, nil
+}
+
+func (it *sliceIter) Close() {}
+
+// tableIter is a streaming base-table access path: rows are pulled one at
+// a time (heap order for sequential scans, fetch-list order for index
+// scans) and filtered by the source's conjuncts as they are produced.
+type tableIter struct {
+	ex     *executor
+	t      *storage.Table
+	plan   accessPlan
+	schema *RelSchema
+	conjs  []sqlparser.Expr
+	ev     *evaluator
+	outer  *env
+
+	inited bool
+	// sequential cursor
+	seq    bool
+	nextID storage.RowID
+	// index fetch list
+	ids []storage.RowID
+	pos int
+}
+
+func (it *tableIter) init() error {
+	it.inited = true
+	if it.plan.fetch == nil {
+		it.seq = true
+		it.ex.counters.SeqScans++
+		return nil
+	}
+	it.ids = it.plan.fetch(it.ex.counters)
+	return nil
+}
+
+func (it *tableIter) Next() (storage.Row, error) {
+	if !it.inited {
+		if err := it.init(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if err := it.ex.checkCtx(); err != nil {
+			return nil, err
+		}
+		var row storage.Row
+		if it.seq {
+			id, r, ok := it.t.NextLive(it.nextID)
+			if !ok {
+				return nil, nil
+			}
+			it.nextID = id + 1
+			row = r
+		} else {
+			if it.pos >= len(it.ids) {
+				return nil, nil
+			}
+			r, ok := it.t.Get(it.ids[it.pos])
+			it.pos++
+			if !ok {
+				continue
+			}
+			row = r
+		}
+		it.ex.counters.TuplesRead++
+		keep, err := rowPasses(it.ev, it.schema, row, it.conjs, it.outer)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return row, nil
+		}
+	}
+}
+
+func (it *tableIter) Close() {}
+
+// filterIter applies conjuncts to rows of a derived source.
+type filterIter struct {
+	ex     *executor
+	src    rowIter
+	schema *RelSchema
+	conjs  []sqlparser.Expr
+	ev     *evaluator
+	outer  *env
+}
+
+func (it *filterIter) Next() (storage.Row, error) {
+	for {
+		row, err := it.src.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		keep, err := rowPasses(it.ev, it.schema, row, it.conjs, it.outer)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return row, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.src.Close() }
+
+// projIter evaluates the select list per input row.
+type projIter struct {
+	src    rowIter
+	items  []sqlparser.SelectItem
+	schema *RelSchema
+	ev     *evaluator
+	outer  *env
+}
+
+func (it *projIter) Next() (storage.Row, error) {
+	row, err := it.src.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	en := &env{schema: it.schema, row: row, outer: it.outer}
+	out := make(storage.Row, len(it.items))
+	for i, item := range it.items {
+		v, err := it.ev.eval(item.Expr, en)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (it *projIter) Close() { it.src.Close() }
+
+// distinctIter suppresses duplicate rows, keeping first occurrences.
+type distinctIter struct {
+	src  rowIter
+	seen map[string]struct{}
+}
+
+func (it *distinctIter) Next() (storage.Row, error) {
+	if it.seen == nil {
+		it.seen = make(map[string]struct{})
+	}
+	for {
+		row, err := it.src.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		k := rowKey(row)
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		return row, nil
+	}
+}
+
+func (it *distinctIter) Close() { it.src.Close() }
+
+// limitIter stops the stream after n rows, closing the upstream scan so a
+// satisfied LIMIT terminates the query early (§5's amortisation carries to
+// execution: work is proportional to rows delivered, not rows stored).
+type limitIter struct {
+	src  rowIter
+	n    int64
+	done bool
+}
+
+func (it *limitIter) Next() (storage.Row, error) {
+	if it.done || it.n <= 0 {
+		it.Close()
+		return nil, nil
+	}
+	row, err := it.src.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	it.n--
+	if it.n == 0 {
+		it.Close()
+	}
+	return row, nil
+}
+
+func (it *limitIter) Close() {
+	if !it.done {
+		it.done = true
+		it.src.Close()
+	}
+}
+
+// cteIter wraps a lazily-streamed WITH body so its errors name the CTE.
+type cteIter struct {
+	src  rowIter
+	name string
+}
+
+func (it *cteIter) Next() (storage.Row, error) {
+	row, err := it.src.Next()
+	if err != nil {
+		return nil, fmt.Errorf("in WITH %s: %w", it.name, err)
+	}
+	return row, nil
+}
+
+func (it *cteIter) Close() { it.src.Close() }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
 )
@@ -19,7 +21,24 @@ func QualifiedSchema(name string, s *storage.Schema) *RelSchema {
 // conditions (§3.1) see the tuple under evaluation. The result is the raw
 // value; callers decide on truthiness.
 func (db *DB) EvalPredicate(e sqlparser.Expr, schema *RelSchema, row storage.Row) (storage.Value, error) {
-	ex := &executor{db: db, counters: &db.Counters}
+	return db.EvalPredicateWith(nil, e, schema, row)
+}
+
+// EvalPredicateWith is EvalPredicate tallying work into the supplied
+// counters — typically the calling query's own (UDFContext.Counters).
+// UDFs on per-tuple hot paths use it to avoid taking the DB-wide counter
+// merge lock once per invocation. nil counters fall back to a private
+// set merged globally, as EvalPredicate does.
+func (db *DB) EvalPredicateWith(c *Counters, e sqlparser.Expr, schema *RelSchema, row storage.Row) (storage.Value, error) {
+	ex := db.newExecutor(context.Background())
+	if c != nil {
+		// The caller owns these counters and merges them itself;
+		// suppress this executor's own flush.
+		ex.counters = c
+		ex.flushed = true
+	} else {
+		defer ex.flush(db)
+	}
 	ev := &evaluator{ex: ex, scope: newScope(nil)}
 	return ev.eval(e, &env{schema: schema, row: row})
 }

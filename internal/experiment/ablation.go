@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,8 +57,9 @@ func runAblationVariant(cfg Config, opts []core.Option) (time.Duration, float64,
 	var total time.Duration
 	var guards float64
 	for _, qm := range queriers {
+		sess := env.M.NewSession(qm)
 		avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-			_, err := env.M.Execute(qAll, qm)
+			_, err := sess.Execute(context.Background(), qAll)
 			return err
 		})
 		if err != nil {
@@ -95,9 +97,10 @@ func DynamicRegeneration(cfg Config, inserts int) (*Table, error) {
 			return nil, fmt.Errorf("no queriers")
 		}
 		qm := queriers[0]
+		sess := env.M.NewSession(qm)
 		qAll := "SELECT * FROM " + workload.TableWiFi
 		start := time.Now()
-		if _, err := env.M.Execute(qAll, qm); err != nil {
+		if _, err := sess.Execute(context.Background(), qAll); err != nil {
 			return nil, err
 		}
 		for i := 0; i < inserts; i++ {
@@ -108,7 +111,7 @@ func DynamicRegeneration(cfg Config, inserts int) (*Table, error) {
 			if err := env.M.AddPolicy(p); err != nil {
 				return nil, err
 			}
-			if _, err := env.M.Execute(qAll, qm); err != nil {
+			if _, err := sess.Execute(context.Background(), qAll); err != nil {
 				return nil, err
 			}
 		}

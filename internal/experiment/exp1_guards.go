@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -275,8 +276,9 @@ func GuardQuadrants(cfg Config) (*Table, error) {
 		if qm.Purpose == policy.AnyPurpose {
 			qm.Purpose = "analytics"
 		}
+		sess := env.M.NewSession(qm)
 		avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-			_, err := env.M.Execute(qAll, qm)
+			_, err := sess.Execute(context.Background(), qAll)
 			return err
 		})
 		if err != nil {

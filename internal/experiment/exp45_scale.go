@@ -111,26 +111,27 @@ func PostgresComparison(cfg Config) (*Table, error) {
 		var n int
 		for _, q := range queriers {
 			qm := policy.Metadata{Querier: fmt.Sprintf("%s@%d", q, size), Purpose: "analytics"}
+			mySess, pgSess := my.M.NewSession(qm), pg.M.NewSession(qm)
 			a, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(my.M, "BaselineI", qAll, qm)
+				return runStrategy(mySess, "BaselineI", qAll)
 			})
 			if err != nil {
 				return nil, err
 			}
 			b, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(pg.M, "BaselineP", qAll, qm)
+				return runStrategy(pgSess, "BaselineP", qAll)
 			})
 			if err != nil {
 				return nil, err
 			}
 			c, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(my.M, "SIEVE", qAll, qm)
+				return runStrategy(mySess, "SIEVE", qAll)
 			})
 			if err != nil {
 				return nil, err
 			}
 			d, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(pg.M, "SIEVE", qAll, qm)
+				return runStrategy(pgSess, "SIEVE", qAll)
 			})
 			if err != nil {
 				return nil, err
@@ -185,14 +186,15 @@ func MallScalability(cfg Config) (*Table, error) {
 		var n int
 		for _, q := range queriers {
 			qm := policy.Metadata{Querier: fmt.Sprintf("%s@%d", q, size), Purpose: "marketing"}
+			sess := env.M.NewSession(qm)
 			b, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(env.M, "BaselineP", qAll, qm)
+				return runStrategy(sess, "BaselineP", qAll)
 			})
 			if err != nil {
 				return nil, err
 			}
 			s, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
-				return runStrategy(env.M, "SIEVE", qAll, qm)
+				return runStrategy(sess, "SIEVE", qAll)
 			})
 			if err != nil {
 				return nil, err

@@ -120,6 +120,20 @@ func CompileSet(ps []*Policy, schema *storage.Schema) (*CompiledSet, error) {
 	return cs, nil
 }
 
+// HasSubqueryConditions reports whether any compiled policy carries a
+// derived-value condition, i.e. whether evaluation can ever need a
+// SubqueryEvaluator. Hot paths use it to skip building one.
+func (cs *CompiledSet) HasSubqueryConditions() bool {
+	for _, row := range cs.checks {
+		for _, ch := range row {
+			if ch.cond.Kind == CondSubquery {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // evalPolicy evaluates one compiled policy against a row.
 func (cs *CompiledSet) evalPolicy(i int, row storage.Row, sub SubqueryEvaluator) (bool, error) {
 	for _, ch := range cs.checks[i] {

@@ -18,7 +18,11 @@
 // honours FORCE INDEX/USE INDEX hints; "postgres" ignores hints but
 // OR-combines index scans through bitmaps.
 //
-// A minimal session:
+// Queries run through three types: a Session binds who is asking and for
+// what purpose (plus that querier's group resolution) once; a Stmt is a
+// prepared query whose parse and policy rewrite are cached and
+// invalidated by policy changes; Rows streams results tuple-at-a-time
+// with context cancellation and early Close. A minimal session:
 //
 //	db := sieve.NewDB(sieve.MySQL())
 //	// ... create tables, load data, create indexes ...
@@ -33,9 +37,18 @@
 //			sieve.Compare("wifiAP", sieve.Eq, sieve.Int(1200)),
 //		},
 //	})
-//	res, _ := m.Execute("SELECT * FROM WiFi_Dataset", sieve.Metadata{
-//		Querier: "Prof. Smith", Purpose: "Attendance",
-//	})
+//	sess := m.NewSession(sieve.Metadata{Querier: "Prof. Smith", Purpose: "Attendance"})
+//	rows, _ := sess.Query(ctx, "SELECT * FROM WiFi_Dataset")
+//	defer rows.Close()
+//	for rows.Next() {
+//		r := rows.Row()
+//		// ... r is visible to Prof. Smith under the policy corpus ...
+//	}
+//
+// Repeated queries should be prepared once and executed per session:
+//
+//	stmt, _ := m.Prepare("SELECT * FROM WiFi_Dataset")
+//	rows, _ := stmt.Query(ctx, sess) // parse + rewrite amortised
 package sieve
 
 import (
@@ -60,6 +73,19 @@ type (
 	Explain = engine.Explain
 	// Counters expose the engine's work counters.
 	Counters = engine.Counters
+
+	// Session binds query metadata (querier, purpose, group resolution)
+	// once; it is the unit of per-user state. Create with
+	// Middleware.NewSession. Any number of Sessions may share one
+	// Middleware concurrently.
+	Session = core.Session
+	// Stmt is a prepared query: parsed once via Middleware.Prepare, its
+	// rewritten plan cached per (querier, purpose) and invalidated by
+	// policy inserts and revocations.
+	Stmt = core.Stmt
+	// Rows is a streaming query result with Next/Scan/Close; rows are
+	// produced tuple-at-a-time and a context governs the scan.
+	Rows = engine.Rows
 
 	// Middleware is a SIEVE instance.
 	Middleware = core.Middleware
