@@ -52,6 +52,7 @@ var experiments = []exp{
 	{"dynamic", "Section 6: eager vs deferred regeneration", func(c experiment.Config) (*experiment.Table, error) {
 		return experiment.DynamicRegeneration(c, 10)
 	}},
+	{"workers", "Parallel guarded scan scaling (1..NumCPU workers)", experiment.WorkerScaling},
 }
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	micro := flag.Bool("micro", false, "measure the Session/Stmt/Rows execution surface and exit")
+	workers := flag.Int("workers", 0, "parallel scan workers per engine (0 = NumCPU); adds a scaling dimension to every experiment")
 	flag.Parse()
 
 	if *list {
@@ -87,6 +89,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	cfg.Workers = *workers
 
 	wanted := map[string]bool{}
 	if *run != "all" {

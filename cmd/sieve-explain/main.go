@@ -23,6 +23,7 @@ func main() {
 	query := flag.String("query", "SELECT * FROM "+workload.TableWiFi, "query to explain")
 	querier := flag.String("querier", "auto", "querier identity ('auto' picks the busiest)")
 	purpose := flag.String("purpose", "analytics", "query purpose")
+	workers := flag.Int("workers", 0, "parallel scan workers (0 = engine default, NumCPU)")
 	flag.Parse()
 
 	var d sieve.Dialect
@@ -39,6 +40,9 @@ func main() {
 	campus, err := workload.BuildCampus(workload.TestCampusConfig(), d)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *workers > 0 {
+		campus.DB.ScanWorkers = *workers
 	}
 	policies := campus.GeneratePolicies(workload.TestPolicyConfig())
 	store, err := sieve.NewStore(campus.DB)
@@ -73,6 +77,7 @@ func main() {
 		fmt.Printf("  strategy        : %s\n", dec.Strategy)
 		fmt.Printf("  guards          : %d (%d via Δ)\n", dec.Guards, dec.DeltaGuards)
 		fmt.Printf("  policies        : %d (+%d pending)\n", dec.Policies, dec.PendingPolicies)
+		fmt.Printf("  segments        : %d/%d prunable by guard zone maps\n", dec.SegmentsPrunable, dec.SegmentsTotal)
 		fmt.Printf("  cost LinearScan : %s\n", cost(dec.CostLinearScan))
 		fmt.Printf("  cost IndexQuery : %s (index %s)\n", cost(dec.CostIndexQuery), orDash(dec.QueryIndex))
 		fmt.Printf("  cost IndexGuards: %s\n", cost(dec.CostIndexGuards))
@@ -94,19 +99,18 @@ func main() {
 	}
 	fmt.Printf("\nengine plan:\n%s", plan.String())
 
-	rows, err := sess.Query(context.Background(), *query)
+	// Execute materialising (the exhaustive path), so the parallel
+	// guarded-scan operator engages when the table is large enough, and
+	// report the executor's actual segment accounting.
+	campus.DB.ResetCounters()
+	res, err := sess.Execute(context.Background(), *query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rows.Close()
-	n := 0
-	for rows.Next() {
-		n++
-	}
-	if err := rows.Err(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nresult: %d rows\n", n)
+	c := campus.DB.CountersSnapshot()
+	fmt.Printf("\nresult: %d rows\n", len(res.Rows))
+	fmt.Printf("executor: %d tuples read, %d segments scanned, %d pruned (zero tuple reads), %d parallel scans (workers=%d)\n",
+		c.TuplesRead, c.SegmentsScanned, c.SegmentsPruned, c.ParallelScans, campus.DB.EffectiveScanWorkers())
 }
 
 func orDash(s string) string {

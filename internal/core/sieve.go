@@ -263,7 +263,10 @@ func (m *Middleware) RevokePolicy(id int64) error {
 // selectivityFor builds the guard-generation selectivity model for a
 // relation from the engine's statistics, refreshing them if absent.
 func (m *Middleware) selectivityFor(relation string) (guard.Selectivity, error) {
-	stats, ok := m.db.Stats(relation)
+	// StatsRefreshed re-analyzes (histograms + zone maps) when enough
+	// mutations accumulated since the last build, so guard selectivity
+	// estimates track bulk loads instead of the load-time snapshot.
+	stats, ok := m.db.StatsRefreshed(relation)
 	if !ok {
 		if err := m.db.Analyze(relation); err != nil {
 			return nil, err
@@ -275,7 +278,7 @@ func (m *Middleware) selectivityFor(relation string) (guard.Selectivity, error) 
 	for _, c := range t.IndexedColumns() {
 		indexed[c] = true
 	}
-	return &guard.TableSelectivity{Stats: stats, IndexedCols: indexed}, nil
+	return &guard.TableSelectivity{Stats: stats, IndexedCols: indexed, Table: t}, nil
 }
 
 // onPolicyInserted is the rP insert trigger (§5.1): flip the outdated flag

@@ -42,6 +42,12 @@ type TableDecision struct {
 	CostLinearScan  float64
 	CostIndexQuery  float64
 	CostIndexGuards float64
+	// SegmentsTotal/SegmentsPrunable report the zone-map estimate behind
+	// CostLinearScan: of SegmentsTotal storage segments, SegmentsPrunable
+	// are refuted by every guard (and pending arm) interval, so the
+	// guarded linear scan skips them without reading a tuple.
+	SegmentsTotal    int
+	SegmentsPrunable int
 }
 
 // Report describes one rewrite: the final SQL and per-table decisions.
@@ -70,7 +76,7 @@ func (m *Middleware) chooseStrategy(stmt *sqlparser.SelectStmt, relation, refNam
 	// index, each fetching that owner's tuples.
 	igSel := ge.TotalSel()
 	if len(pending) > 0 {
-		if stats, ok := m.db.Stats(relation); ok {
+		if stats, ok := m.db.StatsRefreshed(relation); ok {
 			for _, p := range pending {
 				igSel += stats.SelectivityEq(policy.OwnerAttr, storage.NewInt(p.Owner))
 			}
@@ -100,7 +106,15 @@ func (m *Middleware) chooseStrategy(stmt *sqlparser.SelectStmt, relation, refNam
 		}
 	}
 
+	// cost(LinearScan): the zone-mapped scan never reads segments every
+	// guard arm refutes, so pruning discounts the classic |r| cost. The
+	// estimate mirrors the engine's refutation conservatively, using only
+	// the guard (and pending-owner) intervals.
+	dec.SegmentsPrunable, dec.SegmentsTotal = prunableSegments(t, ge, pending)
 	dec.CostLinearScan = n
+	if dec.SegmentsTotal > 0 {
+		dec.CostLinearScan = n * (1 - float64(dec.SegmentsPrunable)/float64(dec.SegmentsTotal))
+	}
 
 	switch {
 	case dec.CostIndexGuards <= dec.CostIndexQuery && dec.CostIndexGuards <= dec.CostLinearScan:
@@ -122,3 +136,25 @@ func (m *Middleware) chooseStrategy(stmt *sqlparser.SelectStmt, relation, refNam
 }
 
 const inf = 1e300
+
+// prunableSegments counts the storage segments whose zone maps refute
+// every arm of the guarded expression — the guard intervals plus one
+// owner-equality interval per pending policy. Those segments contribute
+// nothing to a guarded linear scan. With no arms at all (default deny) the
+// scan reads nothing, so every segment counts as prunable.
+func prunableSegments(t *storage.Table, ge *guard.GuardedExpression, pending []*policy.Policy) (pruned, total int) {
+	arms := make([]storage.ZoneArm, 0, len(ge.Guards)+len(pending))
+	for i := range ge.Guards {
+		lo, hi, ok := ge.Guards[i].Cond.Interval()
+		if !ok {
+			// An interval-free guard may match anywhere: nothing prunes.
+			return 0, t.SegmentCount()
+		}
+		arms = append(arms, storage.ZoneArm{Col: ge.Guards[i].Cond.Attr, Lo: lo, Hi: hi})
+	}
+	for _, p := range pending {
+		v := storage.NewInt(p.Owner)
+		arms = append(arms, storage.ZoneArm{Col: policy.OwnerAttr, Lo: v, Hi: v})
+	}
+	return t.PrunableSegments(arms)
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/sieve-db/sieve/internal/sqlparser"
@@ -51,6 +52,11 @@ type DB struct {
 	udfs     map[string]UDF
 	triggers map[string][]InsertTrigger
 
+	// analyzeMu single-flights auto-analyze: when concurrent queries all
+	// notice stale statistics, one rebuilds while the rest keep planning
+	// with the stale (still sound) estimates.
+	analyzeMu sync.Mutex
+
 	// UDFOverheadIters simulates the per-invocation cost of a real DBMS's
 	// UDF bridge (the paper's UDFinv term, §5.4). A Go closure call costs
 	// nanoseconds; MySQL/PostgreSQL pay function-call and value-marshalling
@@ -70,7 +76,32 @@ type DB struct {
 
 	// HistogramBuckets controls Analyze resolution.
 	HistogramBuckets int
+
+	// ScanWorkers is the worker budget for the parallel guarded-scan
+	// operator: sequential scans feeding exhaustive consumers
+	// (aggregation, ORDER BY, joins, materialising calls) fan surviving
+	// segments out across this many goroutines. Defaults to
+	// runtime.NumCPU(); values ≤ 1 keep every scan serial; values above
+	// MaxScanWorkers are clamped. Like HistogramBuckets, set it at
+	// configuration time, before queries run concurrently.
+	ScanWorkers int
+
+	// AutoAnalyzeThreshold is the number of table mutations (inserts,
+	// updates, deletes, bulk-loaded rows) after which previously built
+	// statistics are considered stale and rebuilt — histograms and
+	// segment zone maps both — on their next planner use. 0 disables
+	// auto-refresh; tables never analyzed are never auto-analyzed.
+	AutoAnalyzeThreshold int
 }
+
+// MaxScanWorkers is the per-DB cap on parallel scan fan-out, bounding
+// goroutines per query regardless of configuration.
+const MaxScanWorkers = 64
+
+// DefaultAutoAnalyzeThreshold re-analyzes a table after roughly one
+// segment's worth of changes — frequent enough that guard selectivity
+// estimates track bulk loads, rare enough to stay off the per-query path.
+const DefaultAutoAnalyzeThreshold = storage.SegmentSize
 
 // DefaultUDFOverheadIters approximates a ~1µs per-invocation UDF bridge on
 // contemporary hardware, the same order as MySQL's UDF dispatch.
@@ -79,14 +110,30 @@ const DefaultUDFOverheadIters = 400
 // New creates an empty database with the given dialect.
 func New(dialect Dialect) *DB {
 	return &DB{
-		dialect:          dialect,
-		tables:           make(map[string]*storage.Table),
-		stats:            make(map[string]*storage.TableStats),
-		udfs:             make(map[string]UDF),
-		triggers:         make(map[string][]InsertTrigger),
-		UDFOverheadIters: DefaultUDFOverheadIters,
-		HistogramBuckets: 64,
+		dialect:              dialect,
+		tables:               make(map[string]*storage.Table),
+		stats:                make(map[string]*storage.TableStats),
+		udfs:                 make(map[string]UDF),
+		triggers:             make(map[string][]InsertTrigger),
+		UDFOverheadIters:     DefaultUDFOverheadIters,
+		HistogramBuckets:     64,
+		ScanWorkers:          runtime.NumCPU(),
+		AutoAnalyzeThreshold: DefaultAutoAnalyzeThreshold,
 	}
+}
+
+// EffectiveScanWorkers returns the configured worker budget clamped to
+// [1, MaxScanWorkers] — the fan-out a parallel scan actually uses (further
+// bounded per scan by the number of segments).
+func (db *DB) EffectiveScanWorkers() int {
+	w := db.ScanWorkers
+	if w < 1 {
+		return 1
+	}
+	if w > MaxScanWorkers {
+		return MaxScanWorkers
+	}
+	return w
 }
 
 // Dialect returns the DB's dialect.
@@ -182,11 +229,22 @@ func (db *DB) udf(name string) (UDF, bool) {
 }
 
 // Analyze (re)builds statistics for the table over its indexed columns,
-// like ANALYZE TABLE.
+// like ANALYZE TABLE. Segment zone maps are rebuilt to exact bounds at the
+// same time, so guard selectivity estimates and scan pruning track the
+// same snapshot of the data.
 func (db *DB) Analyze(table string) error {
+	return db.analyze(table, true)
+}
+
+// analyze optionally skips the segment rebuild for callers that just
+// rebuilt them (Compact builds exact metadata as part of its swap).
+func (db *DB) analyze(table string, rebuildSegs bool) error {
 	t, ok := db.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
+	}
+	if rebuildSegs {
+		t.RebuildSegments()
 	}
 	s := storage.Analyze(t, t.IndexedColumns(), db.HistogramBuckets)
 	db.mu.Lock()
@@ -202,6 +260,65 @@ func (db *DB) Stats(table string) (*storage.TableStats, bool) {
 	defer db.mu.RUnlock()
 	s, ok := db.stats[table]
 	return s, ok
+}
+
+// StatsRefreshed returns current statistics for the table, transparently
+// re-running Analyze (histograms + zone maps) when AutoAnalyzeThreshold
+// mutations have accumulated since the last build. This is the planner's
+// and the middleware's entry point, keeping selectivity estimates from
+// going stale after bulk loads. ok is false when Analyze has never run.
+func (db *DB) StatsRefreshed(table string) (*storage.TableStats, bool) {
+	s, ok := db.Stats(table)
+	if !ok {
+		return nil, false
+	}
+	if db.AutoAnalyzeThreshold <= 0 {
+		return s, true
+	}
+	t, ok := db.Table(table)
+	if !ok {
+		return s, true
+	}
+	if t.Mutations()-s.BuiltAtMutations <= int64(db.AutoAnalyzeThreshold) {
+		return s, true
+	}
+	// Stale: rebuild, single-flight. Losers of the TryLock keep planning
+	// with the stale (still sound) statistics instead of piling K
+	// concurrent O(rows) rebuilds onto the query path.
+	if !db.analyzeMu.TryLock() {
+		return s, true
+	}
+	defer db.analyzeMu.Unlock()
+	if s2, ok2 := db.Stats(table); ok2 {
+		s = s2 // the flight we raced may have refreshed already
+	}
+	if t.Mutations()-s.BuiltAtMutations <= int64(db.AutoAnalyzeThreshold) {
+		return s, true
+	}
+	if err := db.Analyze(table); err != nil {
+		return s, true
+	}
+	if s2, ok2 := db.Stats(table); ok2 {
+		return s2, true
+	}
+	return s, true
+}
+
+// Compact rewrites the table's heap without tombstones (copy-on-write, so
+// in-flight scans finish on the old heap) and refreshes statistics when
+// the table has been analyzed before.
+func (db *DB) Compact(table string) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	t.Compact()
+	if _, analyzed := db.Stats(table); analyzed {
+		// Compact already built exact segment metadata during its swap;
+		// only the histograms need recomputing.
+		return db.analyze(table, false)
+	}
+	return nil
 }
 
 // CountersSnapshot returns the accumulated work counters under the merge
@@ -281,7 +398,10 @@ func (db *DB) StreamStmt(ctx context.Context, stmt *sqlparser.SelectStmt) (*Rows
 		return nil, err
 	}
 	ex := db.newExecutor(ctx)
-	cols, it, err := ex.stmtIter(stmt, newScope(nil), nil)
+	// Streaming consumers may stop at any row (early Close, LIMIT), so the
+	// pipeline is opened without the exhaustive promise: scans stay serial
+	// and read-ahead never exceeds what Next actually pulls.
+	cols, it, err := ex.stmtIter(stmt, newScope(nil), nil, false)
 	if err != nil {
 		ex.flush(db)
 		return nil, err

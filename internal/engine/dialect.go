@@ -45,13 +45,16 @@ func Postgres() Dialect { return postgresDialect{} }
 // UDF invocations), complementing wall-clock time. Counters are owned by a
 // single query execution at a time; they are not safe for concurrent use.
 type Counters struct {
-	TuplesRead     int64 // heap tuples fetched (seq or via index)
-	IndexLookups   int64 // index probe operations
-	SeqScans       int64 // sequential scans started
-	IndexScans     int64 // index scans started
-	BitmapOrScans  int64 // bitmap OR scans started
-	UDFInvocations int64 // user-defined function calls
-	PolicyEvals    int64 // policy object-condition set evaluations (set by UDFs)
+	TuplesRead      int64 // heap tuples fetched (seq or via index)
+	IndexLookups    int64 // index probe operations
+	SeqScans        int64 // sequential scans started
+	IndexScans      int64 // index scans started
+	BitmapOrScans   int64 // bitmap OR scans started
+	ParallelScans   int64 // sequential scans executed by the parallel operator
+	SegmentsScanned int64 // segments whose tuples were read by a seq scan
+	SegmentsPruned  int64 // segments skipped entirely via zone maps
+	UDFInvocations  int64 // user-defined function calls
+	PolicyEvals     int64 // policy object-condition set evaluations (set by UDFs)
 }
 
 // Add accumulates other into c.
@@ -61,6 +64,9 @@ func (c *Counters) Add(other Counters) {
 	c.SeqScans += other.SeqScans
 	c.IndexScans += other.IndexScans
 	c.BitmapOrScans += other.BitmapOrScans
+	c.ParallelScans += other.ParallelScans
+	c.SegmentsScanned += other.SegmentsScanned
+	c.SegmentsPruned += other.SegmentsPruned
 	c.UDFInvocations += other.UDFInvocations
 	c.PolicyEvals += other.PolicyEvals
 }

@@ -113,7 +113,7 @@ type rel struct {
 
 // selectStmt materialises a statement's full result.
 func (ex *executor) selectStmt(s *sqlparser.SelectStmt, sc *scope, outer *env) (*Result, error) {
-	cols, it, err := ex.stmtIter(s, sc, outer)
+	cols, it, err := ex.stmtIter(s, sc, outer, true)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,10 @@ func (ex *executor) selectStmt(s *sqlparser.SelectStmt, sc *scope, outer *env) (
 
 // stmtIter opens a statement as a stream of rows. Set operations (UNION /
 // MINUS) materialise their arms; plain selects stream through coreIter.
-func (ex *executor) stmtIter(s *sqlparser.SelectStmt, sc *scope, outer *env) ([]string, rowIter, error) {
+// exhaustive promises the caller will drain the stream to completion (no
+// early Close, no downstream LIMIT cutting it short); it licenses the
+// parallel scan operator, whose workers read ahead of the consumer.
+func (ex *executor) stmtIter(s *sqlparser.SelectStmt, sc *scope, outer *env, exhaustive bool) ([]string, rowIter, error) {
 	lazy := lazyCTENames(s)
 	// Each CTE gets its own scope link whose parent holds only the
 	// *earlier* CTEs: a body's reference to a later sibling must resolve
@@ -148,7 +151,7 @@ func (ex *executor) stmtIter(s *sqlparser.SelectStmt, sc *scope, outer *env) ([]
 		sc = next
 	}
 	if len(s.Ops) == 0 {
-		return ex.coreIter(s.Body, sc, outer)
+		return ex.coreIter(s.Body, sc, outer, exhaustive)
 	}
 	res, err := ex.coreResult(s.Body, sc, outer)
 	if err != nil {
@@ -174,7 +177,7 @@ func (ex *executor) stmtIter(s *sqlparser.SelectStmt, sc *scope, outer *env) ([]
 
 // coreResult materialises one select core.
 func (ex *executor) coreResult(core *sqlparser.SelectCore, sc *scope, outer *env) (*Result, error) {
-	cols, it, err := ex.coreIter(core, sc, outer)
+	cols, it, err := ex.coreIter(core, sc, outer, true)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +339,9 @@ type sourceInfo struct {
 	cols       map[string]bool
 }
 
-func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer *env) ([]*sourceInfo, error) {
+// resolveSources binds the FROM entries. exhaustive carries the consumer's
+// drain promise into lazily streamed CTE bodies.
+func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer *env, exhaustive bool) ([]*sourceInfo, error) {
 	sources := make([]*sourceInfo, 0, len(core.From))
 	for _, ref := range core.From {
 		src := &sourceInfo{ref: ref, name: ref.RefName(), cols: make(map[string]bool)}
@@ -355,7 +360,7 @@ func (ex *executor) resolveSources(core *sqlparser.SelectCore, sc *scope, outer 
 				if e.res == nil && !e.streamed {
 					// Single-use CTE: open its body as a stream. Opening
 					// only builds the pipeline; no rows are read yet.
-					cols, it, err := ex.stmtIter(e.stmt, e.sc, e.outer)
+					cols, it, err := ex.stmtIter(e.stmt, e.sc, e.outer, exhaustive)
 					if err != nil {
 						return nil, fmt.Errorf("in WITH %s: %w", ref.Name, err)
 					}
@@ -492,8 +497,10 @@ func (ex *executor) filterRel(r *rel, conjs []sqlparser.Expr, sc *scope, outer *
 }
 
 // scanSourceIter opens one FROM entry as a stream with its single-source
-// conjuncts applied (through the chosen access path for base tables).
-func (ex *executor) scanSourceIter(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env) (*RelSchema, rowIter, error) {
+// conjuncts applied (through the chosen access path for base tables). When
+// the consumer is exhaustive, a guarded sequential scan over enough
+// segments runs on the parallel operator instead of the serial cursor.
+func (ex *executor) scanSourceIter(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env, exhaustive bool) (*RelSchema, rowIter, error) {
 	ev := &evaluator{ex: ex, scope: sc}
 	switch {
 	case src.stream != nil:
@@ -514,6 +521,18 @@ func (ex *executor) scanSourceIter(src *sourceInfo, conjs []sqlparser.Expr, sc *
 		t := src.tbl
 		plan := planAccess(ex.db, t, src.name, conjs, src.ref.Hint)
 		schema := qualifySchema(src.name, t.Schema)
+		if plan.fetch == nil && exhaustive && len(conjs) > 0 && parallelSafeConjuncts(conjs) {
+			if workers := ex.db.EffectiveScanWorkers(); workers > 1 {
+				view := t.View()
+				if view.NumSegments() >= parallelScanMinSegments {
+					it := &parallelScanIter{
+						ex: ex, view: view, plan: plan, schema: schema,
+						conjs: conjs, sc: sc, outer: outer, workers: workers,
+					}
+					return schema, it, nil
+				}
+			}
+		}
 		it := &tableIter{ex: ex, t: t, plan: plan, schema: schema, conjs: conjs, ev: ev, outer: outer}
 		return schema, it, nil
 	}
@@ -521,7 +540,7 @@ func (ex *executor) scanSourceIter(src *sourceInfo, conjs []sqlparser.Expr, sc *
 
 // scanSource materialises one FROM entry (the join path's build input).
 func (ex *executor) scanSource(src *sourceInfo, conjs []sqlparser.Expr, sc *scope, outer *env) (*rel, error) {
-	schema, it, err := ex.scanSourceIter(src, conjs, sc, outer)
+	schema, it, err := ex.scanSourceIter(src, conjs, sc, outer, true)
 	if err != nil {
 		return nil, err
 	}
@@ -732,19 +751,26 @@ func (ex *executor) joinSources(sources []*sourceInfo, classifieds []*classified
 // [distinct] → [limit], producing tuples on demand. Joins, aggregation
 // and ORDER BY materialise at the stage that requires it and stream from
 // there on.
-func (ex *executor) coreIter(core *sqlparser.SelectCore, sc *scope, outer *env) ([]string, rowIter, error) {
-	sources, err := ex.resolveSources(core, sc, outer)
+func (ex *executor) coreIter(core *sqlparser.SelectCore, sc *scope, outer *env, exhaustive bool) ([]string, rowIter, error) {
+	grouped := coreIsGrouped(core)
+	// The scans below this core are drained to completion when grouping,
+	// ordering, or a join materialises here regardless of the consumer —
+	// otherwise only when the consumer promised to drain us and no LIMIT
+	// can cut the stream short.
+	srcExhaustive := grouped || len(core.OrderBy) > 0 || len(core.From) > 1 ||
+		(exhaustive && core.Limit < 0)
+
+	sources, err := ex.resolveSources(core, sc, outer, srcExhaustive)
 	if err != nil {
 		return nil, nil, err
 	}
 	classifieds, perSource := classifyConjuncts(core, sources)
-	grouped := coreIsGrouped(core)
 
 	var cur *rel // set when the join path materialised the input
 	var schema *RelSchema
 	var it rowIter
 	if len(sources) == 1 {
-		schema, it, err = ex.scanSourceIter(sources[0], perSource[0], sc, outer)
+		schema, it, err = ex.scanSourceIter(sources[0], perSource[0], sc, outer, srcExhaustive)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -18,6 +18,11 @@ type TableAccess struct {
 	EstSel float64
 	// EstRows is EstSel × table cardinality (0 for derived tables).
 	EstRows float64
+	// Segments and SegmentsPruned report zone-map pruning for sequential
+	// scans: of Segments total, SegmentsPruned are refuted by the scan's
+	// predicates against current zone maps and will not be read.
+	Segments       int
+	SegmentsPruned int
 }
 
 // Explain is the engine's query plan summary.
@@ -31,8 +36,12 @@ func (e *Explain) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXPLAIN (%s)\n", e.Dialect)
 	for _, t := range e.Tables {
-		fmt.Fprintf(&b, "  %-24s %-10s index=%-12s sel=%.4f rows=%.0f\n",
+		fmt.Fprintf(&b, "  %-24s %-10s index=%-12s sel=%.4f rows=%.0f",
 			t.Table, t.Kind, orDash(t.Index), t.EstSel, t.EstRows)
+		if t.Kind == AccessSeq && t.Segments > 0 {
+			fmt.Fprintf(&b, " segs=%d/%d pruned", t.SegmentsPruned, t.Segments)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -90,12 +99,15 @@ func (ex *executor) explain(s *sqlparser.SelectStmt) (*Explain, error) {
 			continue
 		}
 		plan := planAccess(ex.db, src.tbl, src.name, perSource[i], src.ref.Hint)
+		pruned, total := plan.segmentStats(src.tbl)
 		out.Tables = append(out.Tables, TableAccess{
-			Table:   src.name,
-			Kind:    plan.Kind,
-			Index:   plan.Index,
-			EstSel:  plan.EstSel,
-			EstRows: plan.EstSel * float64(src.tbl.NumRows()),
+			Table:          src.name,
+			Kind:           plan.Kind,
+			Index:          plan.Index,
+			EstSel:         plan.EstSel,
+			EstRows:        plan.EstSel * float64(src.tbl.NumRows()),
+			Segments:       total,
+			SegmentsPruned: pruned,
 		})
 	}
 	return out, nil

@@ -124,7 +124,7 @@ func estimateSarg(db *DB, t *storage.Table, s sarg) float64 {
 	if n == 0 {
 		return 0
 	}
-	if stats, ok := db.Stats(t.Name); ok {
+	if stats, ok := db.StatsRefreshed(t.Name); ok {
 		if _, hasHist := stats.Histograms[s.col]; hasHist {
 			if s.isRange {
 				return stats.SelectivityRange(s.col, s.lo, s.hi)
@@ -163,9 +163,11 @@ func clampSel(x float64) float64 {
 	return x
 }
 
-// fetchSarg materialises the row ids matched by a sarg through the index.
-func fetchSarg(t *storage.Table, s sarg, c *Counters) []storage.RowID {
-	idx, ok := t.Index(s.col)
+// fetchSarg materialises the row ids matched by a sarg through the view's
+// captured index, so the ids stay resolvable against the same heap even if
+// a Compact lands mid-query.
+func fetchSarg(v *storage.View, s sarg, c *Counters) []storage.RowID {
+	idx, ok := v.Index(s.col)
 	if !ok {
 		return nil
 	}
@@ -198,8 +200,14 @@ type accessPlan struct {
 	Kind   AccessKind
 	Index  string  // driving index column(s), comma-joined for bitmap OR
 	EstSel float64 // estimated fraction of the table fetched
-	// fetch returns candidate row ids; nil for sequential scans.
-	fetch func(c *Counters) []storage.RowID
+	// fetch returns candidate row ids resolved through the scan's heap
+	// view; nil for sequential scans.
+	fetch func(v *storage.View, c *Counters) []storage.RowID
+	// zonePreds/zoneCols are the compiled zone-refutation predicates a
+	// sequential scan uses to skip whole segments (nil when nothing in
+	// the conjuncts can refute).
+	zonePreds []zoneNode
+	zoneCols  []int
 }
 
 // orBranches decomposes a disjunctive conjunct into per-disjunct sargs, all
@@ -244,6 +252,7 @@ func orBranches(db *DB, t *storage.Table, ref string, e sqlparser.Expr, allowed 
 func planAccess(db *DB, t *storage.Table, ref string, conjuncts []sqlparser.Expr, hint *sqlparser.IndexHint) accessPlan {
 	n := float64(t.NumRows())
 	seq := accessPlan{Kind: AccessSeq, EstSel: 1}
+	seq.zonePreds, seq.zoneCols = compileZonePreds(conjuncts, ref, t.Schema)
 	if n == 0 {
 		return seq
 	}
@@ -312,11 +321,11 @@ func planAccess(db *DB, t *storage.Table, ref string, conjuncts []sqlparser.Expr
 				Kind:   AccessBitmapOr,
 				Index:  strings.Join(names, ","),
 				EstSel: sel,
-				fetch: func(c *Counters) []storage.RowID {
+				fetch: func(v *storage.View, c *Counters) []storage.RowID {
 					c.BitmapOrScans++
 					bitmap := make(map[storage.RowID]struct{})
 					for _, b := range bs {
-						for _, id := range fetchSarg(t, b, c) {
+						for _, id := range fetchSarg(v, b, c) {
 							bitmap[id] = struct{}{}
 						}
 					}
@@ -341,9 +350,9 @@ func planAccess(db *DB, t *storage.Table, ref string, conjuncts []sqlparser.Expr
 			Kind:   AccessIndex,
 			Index:  s.col,
 			EstSel: c.sel,
-			fetch: func(cn *Counters) []storage.RowID {
+			fetch: func(v *storage.View, cn *Counters) []storage.RowID {
 				cn.IndexScans++
-				return fetchSarg(t, s, cn)
+				return fetchSarg(v, s, cn)
 			},
 		}
 	}

@@ -189,9 +189,12 @@ func (it *sliceIter) Next() (storage.Row, error) {
 
 func (it *sliceIter) Close() {}
 
-// tableIter is a streaming base-table access path: rows are pulled one at
-// a time (heap order for sequential scans, fetch-list order for index
-// scans) and filtered by the source's conjuncts as they are produced.
+// tableIter is a streaming base-table access path: rows are pulled from a
+// copy-on-write heap View (segment by segment for sequential scans, with
+// zone-map pruning; fetch-list order for index scans) and filtered by the
+// source's conjuncts as they are produced. Reading through the View makes
+// an in-flight scan safe across a concurrent Compact: it finishes over the
+// heap it started on.
 type tableIter struct {
 	ex     *executor
 	t      *storage.Table
@@ -202,23 +205,51 @@ type tableIter struct {
 	outer  *env
 
 	inited bool
-	// sequential cursor
-	seq    bool
-	nextID storage.RowID
+	view   *storage.View
+	// sequential segment cursor
+	seq  bool
+	seg  int
+	buf  []storage.Row
+	pos  int
+	zbuf []storage.ZoneMap
 	// index fetch list
-	ids []storage.RowID
-	pos int
+	ids   []storage.RowID
+	idPos int
 }
 
 func (it *tableIter) init() error {
 	it.inited = true
+	it.view = it.t.View()
 	if it.plan.fetch == nil {
 		it.seq = true
+		it.zbuf = make([]storage.ZoneMap, len(it.plan.zoneCols))
 		it.ex.counters.SeqScans++
 		return nil
 	}
-	it.ids = it.plan.fetch(it.ex.counters)
+	it.ids = it.plan.fetch(it.view, it.ex.counters)
 	return nil
+}
+
+// nextSegment loads the next unpruned segment into the buffer; ok is false
+// when the heap is exhausted. Pruned segments are skipped without touching
+// a single tuple — only the zone maps are read.
+func (it *tableIter) nextSegment() bool {
+	for it.seg < it.view.NumSegments() {
+		seg := it.seg
+		it.seg++
+		if segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, it.zbuf) {
+			it.ex.counters.SegmentsPruned++
+			continue
+		}
+		it.buf = it.view.ScanSegment(seg, it.buf[:0])
+		it.ex.counters.SegmentsScanned++
+		if len(it.buf) == 0 {
+			continue
+		}
+		it.pos = 0
+		return true
+	}
+	return false
 }
 
 func (it *tableIter) Next() (storage.Row, error) {
@@ -233,18 +264,19 @@ func (it *tableIter) Next() (storage.Row, error) {
 		}
 		var row storage.Row
 		if it.seq {
-			id, r, ok := it.t.NextLive(it.nextID)
-			if !ok {
-				return nil, nil
+			if it.pos >= len(it.buf) {
+				if !it.nextSegment() {
+					return nil, nil
+				}
 			}
-			it.nextID = id + 1
-			row = r
-		} else {
-			if it.pos >= len(it.ids) {
-				return nil, nil
-			}
-			r, ok := it.t.Get(it.ids[it.pos])
+			row = it.buf[it.pos]
 			it.pos++
+		} else {
+			if it.idPos >= len(it.ids) {
+				return nil, nil
+			}
+			r, ok := it.view.Get(it.ids[it.idPos])
+			it.idPos++
 			if !ok {
 				continue
 			}

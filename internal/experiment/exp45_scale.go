@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
+	"github.com/sieve-db/sieve/internal/core"
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/workload"
@@ -208,6 +210,66 @@ func MallScalability(cfg Config) (*Table, error) {
 			fmt.Sprintf("%d", size),
 			ms(base / dn), ms(sieve / dn),
 			fmt.Sprintf("%.2fx", float64(base)/float64(maxDur(sieve, time.Microsecond))),
+		})
+	}
+	return tab, nil
+}
+
+// WorkerScaling measures the parallel guarded-scan operator's scaling
+// curve: SELECT-ALL under a forced LinearScan strategy (so every measured
+// query is a guarded sequential scan, the operator's target shape) at
+// worker counts 1, 2, 4, …, NumCPU. Speedups are relative to workers=1;
+// on a single-core host the curve is flat by construction.
+func WorkerScaling(cfg Config) (*Table, error) {
+	tab := &Table{
+		ID:      "Workers",
+		Title:   "Parallel guarded scan scaling, SELECT-ALL under LinearScan (ms)",
+		Headers: []string{"workers", "avg ms", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("host has %d CPU(s); wall-clock speedup requires GOMAXPROCS > 1", runtime.NumCPU()),
+		},
+	}
+	counts := []int{1}
+	for w := 2; w <= runtime.NumCPU(); w *= 2 {
+		counts = append(counts, w)
+	}
+	if ncpu := runtime.NumCPU(); counts[len(counts)-1] != ncpu && ncpu > 1 {
+		counts = append(counts, ncpu)
+	}
+
+	env, err := NewCampusEnv(cfg, engine.MySQL(), core.WithForcedStrategy(core.LinearScan))
+	if err != nil {
+		return nil, err
+	}
+	queriers := workload.TopQueriers(env.Policies, cfg.Queriers, 10)
+	if len(queriers) == 0 {
+		return nil, fmt.Errorf("experiment: no heavy queriers")
+	}
+	qAll := "SELECT * FROM " + workload.TableWiFi
+	var base time.Duration
+	for _, w := range counts {
+		env.Campus.DB.ScanWorkers = w
+		var total time.Duration
+		var n int
+		for _, q := range queriers {
+			sess := env.M.NewSession(policy.Metadata{Querier: q, Purpose: "analytics"})
+			avg, _, err := timed(cfg.Reps, cfg.Timeout, func() error {
+				return runStrategy(sess, "SIEVE", qAll)
+			})
+			if err != nil {
+				return nil, err
+			}
+			total += avg
+			n++
+		}
+		avg := total / time.Duration(n)
+		if w == 1 {
+			base = avg
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", w),
+			ms(avg),
+			fmt.Sprintf("%.2fx", float64(base)/float64(maxDur(avg, time.Microsecond))),
 		})
 	}
 	return tab, nil

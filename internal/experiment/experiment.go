@@ -81,6 +81,11 @@ type Config struct {
 	Queriers int
 	// SampleTuples bounds ground-truth sampling for quality metrics.
 	SampleTuples int
+	// Workers overrides the engine's parallel-scan worker budget for
+	// every environment the experiment builds (0 keeps the engine
+	// default, runtime.NumCPU()). The -workers flag of sieve-bench sets
+	// it, adding a scaling dimension to the exp4/5 curves.
+	Workers int
 }
 
 // TestConfig finishes in a few seconds; used by unit tests.
@@ -145,6 +150,9 @@ func NewCampusEnv(cfg Config, dialect engine.Dialect, opts ...core.Option) (*Cam
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Workers > 0 {
+		c.DB.ScanWorkers = cfg.Workers
+	}
 	ps := c.GeneratePolicies(cfg.Policy)
 	store, err := policy.NewStore(c.DB)
 	if err != nil {
@@ -177,6 +185,9 @@ func NewMallEnv(cfg Config, dialect engine.Dialect, opts ...core.Option) (*MallE
 	ml, err := workload.BuildMall(cfg.Mall, dialect)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Workers > 0 {
+		ml.DB.ScanWorkers = cfg.Workers
 	}
 	ps := ml.GeneratePolicies(cfg.Mall.Seed+1, cfg.MallPerCustomer)
 	store, err := policy.NewStore(ml.DB)

@@ -58,9 +58,12 @@ type Selectivity interface {
 }
 
 // TableSelectivity adapts storage.TableStats to the Selectivity interface.
+// When Table is set it also implements SegmentPruner, exposing the
+// relation's zone maps to guard selection.
 type TableSelectivity struct {
 	Stats       *storage.TableStats
 	IndexedCols map[string]bool
+	Table       *storage.Table
 }
 
 // Rows implements Selectivity.
@@ -78,6 +81,39 @@ func (t *TableSelectivity) EstimateRange(attr string, lo, hi storage.Value) floa
 
 // Indexed implements Selectivity.
 func (t *TableSelectivity) Indexed(attr string) bool { return t.IndexedCols[attr] }
+
+// SegmentPruner is an optional Selectivity extension reporting zone-map
+// pruning power: the fraction of the relation's heap living in segments
+// whose zone maps rule out every value in [lo, hi] of attr (NULL bounds
+// unbounded). Selection uses it to credit guards whose predicates skip
+// whole segments of storage, not just filter tuples.
+type SegmentPruner interface {
+	PruneFrac(attr string, lo, hi storage.Value) float64
+}
+
+// PruneFrac implements SegmentPruner when the selectivity carries its
+// table (zero pruning otherwise).
+func (t *TableSelectivity) PruneFrac(attr string, lo, hi storage.Value) float64 {
+	if t.Table == nil {
+		return 0
+	}
+	return t.Table.PruneFracRange(attr, lo, hi)
+}
+
+// pruneFracFor returns the zone-map prune fraction of a candidate guard
+// condition under sel, zero when sel carries no segment information or the
+// condition has no interval form.
+func pruneFracFor(sel Selectivity, cond policy.ObjectCondition) float64 {
+	sp, ok := sel.(SegmentPruner)
+	if !ok {
+		return 0
+	}
+	lo, hi, ok := cond.Interval()
+	if !ok {
+		return 0
+	}
+	return sp.PruneFrac(cond.Attr, lo, hi)
+}
 
 // Guard is one selected guarded expression Gi = oc_g ∧ PG_i.
 type Guard struct {
@@ -172,11 +208,11 @@ func policyImpliesGuard(p *policy.Policy, g policy.ObjectCondition) bool {
 // conditionImplies conservatively tests c ⇒ g for the condition shapes
 // guards are built from (equality points and ranges).
 func conditionImplies(c, g policy.ObjectCondition) bool {
-	cLo, cHi, ok := conditionInterval(c)
+	cLo, cHi, ok := c.Interval()
 	if !ok {
 		return false
 	}
-	gLo, gHi, ok := conditionInterval(g)
+	gLo, gHi, ok := g.Interval()
 	if !ok {
 		return false
 	}
@@ -188,38 +224,6 @@ func conditionImplies(c, g policy.ObjectCondition) bool {
 		return false
 	}
 	return true
-}
-
-// conditionInterval maps a condition to a closed interval [lo, hi] with
-// NULL meaning unbounded. Only shapes usable in guard reasoning return ok.
-func conditionInterval(c policy.ObjectCondition) (lo, hi storage.Value, ok bool) {
-	switch c.Kind {
-	case policy.CondCompare:
-		switch c.Op {
-		case sqlparser.CmpEq:
-			return c.Val, c.Val, true
-		case sqlparser.CmpLe, sqlparser.CmpLt:
-			return storage.Null, c.Val, true
-		case sqlparser.CmpGe, sqlparser.CmpGt:
-			return c.Val, storage.Null, true
-		}
-		return storage.Null, storage.Null, false
-	case policy.CondRange:
-		return c.Lo, c.Hi, true
-	case policy.CondIn:
-		// Interval hull of the IN list.
-		lo, hi = c.Vals[0], c.Vals[0]
-		for _, v := range c.Vals[1:] {
-			if storage.Less(v, lo) {
-				lo = v
-			}
-			if storage.Less(hi, v) {
-				hi = v
-			}
-		}
-		return lo, hi, true
-	}
-	return storage.Null, storage.Null, false
 }
 
 // String renders a short summary of the guarded expression.

@@ -38,10 +38,28 @@ func (m CostModel) Utility(selFrac float64, partitionSize int, rows int) float64
 	return m.Benefit(selFrac, partitionSize, rows) / m.ReadCost(selFrac, rows)
 }
 
+// BenefitWithPruning extends Benefit with the read work a guard's zone-map
+// pruning avoids on the linear-scan path: pruneFrac of the relation lives
+// in segments the guard's interval refutes, and a zone-mapped scan skips a
+// segment its arms all refute without reading a tuple. Attributing the
+// skip to each refuting guard independently is an approximation (a segment
+// is only skipped when every arm refutes it), but it correctly ranks
+// clustered, selective guards above scattered ones of equal selectivity.
+func (m CostModel) BenefitWithPruning(selFrac float64, partitionSize, rows int, pruneFrac float64) float64 {
+	return m.Benefit(selFrac, partitionSize, rows) + m.Cr*pruneFrac*float64(rows)
+}
+
+// UtilityWithPruning ranks candidates by pruning-aware benefit per unit
+// read cost; with pruneFrac 0 it degenerates to Utility.
+func (m CostModel) UtilityWithPruning(selFrac float64, partitionSize, rows int, pruneFrac float64) float64 {
+	return m.BenefitWithPruning(selFrac, partitionSize, rows, pruneFrac) / m.ReadCost(selFrac, rows)
+}
+
 // workCand is a mutable candidate during selection.
 type workCand struct {
 	cond     policy.ObjectCondition
 	sel      float64
+	prune    float64 // zone-map prune fraction of the guard's interval
 	policies map[int64]*policy.Policy
 	version  int
 }
@@ -77,13 +95,13 @@ func SelectGuards(cands []Candidate, ps []*policy.Policy, sel Selectivity, cm Co
 	byPolicy := make(map[int64][]*workCand)
 	q := make(priorityQueue, 0, len(cands))
 	for i, c := range cands {
-		w := &workCand{cond: c.Cond, sel: c.Sel, policies: make(map[int64]*policy.Policy, len(c.Policies))}
+		w := &workCand{cond: c.Cond, sel: c.Sel, prune: pruneFracFor(sel, c.Cond), policies: make(map[int64]*policy.Policy, len(c.Policies))}
 		for _, p := range c.Policies {
 			w.policies[p.ID] = p
 			byPolicy[p.ID] = append(byPolicy[p.ID], w)
 		}
 		work[i] = w
-		q = append(q, pqItem{cand: w, utility: cm.Utility(w.sel, len(w.policies), rows), version: 0})
+		q = append(q, pqItem{cand: w, utility: cm.UtilityWithPruning(w.sel, len(w.policies), rows, w.prune), version: 0})
 	}
 	heap.Init(&q)
 
@@ -124,7 +142,7 @@ func SelectGuards(cands []Candidate, ps []*policy.Policy, sel Selectivity, cm Co
 				if len(other.policies) > 0 {
 					heap.Push(&q, pqItem{
 						cand:    other,
-						utility: cm.Utility(other.sel, len(other.policies), rows),
+						utility: cm.UtilityWithPruning(other.sel, len(other.policies), rows, other.prune),
 						version: other.version,
 					})
 				}

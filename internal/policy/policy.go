@@ -98,6 +98,43 @@ func DerivedValue(attr string, op sqlparser.CmpOp, selectSQL string) ObjectCondi
 // String renders the condition as SQL.
 func (c ObjectCondition) String() string { return sqlparser.PrintExpr(c.Expr("")) }
 
+// Interval maps the condition to a closed value interval [lo, hi] with
+// NULL meaning unbounded on that side; for CondIn it is the hull of the
+// members. ok is false for shapes an interval cannot represent (NOT IN,
+// inequality, derived values). Guard implication checks and zone-map
+// pruning estimates both reason over this form.
+func (c ObjectCondition) Interval() (lo, hi storage.Value, ok bool) {
+	switch c.Kind {
+	case CondCompare:
+		switch c.Op {
+		case sqlparser.CmpEq:
+			return c.Val, c.Val, true
+		case sqlparser.CmpLe, sqlparser.CmpLt:
+			return storage.Null, c.Val, true
+		case sqlparser.CmpGe, sqlparser.CmpGt:
+			return c.Val, storage.Null, true
+		}
+		return storage.Null, storage.Null, false
+	case CondRange:
+		return c.Lo, c.Hi, true
+	case CondIn:
+		if len(c.Vals) == 0 {
+			return storage.Null, storage.Null, false
+		}
+		lo, hi = c.Vals[0], c.Vals[0]
+		for _, v := range c.Vals[1:] {
+			if storage.Less(v, lo) {
+				lo = v
+			}
+			if storage.Less(hi, v) {
+				hi = v
+			}
+		}
+		return lo, hi, true
+	}
+	return storage.Null, storage.Null, false
+}
+
 // QuerierCondition is an additional querier-context conjunct beyond the
 // mandatory querier and purpose (e.g. time of day, source address).
 type QuerierCondition struct {

@@ -172,12 +172,16 @@ type TableStats struct {
 	Table      string
 	RowCount   int
 	Histograms map[string]*Histogram
+	// BuiltAtMutations is the table's mutation count when the statistics
+	// were built; auto-analyze compares it against Table.Mutations to
+	// decide staleness.
+	BuiltAtMutations int64
 }
 
 // Analyze builds statistics for the given columns (all indexed columns is
 // the usual choice) with the given bucket budget per column.
 func Analyze(t *Table, columns []string, buckets int) *TableStats {
-	s := &TableStats{Table: t.Name, RowCount: t.NumRows(), Histograms: make(map[string]*Histogram, len(columns))}
+	s := &TableStats{Table: t.Name, RowCount: t.NumRows(), Histograms: make(map[string]*Histogram, len(columns)), BuiltAtMutations: t.Mutations()}
 	for _, c := range columns {
 		s.Histograms[c] = BuildHistogram(t, c, buckets)
 	}

@@ -40,9 +40,15 @@ func entryLess(a, b indexEntry) bool {
 }
 
 func (ix *Index) rebuild(t *Table) {
+	ix.rebuildFrom(t.rows, t.deleted)
+}
+
+// rebuildFrom rebuilds the entries from an explicit heap; Compact uses it
+// to construct replacement indexes aside before the copy-on-write swap.
+func (ix *Index) rebuildFrom(rows []Row, deleted []bool) {
 	ix.entries = ix.entries[:0]
-	for i, r := range t.rows {
-		if t.deleted[i] {
+	for i, r := range rows {
+		if deleted[i] {
 			continue
 		}
 		if v := r[ix.col]; !v.IsNull() {

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // RowID identifies a row within a table's heap. IDs are stable for the life
@@ -23,11 +24,14 @@ type Table struct {
 	deleted []bool
 	live    int
 	indexes map[string]*Index // keyed by column name
+	segs    []segment         // fixed-size segment metadata (zone maps)
+	segSize int
+	muts    atomic.Int64 // monotonically increasing mutation count
 }
 
 // NewTable creates an empty table.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{Name: name, Schema: schema, indexes: make(map[string]*Index)}
+	return &Table{Name: name, Schema: schema, indexes: make(map[string]*Index), segSize: SegmentSize}
 }
 
 // NumRows returns the number of live rows.
@@ -52,9 +56,11 @@ func (t *Table) Insert(r Row) (RowID, error) {
 	t.rows = append(t.rows, r.Clone())
 	t.deleted = append(t.deleted, false)
 	t.live++
+	t.widenSegment(int(id), r, true)
 	for _, idx := range t.indexes {
 		idx.insert(r[idx.col], id)
 	}
+	t.muts.Add(1)
 	return id, nil
 }
 
@@ -68,14 +74,22 @@ func (t *Table) BulkInsert(rows []Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	firstSeg := len(t.rows) / t.segSize
 	for _, r := range rows {
 		t.rows = append(t.rows, r.Clone())
 		t.deleted = append(t.deleted, false)
 	}
 	t.live += len(rows)
+	// Rebuild exact metadata for the segments the load touched, into a
+	// fresh slice so open Views keep their captured metadata.
+	segs := make([]segment, 0, (len(t.rows)+t.segSize-1)/t.segSize)
+	segs = append(segs, t.segs[:firstSeg]...)
+	segs = append(segs, buildSegments(t.Schema.Len(), t.rows, t.deleted, t.segSize, firstSeg)...)
+	t.segs = segs
 	for _, idx := range t.indexes {
 		idx.rebuild(t)
 	}
+	t.muts.Add(int64(len(rows)))
 	return nil
 }
 
@@ -107,6 +121,10 @@ func (t *Table) Update(id RowID, r Row) error {
 		}
 	}
 	t.rows[id] = r.Clone()
+	// Widen only: the old values stay inside the zone, keeping it
+	// conservative until the next rebuild tightens it.
+	t.widenSegment(int(id), r, false)
+	t.muts.Add(1)
 	return nil
 }
 
@@ -122,6 +140,10 @@ func (t *Table) Delete(id RowID) error {
 	}
 	t.deleted[id] = true
 	t.live--
+	if s := t.segIndexFor(int(id)); s < len(t.segs) {
+		t.segs[s].live--
+	}
+	t.muts.Add(1)
 	return nil
 }
 
@@ -193,8 +215,12 @@ func (t *Table) IndexedColumns() []string {
 	return out
 }
 
-// Compact rewrites the heap without tombstones. Row IDs change; indexes are
-// rebuilt. Only safe when no readers hold RowIDs (maintenance path).
+// Compact rewrites the heap without tombstones. The new heap, tombstone
+// bitmap, segment metadata and indexes are all built aside and swapped in
+// atomically under one write lock (copy-on-write), so a streaming scan that
+// captured a View before the Compact finishes over the frozen pre-compact
+// heap instead of observing shifted row ids. Row IDs change for rows read
+// after the swap; raw RowIDs held across a Compact are stale.
 func (t *Table) Compact() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -204,9 +230,16 @@ func (t *Table) Compact() {
 			rows = append(rows, r)
 		}
 	}
-	t.rows = rows
-	t.deleted = make([]bool, len(rows))
-	for _, idx := range t.indexes {
-		idx.rebuild(t)
+	deleted := make([]bool, len(rows))
+	indexes := make(map[string]*Index, len(t.indexes))
+	for col, idx := range t.indexes {
+		fresh := newIndex(t.Name, col, idx.col)
+		fresh.rebuildFrom(rows, deleted)
+		indexes[col] = fresh
 	}
+	segs := buildSegments(t.Schema.Len(), rows, deleted, t.segSize, 0)
+	t.rows = rows
+	t.deleted = deleted
+	t.indexes = indexes
+	t.segs = segs
 }
