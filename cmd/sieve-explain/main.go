@@ -1,77 +1,58 @@
 // Command sieve-explain shows what SIEVE does to a query: the guarded
 // expression generated for the querier, the strategy decision with its
-// modelled costs, the rewritten SQL, and the engine's plan — over a
-// generated demo campus.
+// modelled costs, the rewritten SQL, the per-dialect emitted SQL, and the
+// engine's plan — over a generated demo campus.
 //
 //	sieve-explain -dialect mysql -query "SELECT * FROM WiFi_Dataset" -querier auto
 package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/internal/cli"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/workload"
 )
 
 func main() {
-	dialect := flag.String("dialect", "mysql", "engine dialect: mysql | postgres")
-	query := flag.String("query", "SELECT * FROM "+workload.TableWiFi, "query to explain")
-	querier := flag.String("querier", "auto", "querier identity ('auto' picks the busiest)")
-	purpose := flag.String("purpose", "analytics", "query purpose")
-	workers := flag.Int("workers", 0, "parallel scan workers (0 = engine default, NumCPU)")
-	flag.Parse()
+	fs, opts := cli.ExplainFlags("SELECT * FROM " + workload.TableWiFi)
+	_ = fs.Parse(os.Args[1:])
 
 	var d sieve.Dialect
-	switch *dialect {
+	switch opts.Dialect {
 	case "mysql":
 		d = sieve.MySQL()
 	case "postgres":
 		d = sieve.Postgres()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dialect %q\n", *dialect)
+		fmt.Fprintf(os.Stderr, "unknown dialect %q\n", opts.Dialect)
 		os.Exit(2)
 	}
 
-	campus, err := workload.BuildCampus(workload.TestCampusConfig(), d)
+	demo, err := workload.NewDemo(d)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *workers > 0 {
-		campus.DB.ScanWorkers = *workers
-	}
-	policies := campus.GeneratePolicies(workload.TestPolicyConfig())
-	store, err := sieve.NewStore(campus.DB)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := store.BulkLoad(policies); err != nil {
-		log.Fatal(err)
-	}
-	m, err := sieve.New(store, sieve.WithGroups(campus.Groups()))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := m.Protect(workload.TableWiFi); err != nil {
-		log.Fatal(err)
+	campus := demo.Campus
+	if opts.Workers > 0 {
+		campus.DB.ScanWorkers = opts.Workers
 	}
 
-	q := *querier
-	if q == "auto" {
-		q = workload.TopQueriers(policies, 1, 1)[0]
-	}
-	qm := sieve.Metadata{Querier: q, Purpose: *purpose}
-	sess := m.NewSession(qm)
-	fmt.Printf("dialect : %s\nquerier : %s (purpose %s)\nquery   : %s\n\n", d.Name(), q, *purpose, *query)
+	qm := sieve.Metadata{Querier: demo.Querier(opts.Querier), Purpose: opts.Purpose}
+	sess := demo.M.NewSession(qm)
+	fmt.Printf("dialect : %s\nquerier : %s (purpose %s)\nquery   : %s\n\n", d.Name(), qm.Querier, opts.Purpose, opts.Query)
 
-	rewritten, report, err := sess.Rewrite(*query)
+	// One policy rewrite serves the rewritten text, both emissions, and
+	// the engine plan below.
+	stmt, report, err := demo.M.RewriteQuery(opts.Query, qm)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rewritten := sqlparser.Print(stmt)
 	for _, dec := range report.Decisions {
 		fmt.Printf("table %s:\n", dec.Relation)
 		fmt.Printf("  strategy        : %s\n", dec.Strategy)
@@ -82,17 +63,29 @@ func main() {
 		fmt.Printf("  cost IndexQuery : %s (index %s)\n", cost(dec.CostIndexQuery), orDash(dec.QueryIndex))
 		fmt.Printf("  cost IndexGuards: %s\n", cost(dec.CostIndexGuards))
 	}
-	if ge, ok := m.GuardedExpression(qm, workload.TableWiFi); ok {
+	if ge, ok := demo.M.GuardedExpression(qm, workload.TableWiFi); ok {
 		fmt.Printf("\n%s\n", ge.String())
 	}
 
 	fmt.Println("rewritten SQL:")
 	fmt.Println(" ", rewritten)
 
-	stmt, err := sqlparser.Parse(rewritten)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Println("\nemitted SQL:")
+	for _, dialect := range []string{"mysql", "postgres"} {
+		e, err := sieve.EmitterFor(dialect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		em, err := e.Emit(stmt, report.GuardedCTEs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [%s] %s\n", em.Dialect, em.SQL)
+		for i, a := range em.Args {
+			fmt.Printf("    arg %d: %s\n", i+1, a.String())
+		}
 	}
+
 	plan, err := campus.DB.Explain(stmt)
 	if err != nil {
 		log.Fatal(err)
@@ -103,7 +96,7 @@ func main() {
 	// guarded-scan operator engages when the table is large enough, and
 	// report the executor's actual segment accounting.
 	campus.DB.ResetCounters()
-	res, err := sess.Execute(context.Background(), *query)
+	res, err := sess.Execute(context.Background(), opts.Query)
 	if err != nil {
 		log.Fatal(err)
 	}

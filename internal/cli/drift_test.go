@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// TestUsageDocsDrift fails when the usage text quoted in docs/ differs
+// from what `sieve-rewrite -h` / `sieve-explain -h` print. The binaries
+// build their flag sets from this package, so comparing against
+// RewriteUsage/ExplainUsage is comparing against the binaries' output.
+//
+// Docs mark a quoted block with an HTML comment immediately before the
+// fence:
+//
+//	<!-- usage:sieve-rewrite -->
+//	```text
+//	Usage: sieve-rewrite ...
+//	```
+func TestUsageDocsDrift(t *testing.T) {
+	want := map[string]string{
+		"sieve-rewrite": RewriteUsage(),
+		"sieve-explain": ExplainUsage("SELECT * FROM " + workload.TableWiFi),
+	}
+	found := map[string]int{}
+
+	docsDir := filepath.Join("..", "..", "docs")
+	entries, err := os.ReadDir(docsDir)
+	if err != nil {
+		t.Fatalf("docs directory missing: %v", err)
+	}
+	marker := regexp.MustCompile("(?s)<!-- usage:([a-z-]+) -->\\s*```text\n(.*?)```")
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(docsDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range marker.FindAllStringSubmatch(string(raw), -1) {
+			tool, quoted := m[1], m[2]
+			exp, ok := want[tool]
+			if !ok {
+				t.Errorf("%s quotes usage for unknown tool %q", e.Name(), tool)
+				continue
+			}
+			found[tool]++
+			if quoted != exp {
+				t.Errorf("%s: quoted usage for %s drifted from `%s -h`:\n--- docs ---\n%s--- binary ---\n%s",
+					e.Name(), tool, tool, quoted, exp)
+			}
+		}
+	}
+	for tool := range want {
+		if found[tool] == 0 {
+			t.Errorf("no doc under docs/ quotes the usage of %s (add a '<!-- usage:%s -->' block)", tool, tool)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+)
+
+// TestSessionRewriteSQLDialects runs the same query through every emit
+// dialect: the sieve emission must round-trip through our parser to the
+// exact rewritten AST, and the external emissions must carry the dialect's
+// quoting and placeholder style.
+func TestSessionRewriteSQLDialects(t *testing.T) {
+	f := newFixture(t, engine.MySQL(), 60)
+	sess := f.m.NewSession(f.qm)
+	const q = "SELECT * FROM wifi AS W WHERE W.wifiAP = 102 LIMIT 10 OFFSET 5"
+
+	stmt, rep, err := f.m.RewriteQuery(q, f.qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.GuardedCTEs) != 1 {
+		t.Fatalf("want 1 guarded CTE in report, got %d", len(rep.GuardedCTEs))
+	}
+	g := rep.GuardedCTEs[0]
+	if g.Relation != "wifi" || g.Name == "" || g.Strategy == "" {
+		t.Fatalf("incomplete provenance: %+v", g)
+	}
+	if !g.DefaultDeny && len(g.Arms) == 0 {
+		t.Fatal("provenance has neither arms nor default-deny")
+	}
+
+	sieve, err := sess.RewriteSQL(q, "sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sqlparser.Parse(sieve.SQL)
+	if err != nil {
+		t.Fatalf("sieve emission does not re-parse: %v\n%s", err, sieve.SQL)
+	}
+	if !reflect.DeepEqual(stmt, back) {
+		t.Fatalf("sieve emission is not the rewritten AST:\n%s\nvs\n%s", sieve.SQL, sqlparser.Print(stmt))
+	}
+
+	my, err := sess.RewriteSQL(q, "mysql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(my.SQL, "`wifi`") || strings.Count(my.SQL, "?") != len(my.Args) {
+		t.Fatalf("mysql emission malformed (%d args):\n%s", len(my.Args), my.SQL)
+	}
+	if !strings.Contains(my.SQL, "LIMIT 5, 10") {
+		t.Fatalf("mysql LIMIT offset, count form missing:\n%s", my.SQL)
+	}
+
+	pg, err := sess.RewriteSQL(q, "postgres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pg.SQL, `"wifi"`) || strings.Contains(pg.SQL, "INDEX") {
+		t.Fatalf("postgres emission malformed:\n%s", pg.SQL)
+	}
+	if !strings.Contains(pg.SQL, "LIMIT 10 OFFSET 5") {
+		t.Fatalf("postgres LIMIT/OFFSET form missing:\n%s", pg.SQL)
+	}
+
+	if _, err := sess.RewriteSQL(q, "oracle"); err == nil {
+		t.Fatal("want error for unsupported dialect")
+	}
+}
+
+// TestStmtEmitSQLCaching covers the per-dialect emission cache on prepared
+// plans: identical pointers while the epoch holds, regeneration after a
+// policy change, and no extra policy rewrites for additional dialects.
+func TestStmtEmitSQLCaching(t *testing.T) {
+	f := newFixture(t, engine.MySQL(), 60)
+	sess := f.m.NewSession(f.qm)
+	st, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	em1, err := st.EmitSQL(sess, "postgres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	em2, err := st.EmitSQL(sess, "postgres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em1 != em2 {
+		t.Fatal("second EmitSQL should return the cached emission")
+	}
+	if _, err := st.EmitSQL(sess, "mysql"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Rewrites(); got != 1 {
+		t.Fatalf("emitting two dialects should reuse one rewrite, got %d", got)
+	}
+
+	// A policy change bumps the epoch: the plan and its emissions refresh.
+	if err := f.m.AddPolicy(&policy.Policy{
+		Owner: 1, Querier: "prof", Purpose: "attendance", Relation: "wifi", Action: policy.Allow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	em3, err := st.EmitSQL(sess, "postgres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em3 == em1 {
+		t.Fatal("emission must be regenerated after a policy epoch bump")
+	}
+	if got := st.Rewrites(); got != 2 {
+		t.Fatalf("want exactly one extra rewrite after invalidation, got %d", got)
+	}
+
+	// Options bypass the cache.
+	withComments, err := st.EmitSQL(sess, "postgres", engine.WithProvenanceComments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withComments.SQL, "/* sieve:") {
+		t.Fatalf("provenance comment missing:\n%s", withComments.SQL)
+	}
+	plain, err := st.EmitSQL(sess, "postgres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.SQL, "/* sieve:") {
+		t.Fatal("optioned emission leaked into the cache")
+	}
+}
+
+// TestEmitMatchesEngineDialectChoice checks the IndexGuards framing end to
+// end: when the middleware picks IndexGuards, the MySQL emission splits the
+// disjunction into UNION arms driven by USE INDEX, while PostgreSQL keeps
+// one OR-of-ANDs body.
+func TestEmitMatchesEngineDialectChoice(t *testing.T) {
+	f := newFixture(t, engine.MySQL(), 60, WithForcedStrategy(IndexGuards))
+	sess := f.m.NewSession(f.qm)
+	const q = "SELECT * FROM wifi"
+
+	_, rep, err := f.m.RewriteQuery(q, f.qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := len(rep.GuardedCTEs[0].Arms)
+	if arms < 2 {
+		t.Skipf("corpus produced %d arms; need >= 2 for union framing", arms)
+	}
+
+	my, err := sess.RewriteSQL(q, "mysql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(my.SQL, " UNION SELECT"); got != arms-1 {
+		t.Fatalf("mysql IndexGuards emission: want %d UNION arms, got %d:\n%s", arms-1, got+1, my.SQL)
+	}
+	if !strings.Contains(my.SQL, "USE INDEX (") {
+		t.Fatalf("mysql IndexGuards emission lacks USE INDEX:\n%s", my.SQL)
+	}
+
+	pg, err := sess.RewriteSQL(q, "postgres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pg.SQL, "UNION") || strings.Contains(pg.SQL, "INDEX") {
+		t.Fatalf("postgres emission must keep OR-of-ANDs without hints:\n%s", pg.SQL)
+	}
+}

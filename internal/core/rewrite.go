@@ -65,13 +65,15 @@ func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadat
 		dec := m.chooseStrategy(stmt, relation, refName, st.ge, pending)
 		dec.DeltaGuards = len(st.deltaSets)
 		queryConjs := m.pushableConjuncts(stmt, relation)
-		cte, err := m.buildGuardedCTE(relation, st, pending, queryConjs, dec)
+		cte, prov, err := m.buildGuardedCTE(relation, st, pending, queryConjs, dec)
 		if err != nil {
 			return nil, nil, err
 		}
 		cteName := freshCTEName(stmt, relation)
 		replaceTableRefs(stmt, relation, cteName)
 		stmt.With = append([]sqlparser.CTE{{Name: cteName, Select: cte}}, stmt.With...)
+		prov.Name = cteName
+		rep.GuardedCTEs = append(rep.GuardedCTEs, prov)
 		rep.Decisions = append(rep.Decisions, dec)
 	}
 	m.mu.Lock()
@@ -264,12 +266,21 @@ func (m *Middleware) pushableConjuncts(stmt *sqlparser.SelectStmt, relation stri
 // where each arm conjoins the guard predicate, the pushed query predicates
 // (under IndexGuards), and either the inlined policy partition or a Δ call.
 // Pending policies (§6 deferred regeneration) contribute one owner-guarded
-// arm each.
+// arm each. Alongside the body it returns the guard provenance the dialect
+// emitters consume (engine.GuardedCTE; Name is filled by the caller once
+// the WITH name is chosen).
 func (m *Middleware) buildGuardedCTE(relation string, st *geState, pending []*policy.Policy,
-	queryConjs []sqlparser.Expr, dec TableDecision) (*sqlparser.SelectStmt, error) {
+	queryConjs []sqlparser.Expr, dec TableDecision) (*sqlparser.SelectStmt, engine.GuardedCTE, error) {
 
 	schema := m.db.MustTable(relation).Schema
 	ge := st.ge
+
+	prov := engine.GuardedCTE{
+		Relation:   relation,
+		Strategy:   string(dec.Strategy),
+		QueryIndex: dec.QueryIndex,
+		QueryConjs: queryConjs,
+	}
 
 	var arms []sqlparser.Expr
 	guardCols := map[string]bool{}
@@ -277,22 +288,28 @@ func (m *Middleware) buildGuardedCTE(relation string, st *geState, pending []*po
 		g := &ge.Guards[gi]
 		parts := []sqlparser.Expr{g.Expr(relation)}
 		guardCols[g.Cond.Attr] = true
-		if setID, useDelta := st.deltaSets[gi]; useDelta {
+		setID, useDelta := st.deltaSets[gi]
+		if useDelta {
 			parts = append(parts, deltaCall(setID, relation, schema))
 		} else {
 			parts = append(parts, g.PartitionExpr(relation))
 		}
-		arms = append(arms, sqlparser.And(parts...))
+		arm := sqlparser.And(parts...)
+		arms = append(arms, arm)
+		prov.Arms = append(prov.Arms, engine.GuardArm{Col: g.Cond.Attr, Expr: arm, Delta: useDelta})
 	}
 	for _, p := range pending {
 		guardCols[policy.OwnerAttr] = true
-		arms = append(arms, p.Expr(relation))
+		arm := p.Expr(relation)
+		arms = append(arms, arm)
+		prov.Arms = append(prov.Arms, engine.GuardArm{Col: policy.OwnerAttr, Expr: arm})
 	}
 
 	where := sqlparser.Or(arms...)
 	if where == nil {
 		// Default deny: no applicable policies.
 		where = sqlparser.Lit(storage.NewBool(false))
+		prov.DefaultDeny = true
 	}
 	// Query predicates sit in front of the guard disjunction as one
 	// conjunct: under IndexQuery/LinearScan they drive (or stream through)
@@ -335,5 +352,5 @@ func (m *Middleware) buildGuardedCTE(relation string, st *geState, pending []*po
 			Where: where,
 			Limit: -1,
 		},
-	}, nil
+	}, prov, nil
 }

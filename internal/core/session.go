@@ -83,6 +83,24 @@ func (s *Session) Rewrite(sql string) (string, *Report, error) {
 	return sqlparser.Print(stmt), rep, nil
 }
 
+// RewriteSQL rewrites sql under the session's policies and emits it as
+// executable SQL for the named backend dialect — "mysql", "postgres" or
+// "sieve" (the internal round-trip form). The emission carries the SQL
+// string plus the bound-args list its placeholders reference; the rewrite's
+// guard provenance drives dialect-specific framing (MySQL UNION-per-guard
+// with USE INDEX, PostgreSQL OR-of-ANDs for BitmapOr). Nothing is executed.
+func (s *Session) RewriteSQL(sql, dialect string, opts ...engine.EmitOption) (*engine.Emission, error) {
+	e, err := engine.EmitterFor(dialect, opts...)
+	if err != nil {
+		return nil, err
+	}
+	stmt, rep, err := s.rewrite(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Emit(stmt, rep.GuardedCTEs)
+}
+
 // Prepare parses sql once for repeated execution through this session
 // (or any other session on the same middleware).
 func (s *Session) Prepare(sql string) (*Stmt, error) { return s.m.Prepare(sql) }

@@ -5,8 +5,10 @@
 // execution strategy from a calibrated cost model (Inline vs Δ per guard,
 // LinearScan vs IndexQuery vs IndexGuards per table), rewrites the query
 // with WITH clauses and dialect-appropriate index hints, and hands the
-// rewritten SQL to the engine. The three baselines of the evaluation
-// (BaselineP, BaselineI, BaselineU, §7.2 Experiment 3) live here too.
+// rewritten SQL to the engine — or, through Session.RewriteSQL and
+// Stmt.EmitSQL, emits it as executable MySQL/PostgreSQL for an external
+// backend. The three baselines of the evaluation (BaselineP, BaselineI,
+// BaselineU, §7.2 Experiment 3) live here too.
 package core
 
 import (

@@ -37,6 +37,12 @@ type preparedPlan struct {
 	stmt  *sqlparser.SelectStmt
 	rep   *Report
 	epoch uint64
+
+	// emissions caches per-dialect SQL generated from this plan. It lives
+	// on the plan, not the Stmt, so epoch invalidation discards emissions
+	// and rewritten AST together.
+	mu        sync.Mutex
+	emissions map[string]*engine.Emission
 }
 
 // Prepare parses sql for repeated execution. The rewrite itself is
@@ -83,6 +89,44 @@ func (st *Stmt) Report(s *Session) (*Report, error) {
 		return nil, err
 	}
 	return p.rep, nil
+}
+
+// EmitSQL returns the prepared statement's emission for the dialect under
+// the session's (querier, purpose): executable backend SQL with bound
+// args, generated from the cached rewritten plan. Emissions are cached
+// per dialect alongside the plan and invalidated with it by the policy
+// epoch, so a prepared statement amortises parse, rewrite and emission
+// across calls. Passing options bypasses the cache (the emission then
+// differs from the canonical per-dialect form).
+func (st *Stmt) EmitSQL(s *Session, dialect string, opts ...engine.EmitOption) (*engine.Emission, error) {
+	e, err := engine.EmitterFor(dialect, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p, err := st.planFor(s.qm)
+	if err != nil {
+		return nil, err
+	}
+	if len(opts) > 0 {
+		return e.Emit(p.stmt, p.rep.GuardedCTEs)
+	}
+	p.mu.Lock()
+	em, ok := p.emissions[e.Name()]
+	p.mu.Unlock()
+	if ok {
+		return em, nil
+	}
+	em, err = e.Emit(p.stmt, p.rep.GuardedCTEs)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.emissions == nil {
+		p.emissions = make(map[string]*engine.Emission)
+	}
+	p.emissions[e.Name()] = em
+	p.mu.Unlock()
+	return em, nil
 }
 
 // Rewrites reports how many policy rewrites the statement has performed —

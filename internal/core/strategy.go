@@ -50,10 +50,16 @@ type TableDecision struct {
 	SegmentsPrunable int
 }
 
-// Report describes one rewrite: the final SQL and per-table decisions.
+// Report describes one rewrite: the final SQL, per-table decisions, and
+// the guard provenance of every injected WITH entry (the input the dialect
+// emitters frame per backend).
 type Report struct {
 	SQL       string
 	Decisions []TableDecision
+	// GuardedCTEs carries, per injected CTE, the guard arms, pushed query
+	// conjuncts and strategy that produced it — engine.Emitter implementations
+	// consume it to reframe the disjunction for MySQL or PostgreSQL.
+	GuardedCTEs []engine.GuardedCTE
 }
 
 // chooseStrategy implements §5.5: EXPLAIN the original query to learn the

@@ -4,6 +4,11 @@
 // hints depending on the dialect), executes joins/aggregations/set
 // operations, exposes EXPLAIN to the middleware (§5.5), runs UDFs (the Δ
 // operator, §5.2), and fires insert triggers (guard invalidation, §5.1).
+// Its dialect layer also runs the other direction: Emitter implementations
+// (emit.go) serialize the rewritten AST into executable SQL for a *real*
+// MySQL or PostgreSQL — quoting, placeholders with bound args, and
+// dialect-specific guard framing — so the middleware can front an external
+// DBMS as deployed in the paper.
 package engine
 
 // Dialect captures the DBMS feature differences the paper exploits (§5.3,

@@ -809,6 +809,9 @@ func (ex *executor) coreIter(core *sqlparser.SelectCore, sc *scope, outer *env, 
 		it = &distinctIter{src: it}
 	}
 	if core.Limit >= 0 {
+		if core.Offset > 0 {
+			it = &offsetIter{src: it, skip: core.Offset}
+		}
 		it = &limitIter{src: it, n: core.Limit}
 	}
 	return columns, it, nil
@@ -1012,8 +1015,17 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 		outRows = sorted
 	}
 
-	if core.Limit >= 0 && int64(len(outRows)) > core.Limit {
-		outRows = outRows[:core.Limit]
+	if core.Limit >= 0 {
+		if off := core.Offset; off > 0 {
+			if off >= int64(len(outRows)) {
+				outRows = outRows[:0]
+			} else {
+				outRows = outRows[off:]
+			}
+		}
+		if int64(len(outRows)) > core.Limit {
+			outRows = outRows[:core.Limit]
+		}
 	}
 	return &Result{Columns: columns, Rows: outRows}, nil
 }

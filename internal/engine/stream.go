@@ -377,6 +377,27 @@ func (it *distinctIter) Next() (storage.Row, error) {
 
 func (it *distinctIter) Close() { it.src.Close() }
 
+// offsetIter discards the first skip rows of the stream (LIMIT ... OFFSET).
+// It sits upstream of limitIter so the limit counts delivered rows only.
+type offsetIter struct {
+	src  rowIter
+	skip int64
+}
+
+func (it *offsetIter) Next() (storage.Row, error) {
+	for it.skip > 0 {
+		row, err := it.src.Next()
+		if err != nil || row == nil {
+			it.skip = 0
+			return nil, err
+		}
+		it.skip--
+	}
+	return it.src.Next()
+}
+
+func (it *offsetIter) Close() { it.src.Close() }
+
 // limitIter stops the stream after n rows, closing the upstream scan so a
 // satisfied LIMIT terminates the query early (§5's amortisation carries to
 // execution: work is proportional to rows delivered, not rows stored).

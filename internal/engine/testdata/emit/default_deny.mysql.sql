@@ -1,0 +1,1 @@
+WITH `WiFi_Dataset_sieve` AS (SELECT * FROM `WiFi_Dataset` WHERE FALSE) SELECT count(*) FROM `WiFi_Dataset_sieve` AS `WiFi_Dataset`

@@ -1,0 +1,9 @@
+WITH "WiFi_Dataset_sieve" AS (SELECT * FROM "WiFi_Dataset" WHERE "WiFi_Dataset"."ts_date" > $1 AND ("WiFi_Dataset"."wifiAP" = $2 AND "WiFi_Dataset"."owner" IN ($3, $4) OR "WiFi_Dataset"."owner" = $5 AND sieve_delta($6, "WiFi_Dataset"."id", "WiFi_Dataset"."owner") = TRUE)) SELECT * FROM "WiFi_Dataset_sieve" AS "W" WHERE "W"."ts_time" BETWEEN $7 AND $8
+-- arg 1: DATE '2000-01-11'
+-- arg 2: 1200
+-- arg 3: 5
+-- arg 4: 7
+-- arg 5: 9
+-- arg 6: 3
+-- arg 7: TIME '09:00:00'
+-- arg 8: TIME '10:30:00'

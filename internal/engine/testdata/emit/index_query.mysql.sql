@@ -1,0 +1,5 @@
+WITH `WiFi_Dataset_sieve` AS (SELECT * FROM `WiFi_Dataset` FORCE INDEX (`ts_date`) WHERE `WiFi_Dataset`.`ts_date` > ? AND (`WiFi_Dataset`.`wifiAP` = ? AND `WiFi_Dataset`.`owner` IN (?, ?))) SELECT * FROM `WiFi_Dataset_sieve` AS `WiFi_Dataset`
+-- arg 1: DATE '2000-01-11'
+-- arg 2: 1200
+-- arg 3: 5
+-- arg 4: 7

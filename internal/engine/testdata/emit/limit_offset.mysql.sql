@@ -1,0 +1,2 @@
+SELECT `id`, `owner` FROM `WiFi_Dataset` AS `W` WHERE `W`.`wifiAP` = ? ORDER BY `id` LIMIT 20, 10
+-- arg 1: 7

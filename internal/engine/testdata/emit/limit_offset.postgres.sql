@@ -1,0 +1,2 @@
+SELECT "id", "owner" FROM "WiFi_Dataset" AS "W" WHERE "W"."wifiAP" = $1 ORDER BY "id" LIMIT 10 OFFSET 20
+-- arg 1: 7

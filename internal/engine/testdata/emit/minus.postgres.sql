@@ -1,0 +1,1 @@
+SELECT "owner" FROM "Visits" EXCEPT SELECT "owner" FROM "Blocked"

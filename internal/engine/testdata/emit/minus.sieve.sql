@@ -1,0 +1,1 @@
+SELECT owner FROM Visits MINUS SELECT owner FROM Blocked

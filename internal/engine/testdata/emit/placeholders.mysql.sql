@@ -1,0 +1,5 @@
+SELECT * FROM `Shops` WHERE `name` = ? AND `open` >= ? AND `since` > ? AND `rating` > ? AND `active` = TRUE AND `note` IS NOT NULL LIMIT 3
+-- arg 1: 'O''Leary''s'
+-- arg 2: TIME '08:30:00'
+-- arg 3: DATE '2000-02-29'
+-- arg 4: 4.5

@@ -1,0 +1,1 @@
+SELECT * FROM Shops WHERE name = 'O''Leary''s' AND open >= TIME '08:30:00' AND since > DATE '2000-02-29' AND rating > 4.5 AND active = TRUE AND note IS NOT NULL LIMIT 3

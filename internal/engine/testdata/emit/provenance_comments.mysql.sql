@@ -1,0 +1,10 @@
+WITH `WiFi_Dataset_sieve` AS (/* sieve: WiFi_Dataset strategy=IndexGuards guards=2 delta=1 */ SELECT * FROM `WiFi_Dataset` USE INDEX (`wifiAP`) WHERE `WiFi_Dataset`.`ts_date` > ? AND (`WiFi_Dataset`.`wifiAP` = ? AND `WiFi_Dataset`.`owner` IN (?, ?)) UNION SELECT * FROM `WiFi_Dataset` USE INDEX (`owner`) WHERE `WiFi_Dataset`.`ts_date` > ? AND (`WiFi_Dataset`.`owner` = ? AND sieve_delta(?, `WiFi_Dataset`.`id`, `WiFi_Dataset`.`owner`) = TRUE)) SELECT * FROM `WiFi_Dataset_sieve` AS `W` WHERE `W`.`ts_time` BETWEEN ? AND ?
+-- arg 1: DATE '2000-01-11'
+-- arg 2: 1200
+-- arg 3: 5
+-- arg 4: 7
+-- arg 5: DATE '2000-01-11'
+-- arg 6: 9
+-- arg 7: 3
+-- arg 8: TIME '09:00:00'
+-- arg 9: TIME '10:30:00'

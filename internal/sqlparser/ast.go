@@ -47,6 +47,7 @@ type SelectCore struct {
 	Having   Expr
 	OrderBy  []OrderItem
 	Limit    int64 // -1 when absent
+	Offset   int64 // rows skipped before Limit counts; <= 0 means absent
 }
 
 // SelectItem is one projection expression with an optional alias.

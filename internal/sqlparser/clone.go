@@ -63,7 +63,7 @@ func CloneCore(c *SelectCore) *SelectCore {
 	if c == nil {
 		return nil
 	}
-	out := &SelectCore{Distinct: c.Distinct, Star: c.Star, Limit: c.Limit}
+	out := &SelectCore{Distinct: c.Distinct, Star: c.Star, Limit: c.Limit, Offset: c.Offset}
 	for _, it := range c.Items {
 		out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
 	}

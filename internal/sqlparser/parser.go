@@ -258,6 +258,30 @@ func (p *parser) parseSelectCore() (*SelectCore, error) {
 			return nil, p.errf("bad LIMIT %q", t.text)
 		}
 		core.Limit = n
+		switch {
+		case p.accept(tokKeyword, "OFFSET"):
+			t, err := p.expect(tokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			m, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad OFFSET %q", t.text)
+			}
+			core.Offset = m
+		case p.accept(tokSymbol, ","):
+			// MySQL's LIMIT offset, count form.
+			t, err := p.expect(tokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			m, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad LIMIT count %q", t.text)
+			}
+			core.Offset = n
+			core.Limit = m
+		}
 	}
 	return core, nil
 }

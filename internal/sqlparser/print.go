@@ -8,54 +8,190 @@ import (
 	"github.com/sieve-db/sieve/internal/storage"
 )
 
+// Style customises the dialect-varying atoms of SQL rendering. The
+// structural walk — clause order, operator precedence, parenthesisation —
+// is shared by every dialect through Printer; a Style only decides how
+// identifiers, literals, index hints, set operations and LIMIT/OFFSET are
+// spelled. DefaultStyle prints SIEVE's own canonical dialect, whose output
+// re-parses to an identical AST; the engine's MySQL and PostgreSQL
+// emitters supply styles that quote, parameterise and reframe for the
+// external backend.
+type Style interface {
+	// Ident writes an identifier: a table, column, alias, CTE or index
+	// name.
+	Ident(b *strings.Builder, name string)
+	// Literal writes a constant value — or a placeholder, recording the
+	// value on a bound-args list.
+	Literal(b *strings.Builder, v storage.Value)
+	// Hint writes an index usage hint, including its leading space; it may
+	// write nothing for dialects without hint syntax. Called only with a
+	// non-nil hint.
+	Hint(b *strings.Builder, h *IndexHint)
+	// SetOp writes a set-operation separator, including surrounding
+	// spaces.
+	SetOp(b *strings.Builder, kind SetOpKind, all bool)
+	// LimitOffset writes the LIMIT/OFFSET clause, including its leading
+	// space. Called only when limit >= 0; offset <= 0 means absent.
+	LimitOffset(b *strings.Builder, limit, offset int64)
+	// CTEComment returns an optional comment (without delimiters) to embed
+	// right after "name AS (" — the emitters use it to carry guard
+	// provenance. Return "" for none.
+	CTEComment(name string) string
+}
+
+// DefaultStyle renders SIEVE's canonical round-trip dialect: bare
+// identifiers, inline literals, MySQL-flavoured hint syntax, MINUS, and
+// LIMIT n OFFSET m. Print and PrintExpr use it.
+type DefaultStyle struct{}
+
+// Ident writes the identifier unquoted.
+func (DefaultStyle) Ident(b *strings.Builder, name string) { b.WriteString(name) }
+
+// Literal writes the value as an inline SQL literal that re-parses to the
+// same storage.Value.
+func (DefaultStyle) Literal(b *strings.Builder, v storage.Value) {
+	switch v.K {
+	case storage.KindFloat:
+		// Keep a decimal point so the literal re-parses as FLOAT (the lexer
+		// has no exponent form, so use fixed notation).
+		s := strconv.FormatFloat(v.F, 'f', -1, 64)
+		if !strings.ContainsRune(s, '.') {
+			s += ".0"
+		}
+		b.WriteString(s)
+	default:
+		// Value.String renders every other kind as a literal the parser
+		// accepts (including TIME '...' and DATE '...').
+		b.WriteString(v.String())
+	}
+}
+
+// Hint writes FORCE INDEX (...) / USE INDEX (...) with bare index names.
+func (s DefaultStyle) Hint(b *strings.Builder, h *IndexHint) { FormatHint(b, h, s.Ident) }
+
+// FormatHint writes a MySQL-syntax index hint, rendering each index name
+// through ident. Shared by every Style that keeps hint syntax, so the
+// spelling cannot drift between dialects.
+func FormatHint(b *strings.Builder, h *IndexHint, ident func(*strings.Builder, string)) {
+	switch h.Kind {
+	case HintForce:
+		b.WriteString(" FORCE INDEX (")
+	case HintUse:
+		b.WriteString(" USE INDEX (")
+	}
+	for i, idx := range h.Indexes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		ident(b, idx)
+	}
+	b.WriteString(")")
+}
+
+// SetOp writes UNION / UNION ALL / MINUS.
+func (DefaultStyle) SetOp(b *strings.Builder, kind SetOpKind, all bool) {
+	switch {
+	case kind == SetUnion && all:
+		b.WriteString(" UNION ALL ")
+	case kind == SetUnion:
+		b.WriteString(" UNION ")
+	default:
+		b.WriteString(" MINUS ")
+	}
+}
+
+// LimitOffset writes LIMIT n [OFFSET m].
+func (DefaultStyle) LimitOffset(b *strings.Builder, limit, offset int64) {
+	b.WriteString(" LIMIT ")
+	b.WriteString(strconv.FormatInt(limit, 10))
+	if offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.FormatInt(offset, 10))
+	}
+}
+
+// CTEComment returns no comment.
+func (DefaultStyle) CTEComment(string) string { return "" }
+
+// Printer walks a statement or expression tree and renders SQL text
+// through a Style. It is exhaustive over the AST: an expression node type
+// it does not know is reported as an error (Print swallows the error for
+// backward compatibility; the dialect emitters surface it).
+type Printer struct {
+	style Style
+	b     strings.Builder
+	err   error
+}
+
+// NewPrinter returns a printer rendering through style; nil means
+// DefaultStyle.
+func NewPrinter(style Style) *Printer {
+	if style == nil {
+		style = DefaultStyle{}
+	}
+	return &Printer{style: style}
+}
+
+// Stmt renders a statement and returns the accumulated text.
+func (p *Printer) Stmt(s *SelectStmt) (string, error) {
+	p.b.Reset()
+	p.err = nil
+	p.stmt(s)
+	return p.b.String(), p.err
+}
+
+// ExprText renders a standalone expression.
+func (p *Printer) ExprText(e Expr) (string, error) {
+	p.b.Reset()
+	p.err = nil
+	p.expr(e, 0)
+	return p.b.String(), p.err
+}
+
 // Print renders a statement as SQL text. The output re-parses to an AST
 // equal to the input (property-tested); SIEVE relies on this to hand
-// rewritten queries back to the engine as text, exactly as the paper's
-// middleware hands SQL to MySQL/PostgreSQL.
+// rewritten queries back to the embedded engine as text, exactly as the
+// paper's middleware hands SQL to MySQL/PostgreSQL.
 func Print(s *SelectStmt) string {
-	var b strings.Builder
-	printStmt(&b, s)
-	return b.String()
+	out, _ := NewPrinter(nil).Stmt(s)
+	return out
 }
 
 // PrintExpr renders an expression as SQL text.
 func PrintExpr(e Expr) string {
-	var b strings.Builder
-	printExpr(&b, e, 0)
-	return b.String()
+	out, _ := NewPrinter(nil).ExprText(e)
+	return out
 }
 
-func printStmt(b *strings.Builder, s *SelectStmt) {
+func (p *Printer) stmt(s *SelectStmt) {
+	b := &p.b
 	if len(s.With) > 0 {
 		b.WriteString("WITH ")
 		for i, cte := range s.With {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(cte.Name)
+			p.style.Ident(b, cte.Name)
 			b.WriteString(" AS (")
-			printStmt(b, cte.Select)
+			if c := p.style.CTEComment(cte.Name); c != "" {
+				b.WriteString("/* ")
+				b.WriteString(c)
+				b.WriteString(" */ ")
+			}
+			p.stmt(cte.Select)
 			b.WriteString(")")
 		}
 		b.WriteString(" ")
 	}
-	printCore(b, s.Body)
+	p.core(s.Body)
 	for _, u := range s.Ops {
-		switch u.Kind {
-		case SetUnion:
-			if u.All {
-				b.WriteString(" UNION ALL ")
-			} else {
-				b.WriteString(" UNION ")
-			}
-		case SetMinus:
-			b.WriteString(" MINUS ")
-		}
-		printCore(b, u.Core)
+		p.style.SetOp(b, u.Kind, u.All)
+		p.core(u.Core)
 	}
 }
 
-func printCore(b *strings.Builder, c *SelectCore) {
+func (p *Printer) core(c *SelectCore) {
+	b := &p.b
 	b.WriteString("SELECT ")
 	if c.Distinct {
 		b.WriteString("DISTINCT ")
@@ -67,10 +203,10 @@ func printCore(b *strings.Builder, c *SelectCore) {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			printExpr(b, it.Expr, 0)
+			p.expr(it.Expr, 0)
 			if it.Alias != "" {
 				b.WriteString(" AS ")
-				b.WriteString(it.Alias)
+				p.style.Ident(b, it.Alias)
 			}
 		}
 	}
@@ -79,11 +215,11 @@ func printCore(b *strings.Builder, c *SelectCore) {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		printTableRef(b, t)
+		p.tableRef(t)
 	}
 	if c.Where != nil {
 		b.WriteString(" WHERE ")
-		printExpr(b, c.Where, 0)
+		p.expr(c.Where, 0)
 	}
 	if len(c.GroupBy) > 0 {
 		b.WriteString(" GROUP BY ")
@@ -91,12 +227,12 @@ func printCore(b *strings.Builder, c *SelectCore) {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			printExpr(b, g, 0)
+			p.expr(g, 0)
 		}
 	}
 	if c.Having != nil {
 		b.WriteString(" HAVING ")
-		printExpr(b, c.Having, 0)
+		p.expr(c.Having, 0)
 	}
 	if len(c.OrderBy) > 0 {
 		b.WriteString(" ORDER BY ")
@@ -104,39 +240,32 @@ func printCore(b *strings.Builder, c *SelectCore) {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			printExpr(b, o.Expr, 0)
+			p.expr(o.Expr, 0)
 			if o.Desc {
 				b.WriteString(" DESC")
 			}
 		}
 	}
 	if c.Limit >= 0 {
-		b.WriteString(" LIMIT ")
-		b.WriteString(strconv.FormatInt(c.Limit, 10))
+		p.style.LimitOffset(b, c.Limit, c.Offset)
 	}
 }
 
-func printTableRef(b *strings.Builder, t TableRef) {
+func (p *Printer) tableRef(t TableRef) {
+	b := &p.b
 	if t.Subquery != nil {
 		b.WriteString("(")
-		printStmt(b, t.Subquery)
+		p.stmt(t.Subquery)
 		b.WriteString(")")
 	} else {
-		b.WriteString(t.Name)
+		p.style.Ident(b, t.Name)
 	}
 	if t.Alias != "" {
 		b.WriteString(" AS ")
-		b.WriteString(t.Alias)
+		p.style.Ident(b, t.Alias)
 	}
 	if t.Hint != nil {
-		switch t.Hint.Kind {
-		case HintForce:
-			b.WriteString(" FORCE INDEX (")
-		case HintUse:
-			b.WriteString(" USE INDEX (")
-		}
-		b.WriteString(strings.Join(t.Hint.Indexes, ", "))
-		b.WriteString(")")
+		p.style.Hint(b, t.Hint)
 	}
 }
 
@@ -162,22 +291,23 @@ const (
 	precPred = 4
 )
 
-func printExpr(b *strings.Builder, e Expr, parent int) {
+func (p *Printer) expr(e Expr, parent int) {
+	b := &p.b
 	switch x := e.(type) {
 	case *Literal:
-		printLiteral(b, x.Val)
+		p.style.Literal(b, x.Val)
 	case *ColRef:
 		if x.Table != "" {
-			b.WriteString(x.Table)
+			p.style.Ident(b, x.Table)
 			b.WriteString(".")
 		}
-		b.WriteString(x.Column)
+		p.style.Ident(b, x.Column)
 	case *BinaryExpr:
 		prec := binPrec(x.Op)
 		if prec < parent {
 			b.WriteString("(")
 		}
-		printExpr(b, x.L, prec)
+		p.expr(x.L, prec)
 		switch x.Op {
 		case OpAnd:
 			b.WriteString(" AND ")
@@ -194,7 +324,7 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 		}
 		// Right side printed one level tighter so left-associativity
 		// round-trips: a - (b - c) keeps its parens.
-		printExpr(b, x.R, prec+1)
+		p.expr(x.R, prec+1)
 		if prec < parent {
 			b.WriteString(")")
 		}
@@ -202,11 +332,11 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 		if precPred < parent {
 			b.WriteString("(")
 		}
-		printExpr(b, x.L, precPred+1)
+		p.expr(x.L, precPred+1)
 		b.WriteString(" ")
 		b.WriteString(x.Op.String())
 		b.WriteString(" ")
-		printExpr(b, x.R, precPred+1)
+		p.expr(x.R, precPred+1)
 		if precPred < parent {
 			b.WriteString(")")
 		}
@@ -215,7 +345,7 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 			b.WriteString("(")
 		}
 		b.WriteString("NOT ")
-		printExpr(b, x.E, precNot)
+		p.expr(x.E, precNot)
 		if precNot < parent {
 			b.WriteString(")")
 		}
@@ -223,14 +353,14 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 		if precPred < parent {
 			b.WriteString("(")
 		}
-		printExpr(b, x.E, precPred+1)
+		p.expr(x.E, precPred+1)
 		if x.Not {
 			b.WriteString(" NOT")
 		}
 		b.WriteString(" BETWEEN ")
-		printExpr(b, x.Lo, precPred+1)
+		p.expr(x.Lo, precPred+1)
 		b.WriteString(" AND ")
-		printExpr(b, x.Hi, precPred+1)
+		p.expr(x.Hi, precPred+1)
 		if precPred < parent {
 			b.WriteString(")")
 		}
@@ -238,19 +368,19 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 		if precPred < parent {
 			b.WriteString("(")
 		}
-		printExpr(b, x.E, precPred+1)
+		p.expr(x.E, precPred+1)
 		if x.Not {
 			b.WriteString(" NOT")
 		}
 		b.WriteString(" IN (")
 		if x.Sub != nil {
-			printStmt(b, x.Sub)
+			p.stmt(x.Sub)
 		} else {
 			for i, it := range x.List {
 				if i > 0 {
 					b.WriteString(", ")
 				}
-				printExpr(b, it, 0)
+				p.expr(it, 0)
 			}
 		}
 		b.WriteString(")")
@@ -261,7 +391,7 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 		if precPred < parent {
 			b.WriteString("(")
 		}
-		printExpr(b, x.E, precPred+1)
+		p.expr(x.E, precPred+1)
 		if x.Not {
 			b.WriteString(" IS NOT NULL")
 		} else {
@@ -271,6 +401,8 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 			b.WriteString(")")
 		}
 	case *FuncCall:
+		// Function names are never quoted: dialects fold them consistently
+		// and quoting would frustrate case-insensitive resolution.
 		b.WriteString(x.Name)
 		b.WriteString("(")
 		if x.Star {
@@ -283,40 +415,22 @@ func printExpr(b *strings.Builder, e Expr, parent int) {
 				if i > 0 {
 					b.WriteString(", ")
 				}
-				printExpr(b, a, 0)
+				p.expr(a, 0)
 			}
 		}
 		b.WriteString(")")
 	case *SubqueryExpr:
 		b.WriteString("(")
-		printStmt(b, x.Select)
+		p.stmt(x.Select)
 		b.WriteString(")")
 	case *ExistsExpr:
 		b.WriteString("EXISTS (")
-		printStmt(b, x.Select)
+		p.stmt(x.Select)
 		b.WriteString(")")
 	default:
-		fmt.Fprintf(b, "/*unknown expr %T*/", e)
-	}
-}
-
-func printLiteral(b *strings.Builder, v storage.Value) {
-	switch v.K {
-	case storage.KindFloat:
-		// Keep a decimal point so the literal re-parses as FLOAT (the lexer
-		// has no exponent form, so use fixed notation).
-		s := strconv.FormatFloat(v.F, 'f', -1, 64)
-		if !strings.ContainsRune(s, '.') {
-			s += ".0"
+		if p.err == nil {
+			p.err = fmt.Errorf("sql: cannot print unknown expression node %T", e)
 		}
-		b.WriteString(s)
-	case storage.KindTime:
-		fmt.Fprintf(b, "TIME '%02d:%02d:%02d'", v.I/3600, (v.I/60)%60, v.I%60)
-	case storage.KindDate:
-		b.WriteString("DATE '")
-		b.WriteString(storage.FormatDate(v))
-		b.WriteString("'")
-	default:
-		b.WriteString(v.String())
+		fmt.Fprintf(b, "/*unknown expr %T*/", e)
 	}
 }

@@ -141,6 +141,9 @@ func randCore(r *rand.Rand, depth int) *SelectCore {
 	}
 	if r.Intn(4) == 0 {
 		c.Limit = int64(r.Intn(100))
+		if r.Intn(2) == 0 {
+			c.Offset = int64(1 + r.Intn(50))
+		}
 	}
 	return c
 }

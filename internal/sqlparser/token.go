@@ -1,8 +1,13 @@
 // Package sqlparser implements the SQL dialect SIEVE consumes and emits: a
-// lexer, a recursive-descent parser, an AST, and a printer whose output
-// re-parses to an identical tree. The subset covers everything SIEVE's
-// rewrites require (§5): WITH clauses, UNION, index usage hints, UDF calls,
-// correlated scalar subqueries, BETWEEN/IN, GROUP BY aggregation.
+// lexer, a recursive-descent parser, an AST, and a visitor-based printer
+// (Printer walking the full AST, a Style deciding the dialect-varying
+// atoms) whose default output re-parses to an identical tree — the
+// round-trip contract the rewrite relies on, property- and
+// corpus-tested. The engine's MySQL/PostgreSQL emitters plug their own
+// Styles into the same walk to produce quoted, parameterised backend SQL.
+// The grammar subset covers everything SIEVE's rewrites require (§5):
+// WITH clauses, UNION/MINUS, index usage hints, UDF calls, correlated
+// scalar subqueries, BETWEEN/IN, GROUP BY aggregation, LIMIT/OFFSET.
 package sqlparser
 
 import (
@@ -33,7 +38,7 @@ type token struct {
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
 	"NOT": true, "AS": true, "WITH": true, "UNION": true, "ALL": true,
-	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true, "ASC": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "ASC": true,
 	"DESC": true, "BETWEEN": true, "IN": true, "IS": true, "NULL": true,
 	"TRUE": true, "FALSE": true, "DISTINCT": true, "FORCE": true,
 	"USE": true, "IGNORE": true, "INDEX": true, "TIME": true, "DATE": true,

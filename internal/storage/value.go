@@ -4,8 +4,8 @@
 //
 // The engine plays the role MySQL and PostgreSQL play in the paper. Only the
 // feature contracts SIEVE relies on are implemented (index range scans, bitmap
-// OR combination, statistics, triggers); see DESIGN.md for the substitution
-// rationale.
+// OR combination, statistics, triggers); docs/architecture.md maps this layer
+// into the system and explains the substitution.
 package storage
 
 import (
@@ -217,7 +217,7 @@ func (v Value) String() string {
 	case KindTime:
 		return fmt.Sprintf("TIME '%02d:%02d:%02d'", v.I/3600, (v.I/60)%60, v.I%60)
 	case KindDate:
-		return fmt.Sprintf("DATE %d", v.I)
+		return "DATE '" + FormatDate(v) + "'"
 	default:
 		return fmt.Sprintf("Value(kind=%d)", v.K)
 	}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+)
+
+// Demo bundles the scaffolding the demonstration tools (sieve-explain,
+// sieve-rewrite) share: a generated campus, its policy corpus, and a
+// middleware protecting the WiFi relation.
+type Demo struct {
+	Campus   *Campus
+	Policies []*policy.Policy
+	M        *core.Middleware
+}
+
+// NewDemo builds the test-sized campus on the given engine dialect, loads
+// the generated policy corpus, and protects the WiFi relation.
+func NewDemo(d engine.Dialect) (*Demo, error) {
+	campus, err := BuildCampus(TestCampusConfig(), d)
+	if err != nil {
+		return nil, err
+	}
+	policies := campus.GeneratePolicies(TestPolicyConfig())
+	store, err := policy.NewStore(campus.DB)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.BulkLoad(policies); err != nil {
+		return nil, err
+	}
+	m, err := core.New(store, core.WithGroups(campus.Groups()))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Protect(TableWiFi); err != nil {
+		return nil, err
+	}
+	return &Demo{Campus: campus, Policies: policies, M: m}, nil
+}
+
+// Querier resolves the tool's -querier flag: "auto" picks the busiest
+// policy-holding querier.
+func (d *Demo) Querier(flagValue string) string {
+	if flagValue == "auto" {
+		return TopQueriers(d.Policies, 1, 1)[0]
+	}
+	return flagValue
+}

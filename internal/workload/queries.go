@@ -111,6 +111,57 @@ func (c *Campus) Queries(tmpl QueryTemplate, class SelectivityClass, n int, seed
 	return out
 }
 
+// NamedQuery is one entry of the examples corpus: a label plus the SQL
+// text.
+type NamedQuery struct {
+	Name string
+	SQL  string
+}
+
+// CorpusQueries is the examples corpus: a deterministic set of queries
+// covering every statement shape SIEVE rewrites — the three SmartBench
+// templates across selectivity classes, the §2.1 analytical join,
+// aggregation, projection, set operations, and LIMIT/OFFSET paging. The
+// end-to-end emission tests and sieve-rewrite's -corpus mode both walk
+// this list, so every shape is proven to emit for every backend dialect.
+func (c *Campus) CorpusQueries() []NamedQuery {
+	var out []NamedQuery
+	for _, tmpl := range QueryTemplates {
+		for _, class := range SelectivityClasses {
+			out = append(out, NamedQuery{
+				Name: fmt.Sprintf("%s_%s", tmpl, class),
+				SQL:  c.Queries(tmpl, class, 1, 1)[0],
+			})
+		}
+	}
+	out = append(out,
+		NamedQuery{Name: "student_perf", SQL: c.StudentPerfQuery(0, 1200)},
+		NamedQuery{Name: "count_star", SQL: "SELECT count(*) FROM " + TableWiFi},
+		NamedQuery{Name: "projection", SQL: "SELECT id, owner, wifiAP FROM " + TableWiFi + " WHERE wifiAP = 1200"},
+		NamedQuery{
+			Name: "group_by_ap",
+			SQL: "SELECT W.wifiAP, count(*) AS visits FROM " + TableWiFi +
+				" AS W GROUP BY W.wifiAP ORDER BY visits DESC LIMIT 5",
+		},
+		NamedQuery{
+			Name: "paging",
+			SQL:  "SELECT id, owner FROM " + TableWiFi + " ORDER BY id LIMIT 20 OFFSET 40",
+		},
+		NamedQuery{
+			Name: "union_minus",
+			SQL: "SELECT owner FROM " + TableWiFi + " WHERE wifiAP = 1200 " +
+				"UNION SELECT owner FROM " + TableWiFi + " WHERE wifiAP = 1201 " +
+				"MINUS SELECT owner FROM " + TableWiFi + " WHERE ts_time < TIME '08:00'",
+		},
+		NamedQuery{
+			Name: "in_subquery",
+			SQL: "SELECT * FROM " + TableWiFi + " AS W WHERE W.owner IN " +
+				"(SELECT M.user_id FROM " + TableMembership + " AS M WHERE M.user_group_id = 1) LIMIT 10",
+		},
+	)
+	return out
+}
+
 // StudentPerfQuery is the §2.1 motivating analytical query: attendance of
 // the members of one group at one AP during class hours, joined back per
 // student — adapted to the generated schema.

@@ -49,6 +49,17 @@
 //
 //	stmt, _ := m.Prepare("SELECT * FROM WiFi_Dataset")
 //	rows, _ := stmt.Query(ctx, sess) // parse + rewrite amortised
+//
+// The middleware can also front an external DBMS, the paper's deployment
+// mode: Session.RewriteSQL (and Stmt.EmitSQL, cached per dialect) emit the
+// rewritten statement as executable MySQL or PostgreSQL — quoted
+// identifiers, "?" or "$n" placeholders with a bound-args list, and
+// dialect-specific guard framing (MySQL UNION-per-guard with USE INDEX,
+// PostgreSQL OR-of-ANDs for its bitmap-OR scan):
+//
+//	em, _ := sess.RewriteSQL("SELECT * FROM WiFi_Dataset", "postgres")
+//	// em.SQL: WITH "WiFi_Dataset_sieve" AS (... WHERE ... $1 ... $2 ...) ...
+//	// em.Args: the constants the placeholders bind
 package sieve
 
 import (
@@ -73,6 +84,17 @@ type (
 	Explain = engine.Explain
 	// Counters expose the engine's work counters.
 	Counters = engine.Counters
+	// Emitter serializes a rewritten statement into executable SQL for one
+	// backend dialect ("sieve", "mysql", "postgres").
+	Emitter = engine.Emitter
+	// Emission is one rendered statement: SQL plus its bound-args list.
+	Emission = engine.Emission
+	// EmitOption configures an emitter (e.g. WithProvenanceComments).
+	EmitOption = engine.EmitOption
+	// GuardedCTE is the per-CTE guard provenance emitters frame per dialect.
+	GuardedCTE = engine.GuardedCTE
+	// GuardArm is one arm of a guarded disjunction.
+	GuardArm = engine.GuardArm
 
 	// Session binds query metadata (querier, purpose, group resolution)
 	// once; it is the unit of per-user state. Create with
@@ -147,6 +169,24 @@ var (
 	MySQL = engine.MySQL
 	// Postgres returns the bitmap-OR dialect that ignores hints.
 	Postgres = engine.Postgres
+)
+
+// SQL emitters: they serialize the rewritten AST into executable SQL for
+// an external backend (Session.RewriteSQL and Stmt.EmitSQL are the usual
+// entry points; these constructors serve direct use).
+var (
+	// SieveEmitter emits the internal round-trip dialect.
+	SieveEmitter = engine.SieveEmitter
+	// MySQLEmitter emits MySQL: backticks, "?" placeholders, UNION-per-guard.
+	MySQLEmitter = engine.MySQLEmitter
+	// PostgresEmitter emits PostgreSQL: double quotes, "$n" placeholders,
+	// OR-of-ANDs for BitmapOr.
+	PostgresEmitter = engine.PostgresEmitter
+	// EmitterFor resolves a dialect name to its emitter.
+	EmitterFor = engine.EmitterFor
+	// WithProvenanceComments embeds /* sieve */ guard provenance in emitted
+	// CTEs.
+	WithProvenanceComments = engine.WithProvenanceComments
 )
 
 // NewDB creates an empty embedded database.
