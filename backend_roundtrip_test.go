@@ -1,0 +1,198 @@
+package sieve_test
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"reflect"
+	"testing"
+
+	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/internal/backend"
+	"github.com/sieve-db/sieve/internal/backend/backendtest"
+	"github.com/sieve-db/sieve/internal/storage"
+	"github.com/sieve-db/sieve/internal/workload"
+	"github.com/sieve-db/sieve/sievesql"
+)
+
+// baselineResult is one corpus query's ground truth: the rows
+// Session.Query streams on the embedded engine, plus the per-column kinds
+// needed to undo wire-representation loss on decode.
+type baselineResult struct {
+	name  string
+	sql   string
+	cols  []string
+	rows  []sieve.Row
+	kinds []sieve.Kind
+}
+
+// corpusBaselines runs the examples corpus through the plain session
+// path.
+func corpusBaselines(t *testing.T, demo *workload.Demo, sess *sieve.Session) []baselineResult {
+	t.Helper()
+	ctx := context.Background()
+	var out []baselineResult
+	for _, q := range demo.Campus.CorpusQueries() {
+		rows, err := sess.Query(ctx, q.SQL)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", q.Name, err)
+		}
+		b := baselineResult{name: q.Name, sql: q.SQL, cols: rows.Columns()}
+		for rows.Next() {
+			b.rows = append(b.rows, rows.Row().Clone())
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("%s: baseline: %v", q.Name, err)
+		}
+		rows.Close()
+		b.kinds = make([]sieve.Kind, len(b.cols))
+		for c := range b.kinds {
+			for _, r := range b.rows {
+				if !r[c].IsNull() {
+					b.kinds[c] = r[c].K
+					break
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestBackendRoundTrip is the acceptance gate for the backend connector
+// subsystem: the examples corpus executed through sql.Open("sieve", …)
+// and through backend.Remote over the fake mysql/postgres drivers must
+// return row-for-row identical results to Session.Query on the embedded
+// engine; the SQL the fakes record must be exactly the cached emissions
+// (whose shapes the internal/engine golden suite pins), with args bound
+// in placeholder order.
+func TestBackendRoundTrip(t *testing.T) {
+	demo, err := workload.NewDemo(sieve.MySQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := sieve.Metadata{Querier: demo.Querier("auto"), Purpose: "analytics"}
+	sess := demo.M.NewSession(qm)
+	baselines := corpusBaselines(t, demo, sess)
+	nonEmpty := 0
+	for _, b := range baselines {
+		if len(b.rows) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 5 {
+		t.Fatalf("only %d corpus baselines return rows; corpus too weak for a round-trip gate", nonEmpty)
+	}
+
+	t.Run("sievesql", func(t *testing.T) {
+		db := sql.OpenDB(sievesql.NewConnector(demo.M, qm))
+		defer db.Close()
+		for _, b := range baselines {
+			rows, err := db.QueryContext(context.Background(), b.sql)
+			if err != nil {
+				t.Fatalf("%s: %v", b.name, err)
+			}
+			cols, err := rows.Columns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cols, b.cols) {
+				t.Fatalf("%s: columns %v, want %v", b.name, cols, b.cols)
+			}
+			var got []sieve.Row
+			for rows.Next() {
+				dest := make([]any, len(cols))
+				for i := range dest {
+					dest[i] = &sievesql.ScanValue{}
+				}
+				if err := rows.Scan(dest...); err != nil {
+					t.Fatalf("%s: scan: %v", b.name, err)
+				}
+				row := make(sieve.Row, len(cols))
+				for i, d := range dest {
+					v, ok := coerce(d.(*sievesql.ScanValue).V, b.kinds[i])
+					if !ok {
+						t.Fatalf("%s: column %s: cannot coerce %v to %v", b.name, cols[i], d.(*sievesql.ScanValue).V, b.kinds[i])
+					}
+					row[i] = v
+				}
+				got = append(got, row)
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatalf("%s: %v", b.name, err)
+			}
+			rows.Close()
+			if !reflect.DeepEqual(got, b.rows) {
+				t.Fatalf("%s: database/sql rows diverge from Session.Query:\ngot  %v\nwant %v", b.name, got, b.rows)
+			}
+		}
+	})
+
+	for _, dialect := range []string{"mysql", "postgres"} {
+		t.Run("remote-"+dialect, func(t *testing.T) {
+			fake := backendtest.New()
+			rem, err := backend.NewRemote(sql.OpenDB(fake.Connector()), dialect, backend.WithDeltaHelper())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rem.Close()
+			ctx := context.Background()
+			for _, b := range baselines {
+				st, err := demo.M.Prepare(b.sql)
+				if err != nil {
+					t.Fatalf("%s: prepare: %v", b.name, err)
+				}
+				em, err := st.EmitSQL(sess, dialect)
+				if err != nil {
+					t.Fatalf("%s: emit: %v", b.name, err)
+				}
+				fake.Push(backendtest.ResultFromRows(b.cols, b.rows))
+
+				rows, err := backend.StmtQuery(ctx, rem, sess, st)
+				if err != nil {
+					t.Fatalf("%s: ship: %v", b.name, err)
+				}
+				var got []sieve.Row
+				typed := backend.TypedRows(rows, b.kinds)
+				for typed.Next() {
+					got = append(got, typed.Row().Clone())
+				}
+				if err := typed.Err(); err != nil {
+					t.Fatalf("%s: decode: %v", b.name, err)
+				}
+				typed.Close()
+				if !reflect.DeepEqual(got, b.rows) {
+					t.Fatalf("%s: remote rows diverge from Session.Query:\ngot  %v\nwant %v", b.name, got, b.rows)
+				}
+
+				// The shipped statement must be byte-identical to the cached
+				// emission, args in placeholder order as native values.
+				call, ok := fake.LastCall()
+				if !ok {
+					t.Fatalf("%s: fake recorded nothing", b.name)
+				}
+				if call.SQL != em.SQL {
+					t.Fatalf("%s: shipped SQL != emission:\nshipped %s\nemitted %s", b.name, call.SQL, em.SQL)
+				}
+				if len(call.Args) != len(em.Args) {
+					t.Fatalf("%s: shipped %d args, emission binds %d", b.name, len(call.Args), len(em.Args))
+				}
+				for i, a := range em.Args {
+					if !reflect.DeepEqual(call.Args[i], driver.Value(a.Native())) {
+						t.Fatalf("%s: arg %d = %#v, want %#v", b.name, i+1, call.Args[i], a.Native())
+					}
+				}
+			}
+		})
+	}
+}
+
+// coerce adapts storage.CoerceKind for the baseline comparison (a
+// NULL-kind expectation means the baseline column was all-NULL; anything
+// coerces).
+func coerce(v sieve.Value, k sieve.Kind) (sieve.Value, bool) {
+	if k == storage.KindNull { // no kind evidence in the baseline
+		return v, true
+	}
+	return storage.CoerceKind(v, k)
+}

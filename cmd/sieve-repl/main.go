@@ -10,6 +10,11 @@
 //	\rewrite             toggle printing the rewritten SQL
 //	\prepare <sql>       prepare a statement; run it with \exec
 //	\exec                execute the prepared statement for this session
+//	\backend <spec>      route queries through an execution backend:
+//	                     embedded | fake-mysql | fake-postgres |
+//	                     driver://dsn | off. The fakes are seeded with the
+//	                     embedded engine's rows, so results round-trip the
+//	                     full emit -> ship -> decode wire path.
 //	\policies            count policies for the current metadata
 //	\guards              show the cached guarded expression
 //	\quit
@@ -26,16 +31,23 @@ import (
 	"strings"
 
 	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/internal/backend"
+	"github.com/sieve-db/sieve/internal/backend/backendtest"
 	"github.com/sieve-db/sieve/internal/workload"
 )
 
-// repl holds the shell's state: one middleware, one current session, and
-// at most one prepared statement.
+// repl holds the shell's state: one middleware, one current session, at
+// most one prepared statement, and an optional execution backend queries
+// are routed through.
 type repl struct {
 	m           *sieve.Middleware
+	db          *sieve.DB
 	sess        *sieve.Session
 	prepared    *sieve.Stmt
 	showRewrite bool
+
+	backend     sieve.Backend
+	backendFake *backendtest.Fake
 }
 
 func main() {
@@ -73,7 +85,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r := &repl{m: m}
+	r := &repl{m: m, db: campus.DB}
 	r.sess = m.NewSession(sieve.Metadata{
 		Querier: workload.TopQueriers(policies, 1, 1)[0],
 		Purpose: "analytics",
@@ -112,6 +124,10 @@ func main() {
 					dec.Relation, dec.Strategy, dec.Guards, dec.Policies)
 			}
 		}
+		if r.backend != nil {
+			r.runOnBackend(line)
+			continue
+		}
 		r.run(func(ctx context.Context) (*sieve.Rows, error) {
 			return r.sess.Query(ctx, line)
 		})
@@ -132,6 +148,82 @@ func (r *repl) run(open func(ctx context.Context) (*sieve.Rows, error)) {
 	printRows(rows)
 }
 
+// runOnBackend ships one query through the active backend: rewrite, emit
+// for the backend's dialect, execute there, decode and print. Fake
+// backends are seeded with the embedded engine's result first, so the
+// printed rows really travelled the encode -> SQL -> decode wire path.
+func (r *repl) runOnBackend(line string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if r.backendFake != nil {
+		res, err := r.sess.Execute(ctx, line)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		r.backendFake.Push(backendtest.ResultFromRows(res.Columns, res.Rows))
+	}
+	em, err := r.sess.RewriteSQL(line, r.backend.Dialect())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if r.showRewrite {
+		fmt.Printf("-- shipped to %s: %s\n", r.backend.Name(), em.SQL)
+		fmt.Printf("-- with %d bound args\n", len(em.Args))
+	}
+	rows, err := r.backend.Query(ctx, em, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	printRows(rows)
+}
+
+// execOnBackend runs the prepared statement through the active backend
+// from its cached per-dialect emission (sieve.BackendStmtQuery), seeding
+// fakes with the embedded result first.
+func (r *repl) execOnBackend() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if r.backendFake != nil {
+		res, err := r.prepared.Execute(ctx, r.sess)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		r.backendFake.Push(backendtest.ResultFromRows(res.Columns, res.Rows))
+	}
+	rows, err := sieve.BackendStmtQuery(ctx, r.backend, r.sess, r.prepared)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	printRows(rows)
+	fmt.Printf("(%d rewrites amortised over executions)\n", r.prepared.Rewrites())
+}
+
+// setBackend resolves a \backend spec, closing any previous backend.
+func (r *repl) setBackend(spec string) {
+	if r.backend != nil {
+		r.backend.Close()
+		r.backend, r.backendFake = nil, nil
+	}
+	if spec == "off" {
+		fmt.Println("backend = embedded session (direct)")
+		return
+	}
+	b, fake, err := backend.For(spec, r.db)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r.backend, r.backendFake = b, fake
+	fmt.Printf("backend = %s (dialect %s)\n", b.Name(), b.Dialect())
+}
+
 func (r *repl) handleMeta(line string) (quit bool) {
 	fields := strings.Fields(line)
 	qm := r.sess.Metadata()
@@ -139,7 +231,7 @@ func (r *repl) handleMeta(line string) (quit bool) {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\prepare <sql> | \\exec | \\policies | \\guards | \\quit")
+		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\prepare <sql> | \\exec | \\backend <spec> | \\policies | \\guards | \\quit")
 	case "\\querier":
 		if len(fields) > 1 {
 			qm.Querier = fields[1]
@@ -173,10 +265,25 @@ func (r *repl) handleMeta(line string) (quit bool) {
 			fmt.Println("nothing prepared; \\prepare <sql> first")
 			break
 		}
+		if r.backend != nil {
+			r.execOnBackend()
+			break
+		}
 		r.run(func(ctx context.Context) (*sieve.Rows, error) {
 			return r.prepared.Query(ctx, r.sess)
 		})
 		fmt.Printf("(%d rewrites amortised over executions)\n", r.prepared.Rewrites())
+	case "\\backend":
+		if len(fields) < 2 {
+			name := "off (embedded session)"
+			if r.backend != nil {
+				name = r.backend.Name()
+			}
+			fmt.Println("backend =", name)
+			fmt.Println("usage: \\backend embedded | fake-mysql | fake-postgres | driver://dsn | off")
+			break
+		}
+		r.setBackend(fields[1])
 	case "\\policies":
 		ps := r.m.Store().PoliciesFor(qm, workload.TableWiFi, r.m.Groups())
 		fmt.Printf("%d policies apply to %s/%s on %s\n", len(ps), qm.Querier, qm.Purpose, workload.TableWiFi)
@@ -192,10 +299,20 @@ func (r *repl) handleMeta(line string) (quit bool) {
 	return false
 }
 
+// rowStream is the printable surface sieve.Rows and sieve.BackendRows
+// share.
+type rowStream interface {
+	Columns() []string
+	Next() bool
+	Row() sieve.Row
+	Err() error
+	Close() error
+}
+
 // printRows streams a result to the terminal. Past maxRows the Rows is
 // closed, which terminates the underlying scan — the remaining row count
 // is intentionally not known.
-func printRows(rows *sieve.Rows) {
+func printRows(rows rowStream) {
 	const maxRows = 20
 	fmt.Println(strings.Join(rows.Columns(), " | "))
 	n := 0

@@ -5,7 +5,7 @@
 //
 //	echo "SELECT * FROM WiFi_Dataset" | sieve-rewrite -dialect postgres
 //	sieve-rewrite -corpus -dialect all
-//	sieve-rewrite -query "SELECT * FROM WiFi_Dataset LIMIT 5" -comments
+//	sieve-rewrite -query "SELECT * FROM WiFi_Dataset LIMIT 5" -comments -args
 package main
 
 import (
@@ -84,8 +84,15 @@ func main() {
 				log.Fatalf("emit for %s: %v", d, err)
 			}
 			fmt.Printf("-- dialect: %s\n%s\n", em.Dialect, em.SQL)
-			for i, a := range em.Args {
-				fmt.Printf("-- arg %d: %s\n", i+1, a.String())
+			if opts.Args {
+				// Each arg prints as its SQL literal plus the native Go type
+				// a database/sql driver would bind (storage.Value.Native).
+				for i, a := range em.Args {
+					fmt.Printf("-- arg %d: %s (%T)\n", i+1, a.String(), a.Native())
+				}
+				if len(em.Args) == 0 && em.Dialect != "sieve" {
+					fmt.Println("-- no bound args")
+				}
 			}
 		}
 	}

@@ -2,10 +2,12 @@ package sieve_test
 
 import (
 	"context"
+	"database/sql"
 	"fmt"
 	"log"
 
 	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/sievesql"
 )
 
 // Example demonstrates the minimal SIEVE session of the package comment:
@@ -129,6 +131,47 @@ func ExampleMiddleware_Rewrite() {
 	// Output:
 	// WITH t_sieve AS (SELECT * FROM t FORCE INDEX (owner) WHERE t.owner = 7 AND t.owner = 7) SELECT * FROM t_sieve AS t
 	// policies: 1
+}
+
+// Example_databaseSQL mirrors examples/sqldriver: SIEVE behind Go's
+// standard database/sql API. The DSN names the querier and purpose;
+// every connection is a policy-enforced session, so the query loop is
+// plain database/sql code.
+func Example_databaseSQL() {
+	db := sieve.NewDB(sieve.MySQL())
+	schema := sieve.MustSchema(
+		sieve.Column{Name: "id", Type: sieve.KindInt},
+		sieve.Column{Name: "owner", Type: sieve.KindInt},
+	)
+	if _, err := db.CreateTable("visits", schema); err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(1); i <= 6; i++ {
+		if err := db.Insert("visits", sieve.Row{sieve.Int(i), sieve.Int(100 + i%2)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, _ := sieve.NewStore(db)
+	m, _ := sieve.New(store)
+	if err := m.Protect("visits"); err != nil {
+		log.Fatal(err)
+	}
+	_ = store.Insert(&sieve.Policy{
+		Owner: 101, Querier: "alice", Purpose: "audit", Relation: "visits", Action: sieve.Allow,
+	})
+
+	sievesql.SetDefault(m)
+	sqldb, err := sql.Open("sieve", "querier=alice&purpose=audit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sqldb.Close()
+	var n int
+	if err := sqldb.QueryRow("SELECT count(*) FROM visits").Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice counts", n, "rows via database/sql")
+	// Output: alice counts 3 rows via database/sql
 }
 
 // ExampleFactorDeny folds a deny policy into the allow set (§3.1).

@@ -1,0 +1,83 @@
+// Command sqldriver shows SIEVE behind Go's standard database/sql API:
+// the application opens "sieve" like any other driver, and every
+// connection is a policy-enforced session for the querier named in the
+// DSN. Nothing in the query loop knows SIEVE exists — which is the
+// point: database-backed applications integrate through database/sql,
+// not bespoke middleware calls.
+package main
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"log"
+	"time"
+
+	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/sievesql"
+)
+
+func main() {
+	// Build the protected database as usual: one relation, two owners.
+	edb := sieve.NewDB(sieve.MySQL())
+	schema := sieve.MustSchema(
+		sieve.Column{Name: "id", Type: sieve.KindInt},
+		sieve.Column{Name: "owner", Type: sieve.KindInt},
+		sieve.Column{Name: "day", Type: sieve.KindDate},
+	)
+	if _, err := edb.CreateTable("visits", schema); err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(1); i <= 6; i++ {
+		row := sieve.Row{sieve.Int(i), sieve.Int(100 + i%2), sieve.DateOf("2000-01-02")}
+		if err := edb.Insert("visits", row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, err := sieve.NewStore(edb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sieve.New(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Protect("visits"); err != nil {
+		log.Fatal(err)
+	}
+	// Owner 101 allows alice to audit; owner 100 allows nobody.
+	if err := store.Insert(&sieve.Policy{
+		Owner: 101, Querier: "alice", Purpose: "audit", Relation: "visits", Action: sieve.Allow,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Make the middleware reachable from DSNs, then speak plain
+	// database/sql from here on.
+	sievesql.SetDefault(m)
+	for _, querier := range []string{"alice", "mallory"} {
+		db, err := sql.Open("sieve", "querier="+querier+"&purpose=audit")
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := db.QueryContext(context.Background(), "SELECT id, day FROM visits ORDER BY id")
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var id int64
+			var day time.Time
+			if err := rows.Scan(&id, &day); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+		db.Close()
+		fmt.Printf("%s sees %d rows via database/sql\n", querier, n)
+	}
+}

@@ -18,6 +18,7 @@ func TestExamplesRun(t *testing.T) {
 		want string // substring expected in stdout
 	}{
 		{"./examples/quickstart", "Mallory sees 0 rows"},
+		{"./examples/sqldriver", "alice sees 3 rows via database/sql"},
 		{"./examples/smartcampus", "guarded expression"},
 		{"./examples/mall", "speedup"},
 		{"./examples/dynamicpolicies", "deferred"},

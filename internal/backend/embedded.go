@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Embedded executes sieve-dialect emissions on the in-process engine — the
+// stand-in for MySQL/PostgreSQL this repository ships. The emission's SQL
+// is the round-trip form the emitter guarantees re-parses to the rewritten
+// AST, so executing it is exactly executing the rewrite: streaming Rows,
+// zone-map pruning, parallel guarded scans and the engine's work counters
+// all apply unchanged.
+type Embedded struct {
+	db  *engine.DB
+	ctr counters
+}
+
+// NewEmbedded wraps the in-process engine as a Backend.
+func NewEmbedded(db *engine.DB) *Embedded { return &Embedded{db: db} }
+
+// DB exposes the wrapped engine (for counter snapshots and EXPLAIN).
+func (e *Embedded) DB() *engine.DB { return e.db }
+
+// Name identifies the backend.
+func (e *Embedded) Name() string { return "embedded" }
+
+// Dialect is the emission dialect the embedded engine parses.
+func (e *Embedded) Dialect() string { return "sieve" }
+
+// Query parses the emission and opens it as a streaming result on the
+// engine. The sieve dialect inlines every literal, so passing args is an
+// error — a mismatch would silently drop parameters.
+func (e *Embedded) Query(ctx context.Context, em *engine.Emission, args []storage.Value) (Rows, error) {
+	return e.open(ctx, em, args, &e.ctr.queries)
+}
+
+// Exec runs the emission to exhaustion and reports the row count.
+func (e *Embedded) Exec(ctx context.Context, em *engine.Emission, args []storage.Value) (int64, error) {
+	rows, err := e.open(ctx, em, args, &e.ctr.execs)
+	if err != nil {
+		return 0, err
+	}
+	return drain(rows)
+}
+
+// open validates and opens the emission, bumping exactly one of the
+// query/exec tallies so concurrent Counters snapshots never see a call
+// counted twice or not at all.
+func (e *Embedded) open(ctx context.Context, em *engine.Emission, args []storage.Value, tally *atomic.Int64) (Rows, error) {
+	if err := e.check(em, args); err != nil {
+		e.ctr.errs.Add(1)
+		return nil, err
+	}
+	rows, err := e.db.Stream(ctx, em.SQL)
+	if err != nil {
+		e.ctr.errs.Add(1)
+		return nil, err
+	}
+	tally.Add(1)
+	return &embeddedRows{rows: rows, ctr: &e.ctr}, nil
+}
+
+func (e *Embedded) check(em *engine.Emission, args []storage.Value) error {
+	if em.Dialect != "sieve" {
+		return fmt.Errorf("backend: embedded engine executes sieve-dialect emissions, got %q", em.Dialect)
+	}
+	if len(args) > 0 || len(em.Args) > 0 {
+		return fmt.Errorf("backend: sieve emissions inline all literals; got %d bound args", len(args)+len(em.Args))
+	}
+	return nil
+}
+
+// Ping reports the engine reachable; it is in-process.
+func (e *Embedded) Ping(context.Context) error { return nil }
+
+// Close is a no-op: the engine's lifetime belongs to its owner.
+func (e *Embedded) Close() error { return nil }
+
+// Counters snapshots the backend's wire-level tallies. Scan-level work
+// (tuples read, segments pruned) is on the engine's own counters.
+func (e *Embedded) Counters() Counters { return e.ctr.snapshot() }
+
+// embeddedRows adapts engine.Rows to the backend surface, tallying
+// delivered rows.
+type embeddedRows struct {
+	rows *engine.Rows
+	ctr  *counters
+}
+
+func (r *embeddedRows) Columns() []string { return r.rows.Columns() }
+
+func (r *embeddedRows) Next() bool {
+	if !r.rows.Next() {
+		return false
+	}
+	r.ctr.rows.Add(1)
+	return true
+}
+
+func (r *embeddedRows) Row() storage.Row { return r.rows.Row() }
+func (r *embeddedRows) Err() error       { return r.rows.Err() }
+func (r *embeddedRows) Close() error     { return r.rows.Close() }

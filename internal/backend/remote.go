@@ -1,0 +1,191 @@
+package backend
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Remote ships mysql/postgres emissions over any *sql.DB — the paper's
+// actual deployment shape, where SIEVE is a thin layer in front of an
+// unmodified server (§5.3). Outbound, bound args convert storage.Value →
+// driver-native Go types (Value.Native: ints, floats, strings, NULL,
+// time.Time for DATE) in placeholder order — ? positional for MySQL, $n
+// ordinal for PostgreSQL, both of which Emission.Args already encodes.
+// Inbound, result rows decode back into storage.Value
+// (storage.FromNative); wrap the result in TypedRows to restore kinds the
+// wire cannot carry natively.
+//
+// Δ framing: an emission whose guards exceeded the Δ threshold calls the
+// sieve_delta helper, which a stock server does not have. Remote refuses
+// such SQL unless WithDeltaHelper declares the helper installed
+// (the paper's UDF deployment, §5.2); the alternative is configuring the
+// middleware with a Δ threshold of 0 so every partition inlines as plain
+// predicates.
+type Remote struct {
+	db          *sql.DB
+	dialect     string
+	deltaHelper bool
+	ctr         counters
+}
+
+// RemoteOption configures a Remote backend.
+type RemoteOption func(*Remote)
+
+// WithDeltaHelper declares that the sieve_delta helper function is
+// installed on the backend server, allowing Δ-bearing emissions through.
+func WithDeltaHelper() RemoteOption {
+	return func(r *Remote) { r.deltaHelper = true }
+}
+
+// NewRemote wraps a database/sql pool as a Backend for the named emission
+// dialect ("mysql", "postgres"/"postgresql"). The Remote owns the pool:
+// Close closes it.
+func NewRemote(db *sql.DB, dialect string, opts ...RemoteOption) (*Remote, error) {
+	switch strings.ToLower(dialect) {
+	case "mysql":
+		dialect = "mysql"
+	case "postgres", "postgresql":
+		dialect = "postgres"
+	default:
+		return nil, fmt.Errorf("backend: unknown remote dialect %q (want mysql or postgres)", dialect)
+	}
+	r := &Remote{db: db, dialect: dialect}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Name identifies the backend.
+func (r *Remote) Name() string { return "remote-" + r.dialect }
+
+// Dialect is the emission dialect this backend ships.
+func (r *Remote) Dialect() string { return r.dialect }
+
+// Query ships the emission and decodes the result stream.
+func (r *Remote) Query(ctx context.Context, em *engine.Emission, args []storage.Value) (Rows, error) {
+	return r.open(ctx, em, args, &r.ctr.queries)
+}
+
+// Exec ships the emission, discards the rows, and reports the count.
+func (r *Remote) Exec(ctx context.Context, em *engine.Emission, args []storage.Value) (int64, error) {
+	rows, err := r.open(ctx, em, args, &r.ctr.execs)
+	if err != nil {
+		return 0, err
+	}
+	return drain(rows)
+}
+
+// open ships the emission, bumping exactly one of the query/exec tallies
+// so concurrent Counters snapshots never see a call counted twice or not
+// at all.
+func (r *Remote) open(ctx context.Context, em *engine.Emission, args []storage.Value, tally *atomic.Int64) (Rows, error) {
+	native, err := r.bind(em, args)
+	if err != nil {
+		r.ctr.errs.Add(1)
+		return nil, err
+	}
+	rows, err := r.db.QueryContext(ctx, em.SQL, native...)
+	if err != nil {
+		r.ctr.errs.Add(1)
+		return nil, err
+	}
+	cols, err := rows.Columns()
+	if err != nil {
+		rows.Close()
+		r.ctr.errs.Add(1)
+		return nil, err
+	}
+	tally.Add(1)
+	r.ctr.args.Add(int64(len(native)))
+	return &remoteRows{rows: rows, cols: cols, ctr: &r.ctr}, nil
+}
+
+// bind validates the emission for this backend and converts its args to
+// driver-native values in placeholder order.
+func (r *Remote) bind(em *engine.Emission, args []storage.Value) ([]any, error) {
+	if em.Dialect != r.dialect {
+		return nil, fmt.Errorf("backend: %s cannot execute a %q emission", r.Name(), em.Dialect)
+	}
+	if !r.deltaHelper && strings.Contains(em.SQL, core.DeltaUDFName+"(") {
+		return nil, fmt.Errorf(
+			"backend: emission calls the %s helper, which %s does not declare installed; "+
+				"install it on the server and pass WithDeltaHelper, or disable Δ "+
+				"(WithDeltaThreshold(0)) so policy partitions inline",
+			core.DeltaUDFName, r.Name())
+	}
+	if args == nil {
+		args = em.Args
+	}
+	native := make([]any, len(args))
+	for i, a := range args {
+		native[i] = a.Native()
+	}
+	return native, nil
+}
+
+// Ping checks the server.
+func (r *Remote) Ping(ctx context.Context) error { return r.db.PingContext(ctx) }
+
+// Close closes the underlying pool.
+func (r *Remote) Close() error { return r.db.Close() }
+
+// Counters snapshots the backend's wire-level tallies.
+func (r *Remote) Counters() Counters { return r.ctr.snapshot() }
+
+// remoteRows decodes a *sql.Rows stream back into storage values.
+type remoteRows struct {
+	rows *sql.Rows
+	cols []string
+	ctr  *counters
+	cur  storage.Row
+	err  error
+}
+
+func (r *remoteRows) Columns() []string { return r.cols }
+
+func (r *remoteRows) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	if !r.rows.Next() {
+		r.err = r.rows.Err()
+		return false
+	}
+	dest := make([]any, len(r.cols))
+	ptrs := make([]any, len(r.cols))
+	for i := range dest {
+		ptrs[i] = &dest[i]
+	}
+	if err := r.rows.Scan(ptrs...); err != nil {
+		r.err = err
+		r.rows.Close()
+		return false
+	}
+	row := make(storage.Row, len(dest))
+	for i, d := range dest {
+		v, err := storage.FromNative(d)
+		if err != nil {
+			r.err = fmt.Errorf("backend: column %q: %w", r.cols[i], err)
+			r.rows.Close()
+			return false
+		}
+		row[i] = v
+	}
+	r.cur = row
+	r.ctr.rows.Add(1)
+	return true
+}
+
+func (r *remoteRows) Row() storage.Row { return r.cur }
+
+func (r *remoteRows) Err() error { return r.err }
+
+func (r *remoteRows) Close() error { return r.rows.Close() }

@@ -18,6 +18,7 @@ type RewriteOpts struct {
 	Query    string
 	Comments bool
 	Corpus   bool
+	Args     bool
 }
 
 // rewriteIntro is the header line of sieve-rewrite's usage text.
@@ -25,8 +26,8 @@ const rewriteIntro = `Usage: sieve-rewrite [flags] [< queries.sql]
 
 Rewrites queries under the demo campus's policies and emits executable SQL
 for an external backend. Queries come from -query, -corpus, or stdin
-(";"-separated). For each query and dialect it prints the emitted SQL plus
-the bound-args list its placeholders reference.
+(";"-separated). For each query and dialect it prints the emitted SQL;
+-args adds the bound-args list its placeholders reference.
 
 Flags:
 `
@@ -39,6 +40,7 @@ func RewriteFlags() (*flag.FlagSet, *RewriteOpts) {
 	fs.StringVar(&opts.Querier, "querier", "auto", "querier identity ('auto' picks the busiest)")
 	fs.StringVar(&opts.Purpose, "purpose", "analytics", "query purpose")
 	fs.StringVar(&opts.Query, "query", "", "single query to rewrite (overrides stdin)")
+	fs.BoolVar(&opts.Args, "args", false, "print the bound-args list under each dialect's SQL")
 	fs.BoolVar(&opts.Comments, "comments", false, "embed /* sieve */ guard-provenance comments")
 	fs.BoolVar(&opts.Corpus, "corpus", false, "rewrite the built-in examples corpus instead of stdin")
 	setUsage(fs, rewriteIntro)

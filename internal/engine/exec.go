@@ -863,12 +863,29 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 		}
 		return row, nil
 	}
-	evalOrderKeys := func(ev *evaluator, en *env) ([]storage.Value, error) {
+	// ORDER BY may name a select-list alias (ORDER BY visits DESC): such
+	// keys read the already-computed output row, where the alias exists,
+	// instead of re-evaluating in the source scope, where it does not.
+	// When an alias shadows a source column the alias wins, matching
+	// MySQL's resolution order.
+	aliasIdx := make(map[string]int, len(core.Items))
+	for i, it := range core.Items {
+		if it.Alias != "" {
+			aliasIdx[it.Alias] = i
+		}
+	}
+	evalOrderKeys := func(ev *evaluator, en *env, out storage.Row) ([]storage.Value, error) {
 		if len(core.OrderBy) == 0 {
 			return nil, nil
 		}
 		keys := make([]storage.Value, len(core.OrderBy))
 		for i, o := range core.OrderBy {
+			if cr, ok := o.Expr.(*sqlparser.ColRef); ok && cr.Table == "" && out != nil {
+				if j, ok := aliasIdx[cr.Column]; ok {
+					keys[i] = out[j]
+					continue
+				}
+			}
 			v, err := ev.eval(o.Expr, en)
 			if err != nil {
 				return nil, err
@@ -890,7 +907,7 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 						return nil, err
 					}
 					en := &env{schema: cur.schema, row: row, outer: outer}
-					keys, err := evalOrderKeys(ev, en)
+					keys, err := evalOrderKeys(ev, en, nil)
 					if err != nil {
 						return nil, err
 					}
@@ -910,7 +927,7 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 				}
 				outRows = append(outRows, out)
 				if len(core.OrderBy) > 0 {
-					keys, err := evalOrderKeys(ev, en)
+					keys, err := evalOrderKeys(ev, en, out)
 					if err != nil {
 						return nil, err
 					}
@@ -951,7 +968,7 @@ func (ex *executor) project(core *sqlparser.SelectCore, cur *rel, sc *scope, out
 			}
 			outRows = append(outRows, out)
 			if len(core.OrderBy) > 0 {
-				keys, err := evalOrderKeys(ev, en)
+				keys, err := evalOrderKeys(ev, en, out)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the value-binding boundary between the engine's tagged
+// scalars and the Go types a database/sql driver binds and returns
+// (driver.Value's allowed set: nil, int64, float64, bool, string,
+// time.Time). Emission args cross it outbound (Native), decoded backend
+// rows cross it inbound (FromNative), and CoerceKind undoes the
+// representation loss a wire round-trip necessarily makes for kinds the
+// driver set cannot carry natively (TIME travels as its clock string).
+
+// dateEpoch is day 0 of the DATE kind as a civil instant: midnight UTC,
+// 2000-01-01 (see dateEpochYear).
+var dateEpoch = time.Date(dateEpochYear, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Native returns the value as its natural Go type — the representation a
+// database/sql driver binds as a parameter and hands back in result rows:
+// NULL → nil, INT → int64, FLOAT → float64, VARCHAR → string, BOOL → bool,
+// DATE → time.Time (midnight UTC), TIME → its "HH:MM:SS" clock string
+// (driver.Value has no time-of-day type).
+func (v Value) Native() any {
+	switch v.K {
+	case KindNull:
+		return nil
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return v.F
+	case KindString:
+		return v.S
+	case KindBool:
+		return v.I != 0
+	case KindTime:
+		return v.ClockString()
+	case KindDate:
+		t, _ := v.AsTime()
+		return t
+	default:
+		return nil
+	}
+}
+
+// ClockString renders a TIME value as "HH:MM:SS", the wire form drivers
+// bind (Value.String wraps it in a TIME '…' literal instead). The result
+// for non-TIME kinds is unspecified-but-harmless: the payload interpreted
+// as seconds.
+func (v Value) ClockString() string {
+	return fmt.Sprintf("%02d:%02d:%02d", v.I/3600, (v.I/60)%60, v.I%60)
+}
+
+// AsTime converts a DATE value to its civil midnight-UTC time.Time; ok is
+// false for every other kind (including NULL).
+func (v Value) AsTime() (time.Time, bool) {
+	if v.K != KindDate {
+		return time.Time{}, false
+	}
+	return dateEpoch.AddDate(0, 0, int(v.I)), true
+}
+
+// DateFromTime converts a time.Time to a DATE value carrying the civil
+// date in t's location — the inverse of AsTime for any instant on the
+// same calendar day.
+func DateFromTime(t time.Time) Value {
+	y, m, d := t.Date()
+	v, err := DateFromYMD(y, int(m), d)
+	if err != nil {
+		// Date() always yields a valid civil date; unreachable.
+		return Null
+	}
+	return v
+}
+
+// FromNative converts a native Go value back into a Value: the inverse of
+// Native over the driver.Value set, widened by the integer and byte-slice
+// forms real drivers return ([]byte for text, smaller ints from scans).
+// time.Time decodes as DATE; a time-of-day string stays VARCHAR — decoding
+// cannot know the column kind, which is what CoerceKind is for.
+func FromNative(src any) (Value, error) {
+	switch x := src.(type) {
+	case nil:
+		return Null, nil
+	case Value:
+		return x, nil
+	case int64:
+		return NewInt(x), nil
+	case int:
+		return NewInt(int64(x)), nil
+	case int32:
+		return NewInt(int64(x)), nil
+	case float64:
+		return NewFloat(x), nil
+	case float32:
+		return NewFloat(float64(x)), nil
+	case string:
+		return NewString(x), nil
+	case []byte:
+		return NewString(string(x)), nil
+	case bool:
+		return NewBool(x), nil
+	case time.Time:
+		return DateFromTime(x), nil
+	}
+	return Null, fmt.Errorf("storage: cannot convert %T to a Value", src)
+}
+
+// CoerceKind re-types a decoded value to an expected column kind, undoing
+// the representation changes a driver round-trip makes: clock strings
+// parse back into TIME, date strings into DATE, integers re-tag as
+// BOOL/TIME/DATE, and NULL carries into any kind. ok is false when the
+// payload cannot represent the kind; the value is then returned unchanged.
+func CoerceKind(v Value, k Kind) (Value, bool) {
+	if v.K == k {
+		return v, true
+	}
+	if v.K == KindNull {
+		return Null, true
+	}
+	switch k {
+	case KindTime:
+		switch v.K {
+		case KindString:
+			if t, err := TimeOfDay(v.S); err == nil {
+				return t, true
+			}
+		case KindInt:
+			return NewTime(v.I), true
+		}
+	case KindDate:
+		switch v.K {
+		case KindString:
+			if d, err := ParseDate(v.S); err == nil {
+				return d, true
+			}
+		case KindInt:
+			return NewDate(v.I), true
+		}
+	case KindBool:
+		if v.K == KindInt {
+			return NewBool(v.I != 0), true
+		}
+	case KindFloat:
+		if v.K == KindInt {
+			return NewFloat(float64(v.I)), true
+		}
+	case KindInt:
+		if v.K == KindFloat && v.F == float64(int64(v.F)) {
+			return NewInt(int64(v.F)), true
+		}
+	}
+	return v, false
+}

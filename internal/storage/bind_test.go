@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNativeRoundTrip drives every kind through Native → FromNative →
+// CoerceKind and requires the original value back — the invariant the
+// remote backend's arg binding and row decoding depend on.
+func TestNativeRoundTrip(t *testing.T) {
+	values := []Value{
+		Null,
+		NewInt(0),
+		NewInt(-42),
+		NewInt(1 << 40),
+		NewFloat(3.25),
+		NewFloat(-0.5),
+		NewString(""),
+		NewString("O'Brien"),
+		NewBool(true),
+		NewBool(false),
+		MustTime("00:00"),
+		MustTime("09:30:15"),
+		MustTime("23:59:59"),
+		MustDate("2000-01-01"),
+		MustDate("1999-12-31"),
+		MustDate("2020-02-29"),
+		MustDate("2004-03-01"),
+	}
+	for _, v := range values {
+		t.Run(v.String(), func(t *testing.T) {
+			back, err := FromNative(v.Native())
+			if err != nil {
+				t.Fatalf("FromNative(%v.Native()): %v", v, err)
+			}
+			got, ok := CoerceKind(back, v.K)
+			if !ok {
+				t.Fatalf("CoerceKind(%v, %v) failed (decoded as %v)", back, v.K, back.K)
+			}
+			if got != v {
+				t.Fatalf("round trip changed the value: %v -> %v -> %v", v, back, got)
+			}
+		})
+	}
+}
+
+// TestNativeTypes pins the Go types Native produces — exactly the
+// driver.Value set a database/sql driver accepts without conversion.
+func TestNativeTypes(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want any
+	}{
+		{Null, nil},
+		{NewInt(7), int64(7)},
+		{NewFloat(1.5), float64(1.5)},
+		{NewString("x"), "x"},
+		{NewBool(true), true},
+		{MustTime("08:05"), "08:05:00"},
+		{MustDate("2000-01-03"), time.Date(2000, 1, 3, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, c := range cases {
+		got := c.v.Native()
+		if !equalNative(got, c.want) {
+			t.Errorf("%v.Native() = %#v (%T), want %#v (%T)", c.v, got, got, c.want, c.want)
+		}
+	}
+}
+
+func equalNative(a, b any) bool {
+	at, aok := a.(time.Time)
+	bt, bok := b.(time.Time)
+	if aok || bok {
+		return aok && bok && at.Equal(bt)
+	}
+	return a == b
+}
+
+// TestAsTimeDateFromTime checks the DATE ↔ time.Time bijection across the
+// epoch and leap boundaries, and that any instant within a day maps to the
+// same DATE.
+func TestAsTimeDateFromTime(t *testing.T) {
+	for _, s := range []string{"2000-01-01", "1997-06-15", "2019-12-31", "2020-02-29", "2100-03-01"} {
+		d := MustDate(s)
+		tt, ok := d.AsTime()
+		if !ok {
+			t.Fatalf("AsTime(%s) not ok", s)
+		}
+		if got := tt.Format("2006-01-02"); got != s {
+			t.Errorf("AsTime(%s) = %s", s, got)
+		}
+		if back := DateFromTime(tt); back != d {
+			t.Errorf("DateFromTime(AsTime(%s)) = %v", s, back)
+		}
+		// A late-evening instant on the same civil day maps to the same DATE.
+		if back := DateFromTime(tt.Add(23*time.Hour + 59*time.Minute)); back != d {
+			t.Errorf("DateFromTime(%s 23:59) = %v, want %v", s, back, d)
+		}
+	}
+	if _, ok := NewInt(3).AsTime(); ok {
+		t.Error("AsTime on INT must not be ok")
+	}
+	if _, ok := Null.AsTime(); ok {
+		t.Error("AsTime on NULL must not be ok")
+	}
+}
+
+// TestFromNativeWidening covers the forms real drivers hand back that
+// Native itself never produces.
+func TestFromNativeWidening(t *testing.T) {
+	cases := []struct {
+		src  any
+		want Value
+	}{
+		{int(5), NewInt(5)},
+		{int32(-2), NewInt(-2)},
+		{float32(0.5), NewFloat(0.5)},
+		{[]byte("bytes"), NewString("bytes")},
+		{NewInt(9), NewInt(9)}, // Value passes through
+	}
+	for _, c := range cases {
+		got, err := FromNative(c.src)
+		if err != nil {
+			t.Fatalf("FromNative(%#v): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("FromNative(%#v) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if _, err := FromNative(struct{}{}); err == nil {
+		t.Error("FromNative on an unsupported type must error")
+	}
+}
+
+// TestCoerceKind covers coercions beyond the round-trip set and the
+// failure mode: mismatched payloads are rejected, not silently zeroed.
+func TestCoerceKind(t *testing.T) {
+	if v, ok := CoerceKind(NewString("2001-07-04"), KindDate); !ok || v != MustDate("2001-07-04") {
+		t.Errorf("string -> DATE = %v, %v", v, ok)
+	}
+	if v, ok := CoerceKind(NewInt(1), KindBool); !ok || !v.Bool() {
+		t.Errorf("int -> BOOL = %v, %v", v, ok)
+	}
+	if v, ok := CoerceKind(NewInt(3), KindFloat); !ok || v.F != 3 {
+		t.Errorf("int -> FLOAT = %v, %v", v, ok)
+	}
+	if v, ok := CoerceKind(NewFloat(4), KindInt); !ok || v.I != 4 {
+		t.Errorf("whole float -> INT = %v, %v", v, ok)
+	}
+	if _, ok := CoerceKind(NewFloat(4.5), KindInt); ok {
+		t.Error("fractional float -> INT must fail")
+	}
+	if _, ok := CoerceKind(NewString("not a clock"), KindTime); ok {
+		t.Error("unparseable string -> TIME must fail")
+	}
+	if v, ok := CoerceKind(Null, KindDate); !ok || !v.IsNull() {
+		t.Errorf("NULL -> DATE = %v, %v", v, ok)
+	}
+}

@@ -60,9 +60,20 @@
 //	em, _ := sess.RewriteSQL("SELECT * FROM WiFi_Dataset", "postgres")
 //	// em.SQL: WITH "WiFi_Dataset_sieve" AS (... WHERE ... $1 ... $2 ...) ...
 //	// em.Args: the constants the placeholders bind
+//
+// Emissions execute through pluggable backends (docs/backends.md): an
+// EmbeddedBackend runs the sieve form on the in-process engine, a
+// RemoteBackend ships mysql/postgres emissions over any *sql.DB with
+// args bound as driver-native values and rows decoded back. The inverse
+// integration is the sievesql subpackage, which registers SIEVE as a
+// standard database/sql driver:
+//
+//	sievesql.SetDefault(m)
+//	db, _ := sql.Open("sieve", "querier=Prof. Smith&purpose=Attendance")
 package sieve
 
 import (
+	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/core"
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/guard"
@@ -161,6 +172,17 @@ type (
 
 	// CmpOp is a comparison operator in conditions.
 	CmpOp = sqlparser.CmpOp
+
+	// Backend executes emitted statements against one execution target:
+	// the in-process engine (EmbeddedBackend) or any database/sql pool
+	// fronting a real server (RemoteBackend).
+	Backend = backend.Backend
+	// BackendRows is a streaming result decoded from a backend.
+	BackendRows = backend.Rows
+	// BackendCounters are one backend's wire-level work tallies.
+	BackendCounters = backend.Counters
+	// RemoteOption configures a RemoteBackend (e.g. WithDeltaHelper).
+	RemoteOption = backend.RemoteOption
 )
 
 // Dialect constructors.
@@ -187,6 +209,28 @@ var (
 	// WithProvenanceComments embeds /* sieve */ guard provenance in emitted
 	// CTEs.
 	WithProvenanceComments = engine.WithProvenanceComments
+)
+
+// Execution backends: they run emitted SQL somewhere — the middleware's
+// data path to an actual DBMS (docs/backends.md). The sievesql package is
+// the inverse door: it exposes SIEVE itself as a database/sql driver.
+var (
+	// EmbeddedBackend executes sieve-dialect emissions on the in-process
+	// engine.
+	EmbeddedBackend = backend.NewEmbedded
+	// RemoteBackend ships mysql/postgres emissions over any *sql.DB.
+	RemoteBackend = backend.NewRemote
+	// WithDeltaHelper declares the sieve_delta helper installed on a
+	// remote server, letting Δ-bearing emissions through.
+	WithDeltaHelper = backend.WithDeltaHelper
+	// BackendQuery rewrites sql under a session for a backend's dialect
+	// and ships the emission in one call.
+	BackendQuery = backend.SessionQuery
+	// BackendStmtQuery runs a prepared statement on a backend from its
+	// cached per-dialect emission.
+	BackendStmtQuery = backend.StmtQuery
+	// BackendTypedRows re-types decoded rows to expected column kinds.
+	BackendTypedRows = backend.TypedRows
 )
 
 // NewDB creates an empty embedded database.

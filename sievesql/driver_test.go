@@ -1,0 +1,281 @@
+package sievesql_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/sievesql"
+)
+
+// buildMiddleware creates one protected relation with n rows across two
+// owners: rows 0..n/2-1 owned by 7 (granted to alice/audit), the rest by
+// 8 (granted to nobody initially).
+func buildMiddleware(t testing.TB, n int, opts ...sieve.Option) (*sieve.Middleware, *sieve.DB) {
+	t.Helper()
+	db := sieve.NewDB(sieve.MySQL())
+	schema := sieve.MustSchema(
+		sieve.Column{Name: "id", Type: sieve.KindInt},
+		sieve.Column{Name: "owner", Type: sieve.KindInt},
+		sieve.Column{Name: "day", Type: sieve.KindDate},
+		sieve.Column{Name: "note", Type: sieve.KindString},
+	)
+	if _, err := db.CreateTable("events", schema); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]sieve.Row, 0, n)
+	for i := 0; i < n; i++ {
+		owner := int64(7)
+		if i >= n/2 {
+			owner = 8
+		}
+		note := sieve.Str("n")
+		if i%5 == 0 {
+			note = sieve.Value{} // NULL
+		}
+		rows = append(rows, sieve.Row{
+			sieve.Int(int64(i)), sieve.Int(owner), sieve.DateOf("2000-01-02"), note,
+		})
+	}
+	if err := db.BulkInsert("events", rows); err != nil {
+		t.Fatal(err)
+	}
+	store, err := sieve.NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sieve.New(store, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect("events"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(&sieve.Policy{
+		Owner: 7, Querier: "alice", Purpose: "audit", Relation: "events", Action: sieve.Allow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m, db
+}
+
+// TestOpenAndQuery goes through the registered driver name and DSN: the
+// connection is a session, rows stream with native Go types, and a
+// querier without policies sees nothing (default deny).
+func TestOpenAndQuery(t *testing.T) {
+	m, _ := buildMiddleware(t, 10)
+	sievesql.SetDefault(m)
+	sievesql.Register("fixture", m)
+
+	for _, dsn := range []string{"querier=alice&purpose=audit", "querier=alice&purpose=audit&mw=fixture"} {
+		db, err := sql.Open(sievesql.DriverName, dsn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := db.Ping(); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := db.QueryContext(context.Background(), "SELECT id, day FROM events ORDER BY id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			n    int
+			id   int64
+			day  time.Time
+			last int64 = -1
+		)
+		for rows.Next() {
+			if err := rows.Scan(&id, &day); err != nil {
+				t.Fatal(err)
+			}
+			if id <= last {
+				t.Fatalf("ids out of order: %d after %d", id, last)
+			}
+			last = id
+			if got := day.Format("2006-01-02"); got != "2000-01-02" {
+				t.Fatalf("DATE surfaced as %s", got)
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		rows.Close()
+		if n != 5 {
+			t.Fatalf("alice sees %d rows, want 5", n)
+		}
+	}
+
+	// Default deny: no policies for mallory.
+	mal := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "mallory", Purpose: "audit"}))
+	defer mal.Close()
+	var n int
+	if err := mal.QueryRow("SELECT count(*) FROM events").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("mallory counts %d rows, want 0", n)
+	}
+}
+
+// TestDSNValidation pins the DSN grammar's error surface.
+func TestDSNValidation(t *testing.T) {
+	m, _ := buildMiddleware(t, 2)
+	sievesql.SetDefault(m)
+	bad := []struct {
+		dsn, want string
+	}{
+		{"purpose=audit", "querier"},
+		{"querier=a&flavour=vanilla", "unknown DSN key"},
+		{"querier=a&querier=b", "2 times"},
+		{"querier=a&mw=nosuch", "no middleware registered"},
+		{"querier=%zz", "malformed"},
+	}
+	for _, c := range bad {
+		db, err := sql.Open(sievesql.DriverName, c.dsn)
+		if err == nil {
+			// sql.Open defers DriverContext errors to first use.
+			err = db.Ping()
+			db.Close()
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("DSN %q: err = %v, want substring %q", c.dsn, err, c.want)
+		}
+	}
+}
+
+// TestPreparedStatement covers the prepared path: Query and Exec through
+// driver.Stmt, and epoch invalidation — a policy insert between runs
+// must be visible without re-preparing.
+func TestPreparedStatement(t *testing.T) {
+	m, _ := buildMiddleware(t, 10)
+	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "alice", Purpose: "audit"}))
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	st, err := db.Prepare("SELECT id FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	count := func() int {
+		rows, err := st.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if got := count(); got != 5 {
+		t.Fatalf("prepared run 1: %d rows, want 5", got)
+	}
+	if got := count(); got != 5 {
+		t.Fatalf("prepared run 2: %d rows, want 5", got)
+	}
+
+	// Grant alice the other owner's rows: the cached plan must invalidate.
+	if err := m.AddPolicy(&sieve.Policy{
+		Owner: 8, Querier: "alice", Purpose: "audit", Relation: "events", Action: sieve.Allow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 10 {
+		t.Fatalf("after policy insert: %d rows, want 10", got)
+	}
+
+	res, err := st.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := res.RowsAffected(); err != nil || n != 10 {
+		t.Fatalf("Exec rows = %d, %v", n, err)
+	}
+}
+
+// TestScanValue checks NULL survives through the driver into the tagged
+// scalar, where concrete destinations would error.
+func TestScanValue(t *testing.T) {
+	m, _ := buildMiddleware(t, 10)
+	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "alice", Purpose: "audit"}))
+	defer db.Close()
+
+	rows, err := db.Query("SELECT id, note FROM events ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	nulls := 0
+	for rows.Next() {
+		var id sievesql.ScanValue
+		var note sievesql.ScanValue
+		if err := rows.Scan(&id, &note); err != nil {
+			t.Fatal(err)
+		}
+		if id.V.K != sieve.KindInt {
+			t.Fatalf("id decoded as %v", id.V.K)
+		}
+		if note.V.IsNull() {
+			nulls++
+		} else if note.V.K != sieve.KindString {
+			t.Fatalf("note decoded as %v", note.V.K)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if nulls != 1 { // ids 0..4 visible; id 0 has NULL note
+		t.Fatalf("saw %d NULL notes, want 1", nulls)
+	}
+}
+
+// TestUnsupportedSurface pins the clear-error contract for placeholders
+// and transactions.
+func TestUnsupportedSurface(t *testing.T) {
+	m, _ := buildMiddleware(t, 4)
+	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "alice", Purpose: "audit"}))
+	defer db.Close()
+
+	if _, err := db.Query("SELECT id FROM events WHERE id = ?", 1); err == nil ||
+		!strings.Contains(err.Error(), "placeholder") {
+		t.Errorf("placeholder query: err = %v", err)
+	}
+	if _, err := db.Begin(); err == nil || !strings.Contains(err.Error(), "transactions") {
+		t.Errorf("Begin: err = %v", err)
+	}
+	if _, err := db.Exec("SELECT id FROM nosuch"); err == nil {
+		t.Error("Exec on a missing relation must error")
+	}
+}
+
+// TestQueryErrorSurfaces checks parse and rewrite errors come back from
+// Query, not as panics or empty results.
+func TestQueryErrorSurfaces(t *testing.T) {
+	m, _ := buildMiddleware(t, 4)
+	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "alice", Purpose: "audit"}))
+	defer db.Close()
+	if _, err := db.Query("SELEKT broken"); err == nil {
+		t.Error("parse error did not surface")
+	}
+	if _, err := db.Prepare("ALSO ( BROKEN"); err == nil {
+		t.Error("prepare parse error did not surface")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, "SELECT id FROM events"); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v", err)
+	}
+}

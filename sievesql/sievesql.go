@@ -1,0 +1,184 @@
+// Package sievesql registers SIEVE as a standard database/sql driver, so
+// a database-backed application integrates through the API it already
+// speaks instead of bespoke middleware calls:
+//
+//	m, _ := sieve.New(store)          // the middleware, built as usual
+//	sievesql.SetDefault(m)            // make it reachable from DSNs
+//	db, _ := sql.Open("sieve", "querier=prof1&purpose=analytics")
+//	rows, _ := db.QueryContext(ctx, "SELECT * FROM WiFi_Dataset")
+//
+// Every driver connection is one sieve.Session: the DSN binds the query
+// metadata (querier identity and purpose, the paper's §3.2 context), and
+// every statement on the connection is policy-rewritten under it. Results
+// stream — sql.Rows.Next pulls tuples from the engine's iterator pipeline,
+// the query context cancels mid-scan, and closing the rows early releases
+// the guarded scan. Prepared statements (db.Prepare) map onto sieve.Stmt,
+// so the parse and the policy rewrite are cached per (querier, purpose)
+// and invalidated by policy changes.
+//
+// # DSN grammar
+//
+// A DSN is a URL query string; keys beyond these are rejected:
+//
+//	querier=<identity>      required: who is asking
+//	purpose=<purpose>       optional: what for (empty means unspecified)
+//	mw=<name>               optional: a middleware registered with
+//	                        Register; absent means the SetDefault one
+//
+// Because a SIEVE middleware is an in-process object, the DSN names one
+// previously registered with Register/SetDefault. To skip the registry
+// entirely (tests, multi-tenant servers), build a connector directly:
+//
+//	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "prof1"}))
+//
+// Column values surface as their native Go types (storage.Value.Native):
+// INT as int64, FLOAT as float64, VARCHAR as string, BOOL as bool, DATE
+// as time.Time, TIME as its "HH:MM:SS" string, NULL as nil. Scan into a
+// ScanValue to keep the engine's tagged form instead.
+package sievesql
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"net/url"
+	"sync"
+
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// DriverName is the name the package registers with database/sql.
+const DriverName = "sieve"
+
+func init() { sql.Register(DriverName, &Driver{}) }
+
+// defaultName keys the SetDefault middleware in the registry.
+const defaultName = ""
+
+var (
+	regMu       sync.RWMutex
+	middlewares = make(map[string]*core.Middleware)
+)
+
+// Register makes m reachable from DSNs as mw=<name>. Registering an
+// existing name replaces it (last wins — intended for application startup
+// and tests, not hot swapping under live connections).
+func Register(name string, m *core.Middleware) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	middlewares[name] = m
+}
+
+// SetDefault registers m as the middleware used by DSNs without an mw
+// key.
+func SetDefault(m *core.Middleware) { Register(defaultName, m) }
+
+// lookup resolves a registered middleware by name.
+func lookup(name string) (*core.Middleware, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := middlewares[name]
+	if ok {
+		return m, nil
+	}
+	if name == defaultName {
+		return nil, fmt.Errorf("sievesql: no default middleware; call sievesql.SetDefault (or name one with mw=)")
+	}
+	return nil, fmt.Errorf("sievesql: no middleware registered as %q", name)
+}
+
+// Driver is the database/sql driver. The package registers one as
+// "sieve"; zero values are equally usable with sql.OpenDB via
+// OpenConnector.
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{m: c.(*Connector).m, qm: c.(*Connector).qm}, nil
+}
+
+// OpenConnector implements driver.DriverContext: the DSN is parsed once,
+// not per connection.
+func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	vals, err := url.ParseQuery(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("sievesql: malformed DSN %q: %w", dsn, err)
+	}
+	var qm policy.Metadata
+	var mwName string
+	for k, v := range vals {
+		if len(v) != 1 {
+			return nil, fmt.Errorf("sievesql: DSN key %q given %d times", k, len(v))
+		}
+		switch k {
+		case "querier":
+			qm.Querier = v[0]
+		case "purpose":
+			qm.Purpose = v[0]
+		case "mw":
+			mwName = v[0]
+		default:
+			return nil, fmt.Errorf("sievesql: unknown DSN key %q (want querier, purpose, mw)", k)
+		}
+	}
+	if qm.Querier == "" {
+		return nil, fmt.Errorf("sievesql: DSN %q lacks the required querier key", dsn)
+	}
+	m, err := lookup(mwName)
+	if err != nil {
+		return nil, err
+	}
+	return &Connector{m: m, qm: qm}, nil
+}
+
+// Connector binds a middleware and query metadata; sql.OpenDB(connector)
+// yields a pool whose every connection is a session under that metadata.
+type Connector struct {
+	m  *core.Middleware
+	qm policy.Metadata
+}
+
+// NewConnector builds a connector directly from a middleware, bypassing
+// the DSN registry.
+func NewConnector(m *core.Middleware, qm policy.Metadata) *Connector {
+	return &Connector{m: m, qm: qm}
+}
+
+// Connect implements driver.Connector: one connection is one session.
+func (c *Connector) Connect(ctx context.Context) (driver.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &conn{m: c.m, qm: c.qm}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *Connector) Driver() driver.Driver { return &Driver{} }
+
+// Metadata returns the query metadata the connector binds.
+func (c *Connector) Metadata() policy.Metadata { return c.qm }
+
+// ScanValue is a sql.Scanner that decodes any column into the engine's
+// tagged scalar, preserving NULL (unlike scanning into concrete Go
+// types). Re-type wire-lossy kinds with storage.CoerceKind when the
+// column kind is known.
+type ScanValue struct {
+	V storage.Value
+}
+
+// Scan implements sql.Scanner.
+func (s *ScanValue) Scan(src any) error {
+	v, err := storage.FromNative(src)
+	if err != nil {
+		return fmt.Errorf("sievesql: %w", err)
+	}
+	s.V = v
+	return nil
+}
