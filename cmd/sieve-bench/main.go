@@ -63,6 +63,7 @@ var experiments = []exp{
 		return experiment.DynamicRegeneration(c, 10)
 	}},
 	{"workers", "Parallel guarded scan scaling (1..NumCPU workers)", experiment.WorkerScaling},
+	{"vector", "Vectorised vs row-at-a-time guard evaluation", experiment.VectorComparison},
 }
 
 func main() {

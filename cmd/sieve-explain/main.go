@@ -104,6 +104,8 @@ func main() {
 	fmt.Printf("\nresult: %d rows\n", len(res.Rows))
 	fmt.Printf("executor: %d tuples read, %d segments scanned, %d pruned (zero tuple reads), %d parallel scans (workers=%d)\n",
 		c.TuplesRead, c.SegmentsScanned, c.SegmentsPruned, c.ParallelScans, campus.DB.EffectiveScanWorkers())
+	fmt.Printf("vectorised: %d batches / %d rows batch-evaluated, %d segments pruned by owner dictionaries\n",
+		c.BatchesVectorised, c.RowsVectorised, c.OwnerDictPruned)
 }
 
 func orDash(s string) string {

@@ -197,6 +197,12 @@ func (m *Middleware) Protect(relation string) error {
 			return err
 		}
 	}
+	// Protected relations carry per-segment owner dictionaries: the scan
+	// prunes guard partitions whose owner sets miss a segment entirely,
+	// and guard selection credits owner guards with that pruning power.
+	if err := t.TrackOwners(policy.OwnerAttr); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	m.protected[relation] = true
 	m.mu.Unlock()

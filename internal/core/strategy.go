@@ -143,24 +143,34 @@ func (m *Middleware) chooseStrategy(stmt *sqlparser.SelectStmt, relation, refNam
 
 const inf = 1e300
 
-// prunableSegments counts the storage segments whose zone maps refute
+// prunableSegments counts the storage segments whose metadata refutes
 // every arm of the guarded expression — the guard intervals plus one
-// owner-equality interval per pending policy. Those segments contribute
-// nothing to a guarded linear scan. With no arms at all (default deny) the
-// scan reads nothing, so every segment counts as prunable.
+// owner-equality interval per pending policy, each arm additionally
+// carrying its partition's owner set so a segment whose owner dictionary
+// is disjoint from the partition is refuted even when the guard interval
+// alone cannot decide. Those segments contribute nothing to a guarded
+// linear scan. With no arms at all (default deny) the scan reads nothing,
+// so every segment counts as prunable.
 func prunableSegments(t *storage.Table, ge *guard.GuardedExpression, pending []*policy.Policy) (pruned, total int) {
 	arms := make([]storage.ZoneArm, 0, len(ge.Guards)+len(pending))
 	for i := range ge.Guards {
-		lo, hi, ok := ge.Guards[i].Cond.Interval()
-		if !ok {
-			// An interval-free guard may match anywhere: nothing prunes.
-			return 0, t.SegmentCount()
+		g := &ge.Guards[i]
+		owners := make([]int64, 0, len(g.Policies))
+		for _, p := range g.Policies {
+			owners = append(owners, p.Owner)
 		}
-		arms = append(arms, storage.ZoneArm{Col: ge.Guards[i].Cond.Attr, Lo: lo, Hi: hi})
+		lo, hi, ok := g.Cond.Interval()
+		if !ok {
+			// An interval-free guard may match anywhere its partition's
+			// owners live; only the owner dictionaries can prune it.
+			arms = append(arms, storage.ZoneArm{Col: g.Cond.Attr, Owners: owners})
+			continue
+		}
+		arms = append(arms, storage.ZoneArm{Col: g.Cond.Attr, Lo: lo, Hi: hi, Owners: owners})
 	}
 	for _, p := range pending {
 		v := storage.NewInt(p.Owner)
-		arms = append(arms, storage.ZoneArm{Col: policy.OwnerAttr, Lo: v, Hi: v})
+		arms = append(arms, storage.ZoneArm{Col: policy.OwnerAttr, Lo: v, Hi: v, Owners: []int64{p.Owner}})
 	}
 	return t.PrunableSegments(arms)
 }

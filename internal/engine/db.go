@@ -86,6 +86,14 @@ type DB struct {
 	// configuration time, before queries run concurrently.
 	ScanWorkers int
 
+	// ForceRowEval disables the vectorised batch evaluator: every
+	// sequential scan filters row-at-a-time through rowPasses, as before
+	// PR 5. The two paths are proven equivalent by the differential oracle
+	// (vector_oracle_test.go); the knob exists for that proof, for
+	// benchmarking the speedup, and as an escape hatch. Like ScanWorkers,
+	// set it at configuration time, before queries run concurrently.
+	ForceRowEval bool
+
 	// AutoAnalyzeThreshold is the number of table mutations (inserts,
 	// updates, deletes, bulk-loaded rows) after which previously built
 	// statistics are considered stale and rebuilt — histograms and

@@ -57,9 +57,20 @@ type Counters struct {
 	BitmapOrScans   int64 // bitmap OR scans started
 	ParallelScans   int64 // sequential scans executed by the parallel operator
 	SegmentsScanned int64 // segments whose tuples were read by a seq scan
-	SegmentsPruned  int64 // segments skipped entirely via zone maps
-	UDFInvocations  int64 // user-defined function calls
-	PolicyEvals     int64 // policy object-condition set evaluations (set by UDFs)
+	SegmentsPruned  int64 // segments skipped entirely via segment metadata (zone maps, owner dicts)
+	// OwnerDictPruned is the subset of SegmentsPruned where the per-segment
+	// owner dictionary was decisive: the min/max zones alone could not
+	// refute, but every guard partition's owner set was disjoint from the
+	// segment's dictionary.
+	OwnerDictPruned int64
+	// BatchesVectorised counts segment batches whose filter ran on the
+	// vectorised evaluator (column-at-a-time over storage.Batch vectors);
+	// RowsVectorised counts the rows those batches held. Row-at-a-time
+	// fallback scans contribute to neither.
+	BatchesVectorised int64
+	RowsVectorised    int64
+	UDFInvocations    int64 // user-defined function calls
+	PolicyEvals       int64 // policy object-condition set evaluations (set by UDFs)
 }
 
 // Add accumulates other into c.
@@ -72,6 +83,9 @@ func (c *Counters) Add(other Counters) {
 	c.ParallelScans += other.ParallelScans
 	c.SegmentsScanned += other.SegmentsScanned
 	c.SegmentsPruned += other.SegmentsPruned
+	c.OwnerDictPruned += other.OwnerDictPruned
+	c.BatchesVectorised += other.BatchesVectorised
+	c.RowsVectorised += other.RowsVectorised
 	c.UDFInvocations += other.UDFInvocations
 	c.PolicyEvals += other.PolicyEvals
 }

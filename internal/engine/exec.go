@@ -533,7 +533,7 @@ func (ex *executor) scanSourceIter(src *sourceInfo, conjs []sqlparser.Expr, sc *
 				}
 			}
 		}
-		it := &tableIter{ex: ex, t: t, plan: plan, schema: schema, conjs: conjs, ev: ev, outer: outer}
+		it := &tableIter{ex: ex, t: t, plan: plan, schema: schema, conjs: conjs, ev: ev, outer: outer, exhaustive: exhaustive}
 		return schema, it, nil
 	}
 }

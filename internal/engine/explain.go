@@ -21,8 +21,15 @@ type TableAccess struct {
 	// Segments and SegmentsPruned report zone-map pruning for sequential
 	// scans: of Segments total, SegmentsPruned are refuted by the scan's
 	// predicates against current zone maps and will not be read.
-	Segments       int
-	SegmentsPruned int
+	// SegmentsOwnerPruned is the subset only the per-segment owner
+	// dictionaries could refute (guard partitions whose owner sets miss
+	// every owner the segment holds).
+	Segments            int
+	SegmentsPruned      int
+	SegmentsOwnerPruned int
+	// Vectorised reports whether the scan's filter would run on the
+	// batch evaluator (column-at-a-time) rather than row-at-a-time.
+	Vectorised bool
 }
 
 // Explain is the engine's query plan summary.
@@ -40,6 +47,12 @@ func (e *Explain) String() string {
 			t.Table, t.Kind, orDash(t.Index), t.EstSel, t.EstRows)
 		if t.Kind == AccessSeq && t.Segments > 0 {
 			fmt.Fprintf(&b, " segs=%d/%d pruned", t.SegmentsPruned, t.Segments)
+			if t.SegmentsOwnerPruned > 0 {
+				fmt.Fprintf(&b, " (%d by owner dict)", t.SegmentsOwnerPruned)
+			}
+		}
+		if t.Vectorised {
+			b.WriteString(" vec")
 		}
 		b.WriteByte('\n')
 	}
@@ -82,6 +95,11 @@ func (ex *executor) explain(s *sqlparser.SelectStmt) (*Explain, error) {
 		sources = append(sources, src)
 	}
 
+	// Scans vectorise only under an exhaustive consumer; mirror coreIter's
+	// srcExhaustive for a materialising execution of this core, so the
+	// plan's "vec" marker matches what the executor's counters will show.
+	srcExhaustive := coreIsGrouped(core) || len(core.OrderBy) > 0 || len(core.From) > 1 || core.Limit < 0
+
 	conjuncts := sqlparser.Conjuncts(core.Where)
 	perSource := make([][]sqlparser.Expr, len(sources))
 	for _, cj := range conjuncts {
@@ -99,15 +117,21 @@ func (ex *executor) explain(s *sqlparser.SelectStmt) (*Explain, error) {
 			continue
 		}
 		plan := planAccess(ex.db, src.tbl, src.name, perSource[i], src.ref.Hint)
-		pruned, total := plan.segmentStats(src.tbl)
+		pruned, ownerPruned, total := plan.segmentStats(src.tbl)
+		vec := false
+		if plan.Kind == AccessSeq && srcExhaustive && !ex.db.ForceRowEval {
+			vec = vectorisable(perSource[i], qualifySchema(src.name, src.tbl.Schema))
+		}
 		out.Tables = append(out.Tables, TableAccess{
-			Table:          src.name,
-			Kind:           plan.Kind,
-			Index:          plan.Index,
-			EstSel:         plan.EstSel,
-			EstRows:        plan.EstSel * float64(src.tbl.NumRows()),
-			Segments:       total,
-			SegmentsPruned: pruned,
+			Table:               src.name,
+			Kind:                plan.Kind,
+			Index:               plan.Index,
+			EstSel:              plan.EstSel,
+			EstRows:             plan.EstSel * float64(src.tbl.NumRows()),
+			Segments:            total,
+			SegmentsPruned:      pruned,
+			SegmentsOwnerPruned: ownerPruned,
+			Vectorised:          vec,
 		})
 	}
 	return out, nil

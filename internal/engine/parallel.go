@@ -1,11 +1,16 @@
 package engine
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
 )
+
+// errScanClosed aborts a worker's in-flight segment when the operator is
+// torn down; it never escapes the operator.
+var errScanClosed = errors.New("engine: parallel scan closed")
 
 // The parallel guarded-scan operator: surviving segments of a sequential
 // scan are fanned out across a worker pool, each worker zone-checks,
@@ -116,11 +121,28 @@ func (it *parallelScanIter) start() {
 	}()
 }
 
+// workerState is one worker's private scan machinery: evaluator, scratch
+// buffers, and — unless the DB forces row evaluation — its own compiled
+// vector program (programs hold scratch state and are single-goroutine).
+type workerState struct {
+	ev         *evaluator
+	buf        []storage.Row
+	zbuf       []storage.ZoneMap
+	wantOwners bool
+	prog       *vecProgram
+	batch      storage.Batch
+}
+
 func (it *parallelScanIter) worker(child *executor, work <-chan segTask) {
 	defer it.wg.Done()
-	ev := &evaluator{ex: child, scope: it.sc}
-	var buf []storage.Row
-	zbuf := make([]storage.ZoneMap, len(it.plan.zoneCols))
+	ws := &workerState{
+		ev:         &evaluator{ex: child, scope: it.sc},
+		zbuf:       make([]storage.ZoneMap, len(it.plan.zoneCols)),
+		wantOwners: hasOwnerLeaf(it.plan.zonePreds, it.view.OwnerColumn()),
+	}
+	if !it.ex.db.ForceRowEval {
+		ws.prog, _ = compileVecProgram(it.conjs, it.schema)
+	}
 	for {
 		var tk segTask
 		var ok bool
@@ -132,7 +154,7 @@ func (it *parallelScanIter) worker(child *executor, work <-chan segTask) {
 		case <-it.done:
 			return
 		}
-		res, alive := it.scanSegment(child, ev, tk.seg, &buf, zbuf)
+		res, alive := it.scanSegment(child, ws, tk.seg)
 		if !alive {
 			return // done closed mid-segment; consumer is gone
 		}
@@ -143,18 +165,41 @@ func (it *parallelScanIter) worker(child *executor, work <-chan segTask) {
 	}
 }
 
-// scanSegment zone-checks, reads, and filters one segment with the
-// worker's own evaluator and counters. alive is false when the operator
-// was closed mid-scan (no result is delivered; nobody is waiting).
-func (it *parallelScanIter) scanSegment(child *executor, ev *evaluator, seg int, buf *[]storage.Row, zbuf []storage.ZoneMap) (segResult, bool) {
-	if segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, zbuf) {
+// scanSegment zone- and owner-dictionary-checks, reads, and filters one
+// segment with the worker's own evaluator and counters — vectorised over a
+// batch unless the DB forces row evaluation or nothing compiles. alive is
+// false when the operator was closed mid-scan (no result is delivered;
+// nobody is waiting).
+func (it *parallelScanIter) scanSegment(child *executor, ws *workerState, seg int) (segResult, bool) {
+	if refuted, dict := segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, ws.zbuf, ws.wantOwners); refuted {
 		child.local.SegmentsPruned++
+		if dict {
+			child.local.OwnerDictPruned++
+		}
 		return segResult{}, true
 	}
-	*buf = it.view.ScanSegment(seg, (*buf)[:0])
+	if ws.prog != nil {
+		poll := func() error {
+			select {
+			case <-it.done:
+				return errScanClosed
+			default:
+			}
+			return child.checkCtx()
+		}
+		_, err := scanSegmentVectorised(child, ws.prog, it.view, seg, &ws.batch, ws.ev, it.schema, it.outer, poll)
+		switch {
+		case errors.Is(err, errScanClosed):
+			return segResult{}, false
+		case err != nil:
+			return segResult{err: err}, true
+		}
+		return segResult{rows: selectedRows(&ws.batch, nil)}, true
+	}
+	ws.buf = it.view.ScanSegment(seg, ws.buf[:0])
 	child.local.SegmentsScanned++
 	var out []storage.Row
-	for i, row := range *buf {
+	for i, row := range ws.buf {
 		if i%ctxCheckInterval == 0 {
 			select {
 			case <-it.done:
@@ -166,7 +211,7 @@ func (it *parallelScanIter) scanSegment(child *executor, ev *evaluator, seg int,
 			return segResult{err: err}, true
 		}
 		child.local.TuplesRead++
-		keep, err := rowPasses(ev, it.schema, row, it.conjs, it.outer)
+		keep, err := rowPasses(ws.ev, it.schema, row, it.conjs, it.outer)
 		if err != nil {
 			return segResult{err: err}, true
 		}

@@ -191,27 +191,37 @@ func (it *sliceIter) Close() {}
 
 // tableIter is a streaming base-table access path: rows are pulled from a
 // copy-on-write heap View (segment by segment for sequential scans, with
-// zone-map pruning; fetch-list order for index scans) and filtered by the
-// source's conjuncts as they are produced. Reading through the View makes
-// an in-flight scan safe across a concurrent Compact: it finishes over the
-// heap it started on.
+// zone-map and owner-dictionary pruning; fetch-list order for index scans)
+// and filtered by the source's conjuncts as they are produced. Reading
+// through the View makes an in-flight scan safe across a concurrent
+// Compact: it finishes over the heap it started on.
+//
+// Under an exhaustive consumer a sequential scan evaluates its conjuncts
+// on the vectorised batch path (one storage.Batch per segment) instead of
+// row-at-a-time; streaming consumers keep the lazy per-row filter so an
+// early Close never pays for rows the consumer did not pull.
 type tableIter struct {
-	ex     *executor
-	t      *storage.Table
-	plan   accessPlan
-	schema *RelSchema
-	conjs  []sqlparser.Expr
-	ev     *evaluator
-	outer  *env
+	ex         *executor
+	t          *storage.Table
+	plan       accessPlan
+	schema     *RelSchema
+	conjs      []sqlparser.Expr
+	ev         *evaluator
+	outer      *env
+	exhaustive bool
 
 	inited bool
 	view   *storage.View
 	// sequential segment cursor
-	seq  bool
-	seg  int
-	buf  []storage.Row
-	pos  int
-	zbuf []storage.ZoneMap
+	seq        bool
+	seg        int
+	buf        []storage.Row
+	pos        int
+	zbuf       []storage.ZoneMap
+	wantOwners bool // some zone leaf can use the owner dictionaries
+	// vectorised evaluation (nil: row-at-a-time)
+	prog  *vecProgram
+	batch storage.Batch
 	// index fetch list
 	ids   []storage.RowID
 	idPos int
@@ -223,7 +233,11 @@ func (it *tableIter) init() error {
 	if it.plan.fetch == nil {
 		it.seq = true
 		it.zbuf = make([]storage.ZoneMap, len(it.plan.zoneCols))
+		it.wantOwners = hasOwnerLeaf(it.plan.zonePreds, it.view.OwnerColumn())
 		it.ex.counters.SeqScans++
+		if it.exhaustive && !it.ex.db.ForceRowEval {
+			it.prog, _ = compileVecProgram(it.conjs, it.schema)
+		}
 		return nil
 	}
 	it.ids = it.plan.fetch(it.view, it.ex.counters)
@@ -232,14 +246,35 @@ func (it *tableIter) init() error {
 
 // nextSegment loads the next unpruned segment into the buffer; ok is false
 // when the heap is exhausted. Pruned segments are skipped without touching
-// a single tuple — only the zone maps are read.
-func (it *tableIter) nextSegment() bool {
+// a single tuple — only the zone maps and owner dictionaries are read. On
+// the vectorised path the buffer holds the segment's already-filtered rows
+// (Next hands them out verbatim); on the row path it holds every live row
+// and Next filters.
+func (it *tableIter) nextSegment() (bool, error) {
 	for it.seg < it.view.NumSegments() {
 		seg := it.seg
 		it.seg++
-		if segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, it.zbuf) {
+		if refuted, dict := segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, it.zbuf, it.wantOwners); refuted {
 			it.ex.counters.SegmentsPruned++
+			if dict {
+				it.ex.counters.OwnerDictPruned++
+			}
 			continue
+		}
+		if it.prog != nil {
+			n, err := scanSegmentVectorised(it.ex, it.prog, it.view, seg, &it.batch, it.ev, it.schema, it.outer, nil)
+			if err != nil {
+				return false, err
+			}
+			if n == 0 {
+				continue
+			}
+			it.buf = selectedRows(&it.batch, it.buf[:0])
+			if len(it.buf) == 0 {
+				continue
+			}
+			it.pos = 0
+			return true, nil
 		}
 		it.buf = it.view.ScanSegment(seg, it.buf[:0])
 		it.ex.counters.SegmentsScanned++
@@ -247,9 +282,9 @@ func (it *tableIter) nextSegment() bool {
 			continue
 		}
 		it.pos = 0
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }
 
 func (it *tableIter) Next() (storage.Row, error) {
@@ -265,12 +300,20 @@ func (it *tableIter) Next() (storage.Row, error) {
 		var row storage.Row
 		if it.seq {
 			if it.pos >= len(it.buf) {
-				if !it.nextSegment() {
+				ok, err := it.nextSegment()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
 					return nil, nil
 				}
 			}
 			row = it.buf[it.pos]
 			it.pos++
+			if it.prog != nil {
+				// Vectorised segments arrive filtered and counted.
+				return row, nil
+			}
 		} else {
 			if it.idPos >= len(it.ids) {
 				return nil, nil
@@ -294,6 +337,41 @@ func (it *tableIter) Next() (storage.Row, error) {
 }
 
 func (it *tableIter) Close() {}
+
+// scanSegmentVectorised loads one segment as a batch and runs the compiled
+// program over it, tallying the scan counters into ex. It returns the
+// number of live rows read (0 for an empty segment). poll, when non-nil,
+// is threaded into the program for cancellation between operators.
+func scanSegmentVectorised(ex *executor, prog *vecProgram, view *storage.View, seg int,
+	batch *storage.Batch, ev *evaluator, schema *RelSchema, outer *env, poll func() error) (int, error) {
+
+	n := view.ScanBatch(seg, batch)
+	ex.counters.SegmentsScanned++
+	if n == 0 {
+		return 0, nil
+	}
+	ex.counters.TuplesRead += int64(n)
+	ex.counters.BatchesVectorised++
+	ex.counters.RowsVectorised += int64(n)
+	ve := &vecEnv{b: batch, ev: ev, schema: schema, outer: outer, ownerCol: view.OwnerColumn(), poll: poll}
+	if prog.needsOwners && ve.ownerCol >= 0 {
+		ve.owners, ve.hasOwners = view.Owners(seg)
+	}
+	if err := prog.run(ve); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// selectedRows appends the batch's selected rows to dst.
+func selectedRows(b *storage.Batch, dst []storage.Row) []storage.Row {
+	for i, sel := range b.Sel {
+		if sel {
+			dst = append(dst, b.Row(i))
+		}
+	}
+	return dst
+}
 
 // filterIter applies conjuncts to rows of a derived source.
 type filterIter struct {

@@ -1,0 +1,245 @@
+// Package engine_test holds the differential oracle for the vectorised
+// evaluation path: the full middleware stack (rewrite, guards, Δ, strategy
+// choice) is run over the workload corpus twice — once with the batch
+// evaluator, once with DB.ForceRowEval — and the two executions must agree
+// row for row and counter for counter. The oracle is what licenses the
+// vector path to replace rowPasses on the hot path: any semantic drift
+// between the evaluators, in three-valued logic, in short-circuit-driven
+// UDF invocation counts, or in segment pruning, fails it.
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// oracleEnv is one fully built middleware stack.
+type oracleEnv struct {
+	campus *workload.Campus
+	m      *core.Middleware
+	ps     []*policy.Policy
+}
+
+// buildOracleEnv constructs a campus with many small segments (so pruning,
+// batching and the parallel operator all engage) and the standard policy
+// corpus. Both oracle sides call it with the same seed-determined inputs;
+// only forceRow differs.
+func buildOracleEnv(t *testing.T, forceRow bool, opts ...core.Option) *oracleEnv {
+	t.Helper()
+	cfg := workload.TestCampusConfig()
+	c, err := workload.BuildCampus(cfg, engine.MySQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DB.UDFOverheadIters = 0
+	c.DB.ForceRowEval = forceRow
+	ps := c.GeneratePolicies(workload.TestPolicyConfig())
+	store, err := policy.NewStore(c.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		t.Fatal(err)
+	}
+	opts = append([]core.Option{core.WithGroups(c.Groups())}, opts...)
+	m, err := core.New(store, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(workload.TableWiFi); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the segment granule so the test corpus spans many segments.
+	c.DB.MustTable(workload.TableWiFi).SetSegmentSize(256)
+	return &oracleEnv{campus: c, m: m, ps: ps}
+}
+
+// run executes one query for one querier, returning the rendered rows and
+// the query's counter delta with the vector-only tallies cleared.
+func (e *oracleEnv) run(t *testing.T, querier, sql string) ([]string, engine.Counters) {
+	t.Helper()
+	e.campus.DB.ResetCounters()
+	sess := e.m.NewSession(policy.Metadata{Querier: querier, Purpose: "analytics"})
+	res, err := sess.Execute(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("querier %s: %s: %v", querier, sql, err)
+	}
+	rows := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte('|')
+		}
+		rows = append(rows, b.String())
+	}
+	c := e.campus.DB.CountersSnapshot()
+	c.BatchesVectorised, c.RowsVectorised = 0, 0
+	return rows, c
+}
+
+// randomGuardQueries generates deterministic guard-shaped probes beyond
+// the corpus: OR-of-AND disjunctions over owner / wifiAP / time windows —
+// the exact shapes the rewrite injects — including NULL literals, IN
+// lists, negations, and aggregation heads.
+func randomGuardQueries(n int, seed int64, cfg workload.CampusConfig) []string {
+	r := rand.New(rand.NewSource(seed))
+	arm := func() string {
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("(owner = %d AND ts_time > TIME '%02d:00')", r.Intn(cfg.Devices), 6+r.Intn(12))
+		case 1:
+			ids := make([]string, 1+r.Intn(3))
+			for i := range ids {
+				ids[i] = fmt.Sprintf("%d", r.Intn(cfg.Devices))
+			}
+			return fmt.Sprintf("(owner IN (%s))", strings.Join(ids, ", "))
+		case 2:
+			ap := r.Intn(cfg.APs)
+			return fmt.Sprintf("(wifiAP BETWEEN %d AND %d AND owner = %d)", ap, ap+2, r.Intn(cfg.Devices))
+		default:
+			return fmt.Sprintf("(wifiAP = %d AND NOT ts_time < TIME '%02d:00')", r.Intn(cfg.APs), 6+r.Intn(6))
+		}
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		arms := make([]string, 1+r.Intn(3))
+		for k := range arms {
+			arms[k] = arm()
+		}
+		where := strings.Join(arms, " OR ")
+		switch r.Intn(3) {
+		case 0:
+			out = append(out, fmt.Sprintf("SELECT * FROM %s WHERE %s", workload.TableWiFi, where))
+		case 1:
+			out = append(out, fmt.Sprintf("SELECT count(*), min(owner), max(wifiAP) FROM %s WHERE %s", workload.TableWiFi, where))
+		default:
+			out = append(out, fmt.Sprintf("SELECT owner, count(*) AS n FROM %s WHERE %s GROUP BY owner ORDER BY n DESC, owner LIMIT 20", workload.TableWiFi, where))
+		}
+	}
+	return out
+}
+
+// TestVectorOracle is the differential oracle: the corpus plus randomized
+// guard probes, for several queriers, must return identical rows and
+// identical work counters with vectorisation forced ON and OFF. The
+// "natural" variant lets the middleware pick strategies (mostly
+// IndexGuards on this corpus); the "linearscan" variant forces the guarded
+// sequential scan — the vector path's target shape — and requires that the
+// batch evaluator actually ran.
+func TestVectorOracle(t *testing.T) {
+	variants := []struct {
+		name          string
+		opts          []core.Option
+		wantVectorise bool
+	}{
+		{"natural", nil, false},
+		{"linearscan", []core.Option{core.WithForcedStrategy(core.LinearScan), core.WithDeltaThreshold(1)}, true},
+	}
+	for _, variant := range variants {
+		t.Run(variant.name, func(t *testing.T) {
+			vec := buildOracleEnv(t, false, variant.opts...)
+			row := buildOracleEnv(t, true, variant.opts...)
+
+			queriers := workload.TopQueriers(vec.ps, 3, 1)
+			if len(queriers) == 0 {
+				t.Fatal("no queriers with policies in the corpus")
+			}
+			// A querier with no policies exercises the default-deny rewrite.
+			queriers = append(queriers, "nobody@example")
+
+			var queries []workload.NamedQuery
+			queries = append(queries, vec.campus.CorpusQueries()...)
+			for i, sql := range randomGuardQueries(40, 42, vec.campus.Cfg) {
+				queries = append(queries, workload.NamedQuery{Name: fmt.Sprintf("rand_%02d", i), SQL: sql})
+			}
+
+			sawVectorised := false
+			for _, q := range queries {
+				for _, who := range queriers {
+					vRows, vC := vec.run(t, who, q.SQL)
+					rRows, rC := row.run(t, who, q.SQL)
+					if len(vRows) != len(rRows) {
+						t.Fatalf("%s / %s: vector %d rows, row-eval %d rows", q.Name, who, len(vRows), len(rRows))
+					}
+					for i := range vRows {
+						if vRows[i] != rRows[i] {
+							t.Fatalf("%s / %s: row %d diverges:\nvec: %s\nrow: %s", q.Name, who, i, vRows[i], rRows[i])
+						}
+					}
+					if vC != rC {
+						t.Fatalf("%s / %s: counters diverge:\nvec: %+v\nrow: %+v", q.Name, who, vC, rC)
+					}
+				}
+				vec.campus.DB.ResetCounters()
+				sess := vec.m.NewSession(policy.Metadata{Querier: queriers[0], Purpose: "analytics"})
+				if _, err := sess.Execute(context.Background(), q.SQL); err == nil {
+					if c := vec.campus.DB.CountersSnapshot(); c.BatchesVectorised > 0 {
+						sawVectorised = true
+					}
+				}
+			}
+			if variant.wantVectorise && !sawVectorised {
+				t.Fatal("oracle never exercised the vectorised path; fixture is broken")
+			}
+		})
+	}
+}
+
+// TestVectorOracleConcurrent runs corpus queries from several goroutines
+// against the vectorised engine while a writer inserts policies, proving
+// the batch path race-clean under -race -cpu=1,4. (Result equivalence is
+// TestVectorOracle's job; concurrent runs only assert successful,
+// non-racing execution.)
+func TestVectorOracleConcurrent(t *testing.T) {
+	env := buildOracleEnv(t, false)
+	queriers := workload.TopQueriers(env.ps, 3, 1)
+	queries := env.campus.CorpusQueries()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			who := queriers[g%len(queriers)]
+			sess := env.m.NewSession(policy.Metadata{Querier: who, Purpose: "analytics"})
+			for rep := 0; rep < 2; rep++ {
+				for _, q := range queries {
+					if _, err := sess.Execute(context.Background(), q.SQL); err != nil {
+						errs <- fmt.Errorf("%s / %s: %w", q.Name, who, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			p := &policy.Policy{
+				Owner: int64(i), Querier: queriers[0], Purpose: "analytics",
+				Relation: workload.TableWiFi, Action: policy.Allow,
+			}
+			if err := env.m.Store().Insert(p); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// vecTestDB builds a two-column table with clustered-but-scattered owners:
+// each 64-row segment holds exactly the owners {base, base+10} so min/max
+// hulls cover ids the segments do not contain — the shape only the owner
+// dictionary can refute.
+func vecTestDB(t *testing.T) (*DB, *storage.Table, []storage.Row) {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "x", Type: storage.KindInt},
+	)
+	db := New(MySQL())
+	db.UDFOverheadIters = 0
+	tbl, err := db.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []storage.Row
+	for i := 0; i < 1024; i++ {
+		owner := int64((i/64)%3) + int64(i%2)*10 // {0,10},{1,11},{2,12} per segment
+		rows = append(rows, storage.Row{storage.NewInt(owner), storage.NewInt(int64(i))})
+	}
+	if err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetSegmentSize(64)
+	if err := tbl.TrackOwners("owner"); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl, rows
+}
+
+// runCounted executes sql materialising and returns the result plus the
+// query's counter delta.
+func runCounted(t *testing.T, db *DB, sql string) (*Result, Counters) {
+	t.Helper()
+	db.ResetCounters()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res, db.CountersSnapshot()
+}
+
+// TestOwnerDictPrunesDisjointPartitions is the acceptance test for
+// dictionary pruning: a multi-owner guard-shaped disjunction whose owner
+// sets appear in no segment is refuted everywhere — zero tuple reads —
+// and the refutation is attributed to the dictionaries (the min/max hull
+// [0,12] covers the probed ids, so zones alone cannot prune).
+func TestOwnerDictPrunesDisjointPartitions(t *testing.T) {
+	db, tbl, _ := vecTestDB(t)
+
+	res, c := runCounted(t, db, "SELECT * FROM t WHERE (owner = 5 AND x > 10) OR (owner = 7 AND x < 2000)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("no row has owner 5 or 7, got %d rows", len(res.Rows))
+	}
+	total := tbl.SegmentCount()
+	if c.SegmentsPruned != int64(total) || c.OwnerDictPruned != int64(total) {
+		t.Fatalf("want all %d segments owner-dict pruned, got pruned=%d ownerDict=%d", total, c.SegmentsPruned, c.OwnerDictPruned)
+	}
+	if c.TuplesRead != 0 || c.SegmentsScanned != 0 {
+		t.Fatalf("pruned segments must cost zero tuple reads, got tuples=%d segs=%d", c.TuplesRead, c.SegmentsScanned)
+	}
+
+	// Partial pruning: owner 11 lives only in the {1,11} segments (every
+	// third segment); the others are refuted by their dictionaries alone.
+	res, c = runCounted(t, db, "SELECT * FROM t WHERE (owner = 11 AND x >= 0) OR (owner = 7 AND x >= 0)")
+	want := 0
+	for seg := 0; seg < total; seg++ {
+		if od, ok := tbl.SegmentOwners(seg); ok && od.MayContain(11) {
+			want++
+		}
+	}
+	if want == 0 || want == total {
+		t.Fatalf("bad fixture: owner 11 in %d/%d segments", want, total)
+	}
+	if int(c.SegmentsScanned) != want || int(c.OwnerDictPruned) != total-want {
+		t.Fatalf("want %d scanned / %d owner-dict pruned of %d, got %d / %d",
+			want, total-want, total, c.SegmentsScanned, c.OwnerDictPruned)
+	}
+	if len(res.Rows) != 64/2*(total/3) {
+		t.Fatalf("unexpected row count %d", len(res.Rows))
+	}
+	if c.TuplesRead != int64(want*64) {
+		t.Fatalf("tuples read %d, want %d (only surviving segments)", c.TuplesRead, want*64)
+	}
+}
+
+// TestVectorRowCounterParity runs the same guard-shaped queries with the
+// vectorised evaluator on and off and demands identical rows and identical
+// work counters (the vector-only tallies aside).
+func TestVectorRowCounterParity(t *testing.T) {
+	db, _, _ := vecTestDB(t)
+	queries := []string{
+		"SELECT * FROM t WHERE (owner = 0 AND x BETWEEN 5 AND 500) OR (owner = 11 AND x > 100)",
+		"SELECT * FROM t WHERE owner IN (1, 12) AND x < 900",
+		"SELECT count(*), min(x) FROM t WHERE (owner = 10 AND x > 3) OR FALSE",
+		"SELECT * FROM t WHERE FALSE",
+		"SELECT owner, count(*) AS n FROM t WHERE x >= 0 GROUP BY owner ORDER BY n DESC",
+	}
+	for _, q := range queries {
+		db.ForceRowEval = true
+		rowRes, rowC := runCounted(t, db, q)
+		db.ForceRowEval = false
+		vecRes, vecC := runCounted(t, db, q)
+		if !reflect.DeepEqual(rowRes, vecRes) {
+			t.Fatalf("%s: results diverge:\nrow: %v\nvec: %v", q, rowRes.Rows, vecRes.Rows)
+		}
+		if rowC.BatchesVectorised != 0 || rowC.RowsVectorised != 0 {
+			t.Fatalf("%s: ForceRowEval still vectorised: %+v", q, rowC)
+		}
+		vecC.BatchesVectorised, vecC.RowsVectorised = 0, 0
+		if rowC != vecC {
+			t.Fatalf("%s: counters diverge:\nrow: %+v\nvec: %+v", q, rowC, vecC)
+		}
+	}
+}
+
+// TestVectorUDFParity proves the lazy-leaf fallback invokes side-effecting
+// expressions for exactly the rows the row-at-a-time path does: a UDF in
+// one arm of a disjunction (the Δ operator's position) must be called the
+// same number of times either way, and only for rows surviving the arm's
+// cheaper conjuncts.
+func TestVectorUDFParity(t *testing.T) {
+	db, _, _ := vecTestDB(t)
+	db.RegisterUDF("is_even", func(ctx *UDFContext, args []storage.Value) (storage.Value, error) {
+		if len(args) != 1 || args[0].IsNull() {
+			return storage.Null, nil
+		}
+		return storage.NewBool(args[0].I%2 == 0), nil
+	})
+	q := "SELECT count(*) FROM t WHERE (owner = 0 AND is_even(x) = TRUE) OR (owner = 11 AND x < 100)"
+
+	db.ForceRowEval = true
+	rowRes, rowC := runCounted(t, db, q)
+	db.ForceRowEval = false
+	vecRes, vecC := runCounted(t, db, q)
+
+	if !reflect.DeepEqual(rowRes.Rows, vecRes.Rows) {
+		t.Fatalf("results diverge: %v vs %v", rowRes.Rows, vecRes.Rows)
+	}
+	if rowC.UDFInvocations == 0 {
+		t.Fatal("fixture broken: UDF never ran")
+	}
+	if rowC.UDFInvocations != vecC.UDFInvocations {
+		t.Fatalf("UDF invocation counts diverge: row %d vs vec %d", rowC.UDFInvocations, vecC.UDFInvocations)
+	}
+	if vecC.BatchesVectorised == 0 {
+		t.Fatal("vector path did not engage on the mixed UDF disjunction")
+	}
+	// The owner=0 arm only holds in 1/3 of segments; the UDF must not have
+	// run for every tuple of the relation.
+	if rowC.UDFInvocations >= rowC.TuplesRead {
+		t.Fatalf("UDF ran for %d of %d tuples; arm short-circuit lost", rowC.UDFInvocations, rowC.TuplesRead)
+	}
+}
+
+// TestVectorArmSkipRespectsEvaluationOrder pins the soundness restriction
+// on dictionary arm-skipping: an owner equality that the row evaluator
+// only reaches AFTER a UDF call must not license skipping the arm — the
+// UDF's invocations (and potential errors) happen first in row order, so
+// the vector path must perform them too. The guard rewrite always puts
+// the owner predicate first, where skipping stays legal; this test writes
+// the adversarial order by hand.
+func TestVectorArmSkipRespectsEvaluationOrder(t *testing.T) {
+	db, _, _ := vecTestDB(t)
+	db.RegisterUDF("probe", func(ctx *UDFContext, args []storage.Value) (storage.Value, error) {
+		return storage.NewBool(true), nil
+	})
+	// owner = 5 appears in no segment (dict-disjoint everywhere), but the
+	// UDF precedes it inside the arm.
+	q := "SELECT count(*) FROM t WHERE (probe(x) = TRUE AND owner = 5) OR (owner = 11 AND x < 100)"
+
+	db.ForceRowEval = true
+	rowRes, rowC := runCounted(t, db, q)
+	db.ForceRowEval = false
+	vecRes, vecC := runCounted(t, db, q)
+	if !reflect.DeepEqual(rowRes.Rows, vecRes.Rows) {
+		t.Fatalf("results diverge: %v vs %v", rowRes.Rows, vecRes.Rows)
+	}
+	if rowC.UDFInvocations == 0 || rowC.UDFInvocations != vecC.UDFInvocations {
+		t.Fatalf("UDF invocation counts diverge: row %d vs vec %d (arm wrongly skipped?)", rowC.UDFInvocations, vecC.UDFInvocations)
+	}
+
+	// With the owner equality first, the row path short-circuits the UDF
+	// away on every row, so the dictionary skip is free to fire — and the
+	// UDF must run zero times on both paths.
+	q = "SELECT count(*) FROM t WHERE (owner = 5 AND probe(x) = TRUE) OR (owner = 11 AND x < 100)"
+	db.ForceRowEval = true
+	_, rowC = runCounted(t, db, q)
+	db.ForceRowEval = false
+	_, vecC = runCounted(t, db, q)
+	if rowC.UDFInvocations != 0 || vecC.UDFInvocations != 0 {
+		t.Fatalf("owner-first arm must short-circuit the UDF on both paths: row %d, vec %d", rowC.UDFInvocations, vecC.UDFInvocations)
+	}
+}
+
+// TestVectorNullHeavyFuzz fuzzes random guard-shaped predicates over
+// NULL-riddled data through three evaluators: the row path, the vector
+// path, and an independent three-valued-logic reference. All three must
+// select exactly the same rows.
+func TestVectorNullHeavyFuzz(t *testing.T) {
+	schema := storage.MustSchema(
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "x", Type: storage.KindInt},
+	)
+	db := New(MySQL())
+	db.UDFOverheadIters = 0
+	tbl, err := db.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	var rows []storage.Row
+	for i := 0; i < 300; i++ {
+		mk := func() storage.Value {
+			if r.Intn(3) == 0 {
+				return storage.Null
+			}
+			return storage.NewInt(int64(r.Intn(6)))
+		}
+		rows = append(rows, storage.Row{mk(), mk()})
+	}
+	if err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetSegmentSize(32)
+	if err := tbl.TrackOwners("owner"); err != nil {
+		t.Fatal(err)
+	}
+
+	lit := func() sqlparser.Expr {
+		if r.Intn(8) == 0 {
+			return sqlparser.Lit(storage.Null)
+		}
+		return sqlparser.Lit(storage.NewInt(int64(r.Intn(6))))
+	}
+	col := func() sqlparser.Expr {
+		if r.Intn(2) == 0 {
+			return sqlparser.Col("", "owner")
+		}
+		return sqlparser.Col("", "x")
+	}
+	var gen func(depth int) sqlparser.Expr
+	gen = func(depth int) sqlparser.Expr {
+		if depth <= 0 {
+			switch r.Intn(5) {
+			case 0:
+				return &sqlparser.CompareExpr{Op: sqlparser.CmpOp(r.Intn(6)), L: col(), R: lit()}
+			case 1:
+				return &sqlparser.BetweenExpr{E: col(), Lo: lit(), Hi: lit(), Not: r.Intn(2) == 0}
+			case 2:
+				return &sqlparser.InExpr{E: col(), List: []sqlparser.Expr{lit(), lit(), lit()}, Not: r.Intn(2) == 0}
+			case 3:
+				return &sqlparser.IsNullExpr{E: col(), Not: r.Intn(2) == 0}
+			default:
+				return sqlparser.Lit(storage.NewBool(r.Intn(2) == 0))
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			return &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, L: gen(depth - 1), R: gen(depth - 1)}
+		case 1:
+			return &sqlparser.BinaryExpr{Op: sqlparser.OpOr, L: gen(depth - 1), R: gen(depth - 1)}
+		case 2:
+			return &sqlparser.NotExpr{E: gen(depth - 1)}
+		default:
+			return gen(depth - 1)
+		}
+	}
+
+	for trial := 0; trial < 4000; trial++ {
+		e := gen(3)
+		stmt := &sqlparser.SelectStmt{Body: &sqlparser.SelectCore{
+			Items: []sqlparser.SelectItem{{Expr: sqlparser.Col("", "owner")}, {Expr: sqlparser.Col("", "x")}},
+			From:  []sqlparser.TableRef{{Name: "t"}},
+			Where: e,
+			Limit: -1,
+		}}
+		db.ForceRowEval = true
+		rowRes, err := db.QueryStmt(stmt)
+		if err != nil {
+			t.Fatalf("trial %d row: %s: %v", trial, sqlparser.PrintExpr(e), err)
+		}
+		db.ForceRowEval = false
+		vecRes, err := db.QueryStmt(stmt)
+		if err != nil {
+			t.Fatalf("trial %d vec: %s: %v", trial, sqlparser.PrintExpr(e), err)
+		}
+		if !reflect.DeepEqual(rowRes.Rows, vecRes.Rows) {
+			t.Fatalf("trial %d: %s: row path %d rows, vector path %d rows",
+				trial, sqlparser.PrintExpr(e), len(rowRes.Rows), len(vecRes.Rows))
+		}
+		want := 0
+		for _, row := range rows {
+			if refTri(e, row) == triTrue {
+				want++
+			}
+		}
+		if len(rowRes.Rows) != want {
+			t.Fatalf("trial %d: %s: engine %d rows, 3VL reference %d", trial, sqlparser.PrintExpr(e), len(rowRes.Rows), want)
+		}
+	}
+}
+
+// refTri is an independent three-valued reference evaluator over the fuzz
+// fixture's (owner, x) rows — deliberately written against the SQL spec,
+// not against the engine's code, so both evaluation paths are checked for
+// absolute correctness, not just mutual agreement.
+func refTri(e sqlparser.Expr, row storage.Row) tri {
+	val := func(x sqlparser.Expr) storage.Value {
+		switch v := x.(type) {
+		case *sqlparser.Literal:
+			return v.Val
+		case *sqlparser.ColRef:
+			if v.Column == "owner" {
+				return row[0]
+			}
+			return row[1]
+		}
+		panic(fmt.Sprintf("refTri: unexpected value node %T", e))
+	}
+	cmp := func(op sqlparser.CmpOp, l, r storage.Value) tri {
+		c, ok := storage.Compare(l, r)
+		if !ok {
+			return triNull
+		}
+		var b bool
+		switch op {
+		case sqlparser.CmpEq:
+			b = c == 0
+		case sqlparser.CmpNe:
+			b = c != 0
+		case sqlparser.CmpLt:
+			b = c < 0
+		case sqlparser.CmpLe:
+			b = c <= 0
+		case sqlparser.CmpGt:
+			b = c > 0
+		case sqlparser.CmpGe:
+			b = c >= 0
+		}
+		if b {
+			return triTrue
+		}
+		return triFalse
+	}
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return triOf(x.Val)
+	case *sqlparser.CompareExpr:
+		return cmp(x.Op, val(x.L), val(x.R))
+	case *sqlparser.BinaryExpr:
+		if x.Op == sqlparser.OpAnd {
+			return triAnd(refTri(x.L, row), refTri(x.R, row))
+		}
+		return triOr(refTri(x.L, row), refTri(x.R, row))
+	case *sqlparser.NotExpr:
+		return triNot(refTri(x.E, row))
+	case *sqlparser.BetweenExpr:
+		res := triAnd(cmp(sqlparser.CmpGe, val(x.E), val(x.Lo)), cmp(sqlparser.CmpLe, val(x.E), val(x.Hi)))
+		if x.Not {
+			res = triNot(res)
+		}
+		return res
+	case *sqlparser.InExpr:
+		v := val(x.E)
+		if v.IsNull() {
+			return triNull
+		}
+		res := triFalse
+		for _, item := range x.List {
+			m := val(item)
+			switch {
+			case m.IsNull():
+				if res == triFalse {
+					res = triNull
+				}
+			case storage.Equal(v, m):
+				res = triTrue
+			}
+		}
+		if x.Not {
+			res = triNot(res)
+		}
+		return res
+	case *sqlparser.IsNullExpr:
+		if val(x.E).IsNull() != x.Not {
+			return triTrue
+		}
+		return triFalse
+	}
+	panic(fmt.Sprintf("refTri: unexpected predicate node %T", e))
+}
+
+// TestVectorParallelParity: the parallel guarded-scan operator's workers
+// also vectorise; serial/parallel and row/vector must all agree rows and
+// tuple counters.
+func TestVectorParallelParity(t *testing.T) {
+	db, _, _ := vecTestDB(t)
+	q := "SELECT owner, count(*) AS n FROM t WHERE (owner = 0 AND x > 4) OR (owner = 12 AND x < 800) GROUP BY owner ORDER BY owner"
+
+	type mode struct {
+		workers int
+		force   bool
+	}
+	var base *Result
+	var baseC Counters
+	for _, m := range []mode{{1, true}, {1, false}, {4, true}, {4, false}} {
+		db.ScanWorkers = m.workers
+		db.ForceRowEval = m.force
+		res, c := runCounted(t, db, q)
+		c.BatchesVectorised, c.RowsVectorised, c.ParallelScans = 0, 0, 0
+		if base == nil {
+			base, baseC = res, c
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d force=%v: rows diverge", m.workers, m.force)
+		}
+		if baseC != c {
+			t.Fatalf("workers=%d force=%v: counters diverge:\nbase %+v\ngot  %+v", m.workers, m.force, baseC, c)
+		}
+	}
+}

@@ -36,6 +36,13 @@ type zoneNode struct {
 	kids []zoneNode
 	slot int  // leaf: index into the compiled column-slot list
 	s    sarg // leaf: the predicate to test against the zone
+	// schemaCol/pts64 support owner-dictionary refutation: the leaf's
+	// schema column offset and its equality points as int64 ids (nil when
+	// the leaf is a range or has non-integer points). When the leaf sits
+	// on the scan's tracked owner column and the segment's dictionary is
+	// disjoint from pts64, the leaf refutes even where min/max cannot.
+	schemaCol int
+	pts64     []int64
 }
 
 // zoneCompiler interns referenced columns into compact slots so the scan
@@ -96,42 +103,78 @@ func (zc *zoneCompiler) compile(e sqlparser.Expr) (zoneNode, bool) {
 		return zoneNode{}, false
 	}
 	if s, ok := extractSarg(e, zc.ref, zc.schema); ok {
-		return zoneNode{op: zoneLeaf, slot: zc.slotFor(s.col), s: s}, true
+		n := zoneNode{op: zoneLeaf, slot: zc.slotFor(s.col), s: s, schemaCol: zc.schema.ColumnIndex(s.col)}
+		if len(s.points) > 0 {
+			pts := make([]int64, 0, len(s.points))
+			for _, p := range s.points {
+				if p.K != storage.KindInt {
+					pts = nil
+					break
+				}
+				pts = append(pts, p.I)
+			}
+			n.pts64 = pts
+		}
+		return n, true
 	}
 	return zoneNode{}, false
 }
 
-// refuted reports whether the zones prove no row of the segment satisfies
-// the node's predicate.
-func (n *zoneNode) refuted(zones []storage.ZoneMap) bool {
+// segMeta carries one segment's refutation inputs: the interned zone maps
+// plus (when the table tracks owners) the segment's owner dictionary.
+type segMeta struct {
+	zones     []storage.ZoneMap
+	owners    storage.OwnerDict
+	hasOwners bool
+	ownerCol  int
+}
+
+// refuted reports whether the segment metadata proves no row satisfies the
+// node's predicate. usedDict reports whether the owner dictionary was
+// decisive — a refutation the min/max zones alone could not reach — and
+// feeds the OwnerDictPruned counter.
+func (n *zoneNode) refuted(m *segMeta) (refuted, usedDict bool) {
 	switch n.op {
 	case zoneFalse:
-		return true
+		return true, false
 	case zoneLeaf:
-		z := zones[n.slot]
+		z := m.zones[n.slot]
 		if n.s.isRange {
-			return !z.MayContain(n.s.lo, n.s.loS, n.s.hi, n.s.hiS)
+			return !z.MayContain(n.s.lo, n.s.loS, n.s.hi, n.s.hiS), false
 		}
+		zoneHit := false
 		for _, p := range n.s.points {
 			if z.MayContainValue(p) {
-				return false
+				zoneHit = true
+				break
 			}
 		}
-		return true
+		if !zoneHit {
+			return true, false
+		}
+		// The hull covers some point; the dictionary may still prove the
+		// segment holds none of the guard partition's owners.
+		if m.hasOwners && n.schemaCol == m.ownerCol && len(n.pts64) > 0 && m.owners.DisjointFrom(n.pts64) {
+			return true, true
+		}
+		return false, false
 	case zoneAnd:
 		for i := range n.kids {
-			if n.kids[i].refuted(zones) {
-				return true
+			if r, d := n.kids[i].refuted(m); r {
+				return true, d
 			}
 		}
-		return false
+		return false, false
 	default: // zoneOr
+		anyDict := false
 		for i := range n.kids {
-			if !n.kids[i].refuted(zones) {
-				return false
+			r, d := n.kids[i].refuted(m)
+			if !r {
+				return false, false
 			}
+			anyDict = anyDict || d
 		}
-		return true
+		return true, anyDict
 	}
 }
 
@@ -152,39 +195,80 @@ func compileZonePreds(conjs []sqlparser.Expr, ref string, schema *storage.Schema
 	return nodes, zc.cols
 }
 
-// segmentRefuted tests one segment of a view against the compiled
-// predicates, reusing zbuf (len(cols)). Empty segments (live == 0) are
-// refuted unconditionally. Conjuncts combine with AND: any refuted
-// predicate kills the segment.
-func segmentRefuted(v *storage.View, seg int, preds []zoneNode, cols []int, zbuf []storage.ZoneMap) bool {
-	if len(preds) == 0 {
-		return v.Zones(seg, nil, nil) == 0
+// hasOwnerLeaf reports whether any compiled node carries integer equality
+// points on schema column ownerCol — the precondition for dictionary
+// refutation to ever fire. Scans precompute it so segments without a
+// chance of a dictionary hit skip the per-segment snapshot entirely.
+func hasOwnerLeaf(preds []zoneNode, ownerCol int) bool {
+	if ownerCol < 0 {
+		return false
 	}
-	if v.Zones(seg, cols, zbuf) == 0 {
-		return true
+	var walk func(n *zoneNode) bool
+	walk = func(n *zoneNode) bool {
+		if n.op == zoneLeaf {
+			return n.schemaCol == ownerCol && len(n.pts64) > 0
+		}
+		for i := range n.kids {
+			if walk(&n.kids[i]) {
+				return true
+			}
+		}
+		return false
 	}
 	for i := range preds {
-		if preds[i].refuted(zbuf) {
+		if walk(&preds[i]) {
 			return true
 		}
 	}
 	return false
 }
 
+// segmentRefuted tests one segment of a view against the compiled
+// predicates, reusing zbuf (len(cols)). Empty segments (live == 0) are
+// refuted unconditionally. Conjuncts combine with AND: any refuted
+// predicate kills the segment. wantOwners (from hasOwnerLeaf, computed
+// once per scan) gates the per-segment dictionary snapshot. usedDict
+// reports an owner-dictionary refutation the zones alone could not reach
+// (OwnerDictPruned).
+func segmentRefuted(v *storage.View, seg int, preds []zoneNode, cols []int, zbuf []storage.ZoneMap, wantOwners bool) (refuted, usedDict bool) {
+	if len(preds) == 0 {
+		return v.Zones(seg, nil, nil) == 0, false
+	}
+	m := segMeta{zones: zbuf, ownerCol: v.OwnerColumn()}
+	live := v.Zones(seg, cols, zbuf)
+	if live == 0 {
+		return true, false
+	}
+	if wantOwners {
+		m.owners, m.hasOwners = v.Owners(seg)
+	}
+	for i := range preds {
+		if r, d := preds[i].refuted(&m); r {
+			return true, d
+		}
+	}
+	return false, false
+}
+
 // segmentStats counts, against the current heap, the segments the plan's
 // zone predicates would prune versus scan — the planner-side estimate
-// EXPLAIN reports before any tuple is touched.
-func (p *accessPlan) segmentStats(t *storage.Table) (pruned, total int) {
+// EXPLAIN reports before any tuple is touched. ownerPruned is the subset
+// only the owner dictionaries could refute.
+func (p *accessPlan) segmentStats(t *storage.Table) (pruned, ownerPruned, total int) {
 	if p.Kind != AccessSeq {
-		return 0, 0
+		return 0, 0, 0
 	}
 	v := t.View()
 	total = v.NumSegments()
 	zbuf := make([]storage.ZoneMap, len(p.zoneCols))
+	wantOwners := hasOwnerLeaf(p.zonePreds, v.OwnerColumn())
 	for seg := 0; seg < total; seg++ {
-		if segmentRefuted(v, seg, p.zonePreds, p.zoneCols, zbuf) {
+		if r, d := segmentRefuted(v, seg, p.zonePreds, p.zoneCols, zbuf, wantOwners); r {
 			pruned++
+			if d {
+				ownerPruned++
+			}
 		}
 	}
-	return pruned, total
+	return pruned, ownerPruned, total
 }

@@ -2,7 +2,6 @@ package policy
 
 import (
 	"github.com/sieve-db/sieve/internal/sqlparser"
-	"github.com/sieve-db/sieve/internal/storage"
 )
 
 // Expr converts an object condition into a SQL expression over the table
@@ -22,7 +21,15 @@ func (c ObjectCondition) Expr(alias string) sqlparser.Expr {
 			hi = &sqlparser.CompareExpr{Op: c.HiOp, L: col, R: sqlparser.Lit(c.Hi)}
 		}
 		if lo == nil && hi == nil {
-			return sqlparser.Lit(storage.NewBool(true))
+			// A range unbounded on both sides still requires the attribute
+			// to hold a value: Matches returns !v.IsNull(), every bounded
+			// comparison is NULL (not TRUE) on a NULL attribute, and zone
+			// refutation assumes range predicates never match NULL rows.
+			// Emitting TRUE here (as this once did) let NULL-valued rows
+			// through the inlined guard arm that the Δ path and the
+			// zone-mapped scan both deny — the guard arm must behave as
+			// FALSE for such rows in every evaluation path.
+			return &sqlparser.IsNullExpr{E: col, Not: true}
 		}
 		// Closed two-sided ranges print as BETWEEN, as in the paper.
 		if lo != nil && hi != nil && c.LoOp == sqlparser.CmpGe && c.HiOp == sqlparser.CmpLe {

@@ -1,0 +1,102 @@
+package storage
+
+// Batch is a columnar view of one segment's live rows: the rows in heap
+// order, per-column value vectors materialised on demand, and a selection
+// bitmap the evaluator narrows as predicates are applied. A Batch is the
+// unit of vectorised guard evaluation — the engine runs each compiled
+// conjunct column-at-a-time over the vectors instead of interpreting the
+// expression tree once per row.
+//
+// A Batch is owned by one scan cursor (or one parallel-scan worker) and is
+// reused segment after segment; it is not safe for concurrent use. Rows are
+// immutable once stored, so the vectors may be read without any lock after
+// ScanBatch returns.
+type Batch struct {
+	rows  []Row
+	cols  [][]Value
+	built []bool
+	// Sel is the selection bitmap: Sel[i] reports whether row i is still a
+	// candidate. ScanBatch resets every entry to true.
+	Sel []bool
+}
+
+// Len returns the number of live rows in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Row returns row i (the full stored tuple, schema order).
+func (b *Batch) Row(i int) Row { return b.rows[i] }
+
+// Rows returns the underlying row slice, valid until the next ScanBatch.
+func (b *Batch) Rows() []Row { return b.rows }
+
+// Col returns the value vector of schema column c, materialising and
+// caching it on first use so only referenced columns pay the gather cost.
+func (b *Batch) Col(c int) []Value {
+	if !b.built[c] {
+		vec := b.cols[c][:0]
+		for _, r := range b.rows {
+			vec = append(vec, r[c])
+		}
+		b.cols[c] = vec
+		b.built[c] = true
+	}
+	return b.cols[c]
+}
+
+// Selected counts the rows still selected.
+func (b *Batch) Selected() int {
+	n := 0
+	for _, s := range b.Sel {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// reset prepares the batch for ncols-wide rows, clearing cached vectors and
+// the selection bitmap while keeping capacity.
+func (b *Batch) reset(ncols int) {
+	b.rows = b.rows[:0]
+	if len(b.cols) != ncols {
+		b.cols = make([][]Value, ncols)
+		b.built = make([]bool, ncols)
+	}
+	for c := range b.built {
+		b.built[c] = false
+	}
+}
+
+// finish sizes the selection bitmap to the loaded rows, all selected.
+func (b *Batch) finish() {
+	if cap(b.Sel) < len(b.rows) {
+		b.Sel = make([]bool, len(b.rows))
+	} else {
+		b.Sel = b.Sel[:len(b.rows)]
+	}
+	for i := range b.Sel {
+		b.Sel[i] = true
+	}
+}
+
+// ScanBatch loads segment seg's live rows into b, resetting its vectors
+// and selection bitmap. The row copy happens under the table's read lock,
+// exactly like ScanSegment; vector materialisation is deferred to Col and
+// needs no lock. It returns b.Len().
+func (v *View) ScanBatch(seg int, b *Batch) int {
+	b.reset(v.t.Schema.Len())
+	v.t.mu.RLock()
+	lo := seg * v.segSize
+	hi := lo + v.segSize
+	if hi > len(v.rows) {
+		hi = len(v.rows)
+	}
+	for i := lo; i < hi; i++ {
+		if !v.deleted[i] {
+			b.rows = append(b.rows, v.rows[i])
+		}
+	}
+	v.t.mu.RUnlock()
+	b.finish()
+	return b.Len()
+}

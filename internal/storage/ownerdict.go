@@ -1,0 +1,125 @@
+package storage
+
+// OwnerDictCap bounds the number of distinct owner ids a segment's owner
+// dictionary tracks exactly. A segment whose owner column carries more
+// distinct values overflows to "any": the dictionary stops enumerating and
+// conservatively claims to contain every owner. The cap keeps the metadata
+// a few cache lines per segment; with SIEVE's clustered loads (tuples of
+// one device land together) real segments stay far below it.
+const OwnerDictCap = 32
+
+// OwnerDict summarises the distinct owner ids present in one segment — the
+// per-segment refinement of the owner zone map. Where min/max can only
+// refute owner sets outside the segment's hull, the dictionary refutes any
+// guard partition whose owner set misses every id actually present, which
+// is what makes scattered multi-owner disjunctions prunable.
+//
+// Like zone maps, dictionaries are conservative supersets: inserts and
+// updates only add ids, deletes never remove them, and exact contents are
+// restored by segment rebuilds (bulk loads, Compact, RebuildSegments).
+type OwnerDict struct {
+	// ids are the distinct non-NULL integer owner ids seen, unordered.
+	// Meaningless once any is set.
+	ids []int64
+	// any is the overflow state: the segment may contain any owner. Set
+	// when the cap is exceeded or a non-integer owner value is seen.
+	any bool
+	// nulls records whether a NULL owner was seen. NULL owners never match
+	// an owner-equality guard, but their presence matters to evaluators
+	// that would otherwise skip arms wholesale (three-valued logic).
+	nulls bool
+}
+
+// add records an owner value; table lock held by callers.
+func (d *OwnerDict) add(v Value) {
+	if v.IsNull() {
+		d.nulls = true
+		return
+	}
+	if d.any {
+		return
+	}
+	if v.K != KindInt {
+		// Non-integer owners are outside the dictionary's domain; claim
+		// everything rather than mis-refute.
+		d.any = true
+		d.ids = nil
+		return
+	}
+	for _, id := range d.ids {
+		if id == v.I {
+			return
+		}
+	}
+	if len(d.ids) >= OwnerDictCap {
+		d.any = true
+		d.ids = nil
+		return
+	}
+	d.ids = append(d.ids, v.I)
+}
+
+// MayContain reports whether the segment could hold a row with owner id.
+// True whenever the dictionary cannot prove otherwise.
+func (d OwnerDict) MayContain(id int64) bool {
+	if d.any {
+		return true
+	}
+	for _, x := range d.ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MayContainValue is MayContain for a Value: non-integer and NULL probes
+// never refute (NULL probes cannot match rows anyway, and refusing to
+// refute keeps the answer conservative for odd kinds).
+func (d OwnerDict) MayContainValue(v Value) bool {
+	if v.IsNull() || v.K != KindInt {
+		return true
+	}
+	return d.MayContain(v.I)
+}
+
+// DisjointFrom reports whether the dictionary provably contains none of
+// ids — the refutation test for a guard partition's owner set. An empty
+// probe set is vacuously disjoint.
+func (d OwnerDict) DisjointFrom(ids []int64) bool {
+	if d.any {
+		return false
+	}
+	for _, id := range ids {
+		if d.MayContain(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overflowed reports whether the dictionary gave up enumerating.
+func (d OwnerDict) Overflowed() bool { return d.any }
+
+// HasNulls reports whether a NULL owner was observed (never reset until a
+// rebuild).
+func (d OwnerDict) HasNulls() bool { return d.nulls }
+
+// Size returns the number of ids tracked (0 after overflow).
+func (d OwnerDict) Size() int { return len(d.ids) }
+
+// IDs returns a copy of the tracked ids (nil after overflow).
+func (d OwnerDict) IDs() []int64 {
+	if len(d.ids) == 0 {
+		return nil
+	}
+	return append([]int64(nil), d.ids...)
+}
+
+// snapshot returns a lock-safe copy: the ids backing array is append-only
+// between rebuilds, so sharing the prefix is safe for readers, but copying
+// keeps the contract simple for callers that hold the value across later
+// mutations.
+func (d *OwnerDict) snapshot() OwnerDict {
+	return OwnerDict{ids: d.ids[:len(d.ids):len(d.ids)], any: d.any, nulls: d.nulls}
+}

@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOwnerDictBasics(t *testing.T) {
+	var d OwnerDict
+	for i := int64(0); i < 5; i++ {
+		d.add(NewInt(i))
+		d.add(NewInt(i)) // duplicates must not consume capacity
+	}
+	if d.Size() != 5 || d.Overflowed() {
+		t.Fatalf("size=%d overflowed=%v, want 5/false", d.Size(), d.Overflowed())
+	}
+	if !d.MayContain(3) || d.MayContain(99) {
+		t.Fatal("membership wrong")
+	}
+	if !d.DisjointFrom([]int64{99, 100}) || d.DisjointFrom([]int64{99, 3}) {
+		t.Fatal("disjointness wrong")
+	}
+	if d.HasNulls() {
+		t.Fatal("no NULL seen yet")
+	}
+	d.add(Null)
+	if !d.HasNulls() {
+		t.Fatal("NULL not recorded")
+	}
+
+	// Overflow: one more distinct id than the cap flips to any.
+	var o OwnerDict
+	for i := int64(0); i <= OwnerDictCap; i++ {
+		o.add(NewInt(i))
+	}
+	if !o.Overflowed() || o.Size() != 0 {
+		t.Fatalf("expected overflow past %d ids", OwnerDictCap)
+	}
+	if !o.MayContain(123456) || o.DisjointFrom([]int64{-1}) {
+		t.Fatal("overflowed dictionary must contain everything")
+	}
+
+	// Non-integer owners overflow too (outside the dictionary's domain).
+	var s OwnerDict
+	s.add(NewString("alice"))
+	if !s.Overflowed() {
+		t.Fatal("non-integer owner must overflow to any")
+	}
+}
+
+// TestOwnerDictSupersetProperty drives a table through random interleavings
+// of inserts, updates, deletes, bulk loads and Compacts and checks the
+// core soundness invariant after every step: every live row's owner is
+// contained by its segment's dictionary (so dictionary refutation can skip
+// work but never rows), and NULL owners are flagged. Small owner domains
+// exercise the exact path, large ones the overflow-to-any path.
+func TestOwnerDictSupersetProperty(t *testing.T) {
+	const segSize = 64
+	for _, domain := range []int{8, 2000} {
+		for seed := int64(0); seed < 4; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			schema := MustSchema(
+				Column{Name: "owner", Type: KindInt},
+				Column{Name: "x", Type: KindInt},
+			)
+			tbl := NewTable("t", schema)
+			if err := tbl.TrackOwners("owner"); err != nil {
+				t.Fatal(err)
+			}
+			tbl.SetSegmentSize(segSize)
+			randOwner := func() Value {
+				if r.Intn(10) == 0 {
+					return Null
+				}
+				return NewInt(int64(r.Intn(domain)))
+			}
+			var live []RowID
+			check := func(step int) {
+				t.Helper()
+				tbl.Scan(func(id RowID, row Row) bool {
+					seg := int(id) / segSize
+					od, ok := tbl.SegmentOwners(seg)
+					if !ok {
+						t.Fatalf("domain=%d seed=%d step %d: no dictionary for segment %d", domain, seed, step, seg)
+					}
+					owner := row[0]
+					if owner.IsNull() {
+						if !od.HasNulls() {
+							t.Fatalf("domain=%d seed=%d step %d: segment %d holds a NULL owner the dictionary missed", domain, seed, step, seg)
+						}
+						return true
+					}
+					if !od.MayContainValue(owner) {
+						t.Fatalf("domain=%d seed=%d step %d: segment %d dictionary lost live owner %v", domain, seed, step, seg, owner)
+					}
+					if od.DisjointFrom([]int64{owner.I}) {
+						t.Fatalf("domain=%d seed=%d step %d: DisjointFrom contradicts live owner %v", domain, seed, step, seg)
+					}
+					return true
+				})
+			}
+			for step := 0; step < 400; step++ {
+				switch op := r.Intn(10); {
+				case op < 4: // insert
+					id, err := tbl.Insert(Row{randOwner(), NewInt(int64(step))})
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, id)
+				case op < 6 && len(live) > 0: // delete
+					k := r.Intn(len(live))
+					if err := tbl.Delete(live[k]); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:k], live[k+1:]...)
+				case op < 8 && len(live) > 0: // update (may move the owner)
+					k := r.Intn(len(live))
+					if err := tbl.Update(live[k], Row{randOwner(), NewInt(int64(step))}); err != nil {
+						t.Fatal(err)
+					}
+				case op == 8: // bulk load a small batch
+					batch := make([]Row, 1+r.Intn(2*segSize))
+					for i := range batch {
+						batch[i] = Row{randOwner(), NewInt(int64(step))}
+					}
+					before := tbl.heapLen()
+					if err := tbl.BulkInsert(batch); err != nil {
+						t.Fatal(err)
+					}
+					for i := range batch {
+						live = append(live, RowID(before+i))
+					}
+				default: // compact: rebuilds exact dictionaries, ids shift
+					tbl.Compact()
+					live = live[:0]
+					tbl.Scan(func(id RowID, _ Row) bool {
+						live = append(live, id)
+						return true
+					})
+				}
+				check(step)
+			}
+			// A compact at the end restores exact dictionaries; the
+			// invariant must survive that too.
+			tbl.Compact()
+			check(-1)
+		}
+	}
+}
+
+// heapLen exposes the heap size (live + tombstones) for the property test's
+// bulk-load id accounting.
+func (t *Table) heapLen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
