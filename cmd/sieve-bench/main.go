@@ -17,20 +17,32 @@
 // path is exercised and verified), or driver://dsn for a live server with
 // a compiled-in driver — and reports per-query row parity plus the
 // backend's wire counters.
+//
+// -server boots an in-process sieve-server on a loopback port and runs
+// the examples corpus through the HTTP client against the same queries
+// in process, verifying row parity and reporting per-query p50/p95 for
+// both paths — the protocol's overhead, isolated. Results also land in
+// BENCH_server.json.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"reflect"
+	"sort"
 	"strings"
 	"time"
 
 	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/client"
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/backend/backendtest"
 	"github.com/sieve-db/sieve/internal/experiment"
+	"github.com/sieve-db/sieve/internal/server"
 	"github.com/sieve-db/sieve/internal/workload"
 )
 
@@ -72,6 +84,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	micro := flag.Bool("micro", false, "measure the Session/Stmt/Rows execution surface and exit")
 	backendSpec := flag.String("backend", "", "run the examples corpus through a backend (embedded | fake-mysql | fake-postgres | driver://dsn) and exit")
+	serverMode := flag.Bool("server", false, "benchmark the corpus over the wire against an in-process sieve-server, write BENCH_server.json, and exit")
 	workers := flag.Int("workers", 0, "parallel scan workers per engine (0 = NumCPU); adds a scaling dimension to every experiment")
 	flag.Parse()
 
@@ -90,6 +103,13 @@ func main() {
 	}
 	if *backendSpec != "" {
 		if err := runBackendCorpus(*backendSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serverMode {
+		if err := runServerBench(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -200,6 +220,153 @@ func runMicro() error {
 	}
 	full := env.Campus.DB.Counters.TuplesRead
 	fmt.Printf("streaming 10 rows reads %d tuples; materialising reads %d\n", streamed, full)
+	return nil
+}
+
+// serverBenchStat is one corpus query's wire-vs-in-process comparison in
+// BENCH_server.json. Durations are microseconds.
+type serverBenchStat struct {
+	Name     string  `json:"name"`
+	Rows     int     `json:"rows"`
+	LocalP50 float64 `json:"local_p50_us"`
+	LocalP95 float64 `json:"local_p95_us"`
+	WireP50  float64 `json:"wire_p50_us"`
+	WireP95  float64 `json:"wire_p95_us"`
+	Parity   bool    `json:"parity"`
+}
+
+// percentileUS reads the p-th percentile (0..100) of a sorted duration
+// slice in microseconds.
+func percentileUS(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+// runServerBench measures what the network hop costs: the examples
+// corpus through a real sieve-server over loopback TCP — auth, NDJSON
+// encode, HTTP framing, decode — against the identical queries executed
+// in process on the same middleware, with row parity enforced between
+// the two paths before any number is reported.
+func runServerBench() error {
+	demo, err := workload.NewDemo(sieve.MySQL())
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Middleware: demo.M, AllowDemoTokens: true})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	}()
+
+	ctx := context.Background()
+	querier := demo.Querier("auto")
+	inSess := demo.M.NewSession(sieve.Metadata{Querier: querier, Purpose: "analytics"})
+	wireSess, err := client.New("http://"+l.Addr().String(), "demo:"+querier+"|analytics").
+		OpenSession(ctx, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sieve-server on %s, querier %s\n\n", l.Addr(), querier)
+	fmt.Printf("%-22s %6s %10s %10s %10s %10s %7s\n",
+		"query", "rows", "local p50", "local p95", "wire p50", "wire p95", "parity")
+
+	const iters = 15
+	var stats []serverBenchStat
+	parityFailures := 0
+	for _, q := range demo.Campus.CorpusQueries() {
+		base, err := inSess.Execute(ctx, q.SQL)
+		if err != nil {
+			return fmt.Errorf("%s: in-process: %v", q.Name, err)
+		}
+		var want [][]any // nil when empty, like the wire side
+		for _, r := range base.Rows {
+			conv := make([]any, len(r))
+			for j, v := range r {
+				conv[j] = client.FromValue(v)
+			}
+			want = append(want, conv)
+		}
+
+		var local, wire []time.Duration
+		parity := true
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := inSess.Execute(ctx, q.SQL); err != nil {
+				return fmt.Errorf("%s: in-process: %v", q.Name, err)
+			}
+			local = append(local, time.Since(start))
+
+			start = time.Now()
+			rows, err := wireSess.Query(ctx, q.SQL)
+			if err != nil {
+				return fmt.Errorf("%s: wire: %v", q.Name, err)
+			}
+			var got [][]any
+			for rows.Next() {
+				r := rows.Row()
+				cp := make([]any, len(r))
+				copy(cp, r)
+				got = append(got, cp)
+			}
+			if err := rows.Err(); err != nil {
+				return fmt.Errorf("%s: wire: %v", q.Name, err)
+			}
+			rows.Close()
+			wire = append(wire, time.Since(start))
+			if i == 0 && !reflect.DeepEqual(got, want) {
+				parity = false
+				parityFailures++
+			}
+		}
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		sort.Slice(wire, func(i, j int) bool { return wire[i] < wire[j] })
+		st := serverBenchStat{
+			Name: q.Name, Rows: len(base.Rows),
+			LocalP50: percentileUS(local, 50), LocalP95: percentileUS(local, 95),
+			WireP50: percentileUS(wire, 50), WireP95: percentileUS(wire, 95),
+			Parity: parity,
+		}
+		stats = append(stats, st)
+		mark := "ok"
+		if !parity {
+			mark = "DIFF"
+		}
+		fmt.Printf("%-22s %6d %9.0fµ %9.0fµ %9.0fµ %9.0fµ %7s\n",
+			st.Name, st.Rows, st.LocalP50, st.LocalP95, st.WireP50, st.WireP95, mark)
+	}
+
+	out, err := json.MarshalIndent(map[string]any{
+		"iters":   iters,
+		"querier": querier,
+		"queries": stats,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_server.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote BENCH_server.json (%d queries, %d iterations each)\n", len(stats), iters)
+	if parityFailures > 0 {
+		return fmt.Errorf("%d corpus queries diverged between wire and in-process", parityFailures)
+	}
 	return nil
 }
 

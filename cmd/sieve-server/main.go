@@ -1,0 +1,108 @@
+// Command sieve-server runs SIEVE as a stand-alone networked middleware:
+// the demo campus and its policy corpus behind the versioned HTTP/JSON
+// protocol of internal/server, queried with the top-level client package
+// or plain curl.
+//
+//	sieve-server -demo-tokens &
+//	curl -s http://127.0.0.1:8743/healthz
+//	curl -s -H 'Authorization: Bearer demo:profile:staff|analytics' \
+//	     -X POST http://127.0.0.1:8743/v1/sessions -d '{}'
+//
+// Production-shaped deployments list bearer tokens in a file (-tokens)
+// and front a real DBMS through -backend driver://dsn; the demo-token
+// scheme exists so the campus is explorable with zero setup. SIGTERM and
+// SIGINT drain gracefully: /healthz flips to 503, new work is rejected,
+// and in-flight streams get -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	sieve "github.com/sieve-db/sieve"
+	"github.com/sieve-db/sieve/internal/backend"
+	"github.com/sieve-db/sieve/internal/cli"
+	"github.com/sieve-db/sieve/internal/server"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+func main() {
+	fs, opts := cli.ServerFlags()
+	_ = fs.Parse(os.Args[1:])
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(opts *cli.ServerOpts) error {
+	cfg := server.Config{
+		AllowDemoTokens:      opts.DemoTokens,
+		MaxSessionsPerTenant: opts.SessionLimit,
+		MaxConcurrentQueries: opts.MaxQueries,
+		RequestTimeout:       opts.RequestTimeout,
+	}
+	if opts.Tokens != "" {
+		f, err := os.Open(opts.Tokens)
+		if err != nil {
+			return err
+		}
+		cfg.Tokens, err = server.ParseTokens(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if opts.Verbose {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	demo, err := workload.NewDemo(sieve.MySQL())
+	if err != nil {
+		return err
+	}
+	cfg.Middleware = demo.M
+	if opts.Backend != "" && opts.Backend != "embedded" {
+		b, _, err := backend.For(opts.Backend, demo.Campus.DB)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		cfg.Backend = b
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sieve-server listening on http://%s (backend %s, %d policies, querier hint: %s)\n",
+		l.Addr(), opts.Backend, len(demo.Policies), demo.Querier("auto"))
+
+	// SIGTERM/SIGINT starts the drain; a second signal aborts it.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		return err
+	case <-sigCtx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "draining (up to %v)...\n", opts.DrainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain deadline passed; connections closed: %v\n", err)
+		}
+		return <-done
+	}
+}

@@ -8,6 +8,7 @@ package cli
 import (
 	"flag"
 	"strings"
+	"time"
 )
 
 // RewriteOpts are sieve-rewrite's parsed flags.
@@ -80,6 +81,47 @@ func ExplainFlags(defaultQuery string) (*flag.FlagSet, *ExplainOpts) {
 	return fs, opts
 }
 
+// ServerOpts are sieve-server's parsed flags.
+type ServerOpts struct {
+	Addr           string
+	Tokens         string
+	DemoTokens     bool
+	Backend        string
+	RequestTimeout time.Duration
+	DrainTimeout   time.Duration
+	MaxQueries     int
+	SessionLimit   int
+	Verbose        bool
+}
+
+// serverIntro is the header line of sieve-server's usage text.
+const serverIntro = `Usage: sieve-server [flags]
+
+Serves the demo campus behind SIEVE's policy-enforcing middleware over a
+versioned HTTP/JSON protocol: bearer-token sessions, streamed NDJSON
+results, server-side prepared statements, policy administration, and a
+graceful SIGTERM drain. See docs/server.md for the protocol.
+
+Flags:
+`
+
+// ServerFlags builds sieve-server's flag set bound to an options struct.
+func ServerFlags() (*flag.FlagSet, *ServerOpts) {
+	opts := &ServerOpts{}
+	fs := flag.NewFlagSet("sieve-server", flag.ExitOnError)
+	fs.StringVar(&opts.Addr, "addr", "127.0.0.1:8743", "listen address")
+	fs.StringVar(&opts.Tokens, "tokens", "", "token file: one 'token querier [purpose|-] [admin]' per line")
+	fs.BoolVar(&opts.DemoTokens, "demo-tokens", false, "accept 'demo:<querier>[|<purpose>][|admin]' bearer tokens (INSECURE, demos only)")
+	fs.StringVar(&opts.Backend, "backend", "embedded", "execution backend: embedded | fake-mysql | fake-postgres | driver://dsn")
+	fs.DurationVar(&opts.RequestTimeout, "request-timeout", 30*time.Second, "per-query execution deadline, streaming included (0 = none)")
+	fs.DurationVar(&opts.DrainTimeout, "drain-timeout", 15*time.Second, "SIGTERM: how long in-flight requests may finish before connections close")
+	fs.IntVar(&opts.MaxQueries, "max-queries", 64, "concurrent query cap across all sessions (0 = unlimited)")
+	fs.IntVar(&opts.SessionLimit, "session-limit", 0, "open sessions allowed per querier (0 = unlimited)")
+	fs.BoolVar(&opts.Verbose, "v", false, "log one structured line per request to stderr")
+	setUsage(fs, serverIntro)
+	return fs, opts
+}
+
 // setUsage points the flag set's -h output at UsageText.
 func setUsage(fs *flag.FlagSet, intro string) {
 	fs.Usage = func() {
@@ -110,4 +152,10 @@ func RewriteUsage() string {
 func ExplainUsage(defaultQuery string) string {
 	fs, _ := ExplainFlags(defaultQuery)
 	return usageText(fs, explainIntro)
+}
+
+// ServerUsage returns the exact text `sieve-server -h` prints.
+func ServerUsage() string {
+	fs, _ := ServerFlags()
+	return usageText(fs, serverIntro)
 }

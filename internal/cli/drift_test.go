@@ -26,6 +26,7 @@ func TestUsageDocsDrift(t *testing.T) {
 	want := map[string]string{
 		"sieve-rewrite": RewriteUsage(),
 		"sieve-explain": ExplainUsage("SELECT * FROM " + workload.TableWiFi),
+		"sieve-server":  ServerUsage(),
 	}
 	found := map[string]int{}
 

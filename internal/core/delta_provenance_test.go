@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// TestDeltaArmRefutedAtPlanTime is the middleware-level regression test
+// for Δ provenance reaching planAccess. The fixture is engineered so the
+// chosen guard is a condition guard (loc = 7) whose partition spans 12
+// owners and exceeds the Δ threshold, while neither the guard predicate
+// (loc is scattered, every segment hull covers 7) nor sarg extraction
+// (the Δ call is an opaque UDF invocation) can refute anything. Before Δ
+// provenance the scan read every segment; with it, the partition's owner
+// set refutes every second-half segment through its owner dictionary —
+// the hulls [2,40] cover owners 4..15, so only the dictionaries are
+// decisive.
+func TestDeltaArmRefutedAtPlanTime(t *testing.T) {
+	db := engine.New(engine.MySQL())
+	db.UDFOverheadIters = 0
+	schema := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "loc", Type: storage.KindInt},
+	)
+	tbl, err := db.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1024
+	rows := make([]storage.Row, 0, n)
+	for i := 0; i < n; i++ {
+		var owner int64
+		if i < n/2 {
+			owner = int64(i % 16) // first half: owners 0..15 in every segment
+		} else {
+			owner = 2 + int64(i%2)*38 // second half: owners {2,40} only
+		}
+		rows = append(rows, storage.Row{
+			storage.NewInt(int64(i)), storage.NewInt(owner), storage.NewInt(int64(i % 64)),
+		})
+	}
+	if err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetSegmentSize(64)
+	for _, col := range []string{"owner", "loc"} {
+		if err := db.CreateIndex("t", col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store, err := policy.NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 owners, one policy each, all sharing the loc = 7 condition: the
+	// shared condition guard covers all 12 with one index retrieval and
+	// wins the utility ranking over 12 per-owner guards.
+	var ps []*policy.Policy
+	for o := int64(4); o <= 15; o++ {
+		ps = append(ps, &policy.Policy{
+			Owner: o, Querier: "alice", Purpose: "analytics", Relation: "t", Action: policy.Allow,
+			Conditions: []policy.ObjectCondition{policy.Compare("loc", sqlparser.CmpEq, storage.NewInt(7))},
+		})
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(store, WithDeltaThreshold(5), WithForcedStrategy(LinearScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	sess := m.NewSession(policy.Metadata{Querier: "alice", Purpose: "analytics"})
+	_, rep, err := sess.Rewrite("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != 1 || rep.Decisions[0].DeltaGuards != 1 {
+		t.Fatalf("fixture must produce exactly one Δ guard, got %+v", rep.Decisions)
+	}
+
+	db.ResetCounters()
+	res, err := sess.Execute(context.Background(), "SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only first-half rows with loc = 7 and owner in 4..15 qualify; i%64==7
+	// implies i%16==7, so each first-half loc=7 row has owner 7.
+	if len(res.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(res.Rows))
+	}
+	c := db.CountersSnapshot()
+	total := tbl.SegmentCount()
+	if int(c.SegmentsPruned) != total/2 || int(c.OwnerDictPruned) != total/2 {
+		t.Fatalf("Δ provenance must owner-dict prune the %d second-half segments, got pruned=%d dict=%d",
+			total/2, c.SegmentsPruned, c.OwnerDictPruned)
+	}
+	if int(c.SegmentsScanned) != total/2 {
+		t.Fatalf("scanned %d segments, want %d", c.SegmentsScanned, total/2)
+	}
+
+	// Soundness cross-check: the pruned result matches what the guard
+	// partition's policies allow row-by-row (pure policy evaluation,
+	// independent of the rewrite and the pruning).
+	compiled, err := policy.CompileSet(ps, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	tbl.Scan(func(_ storage.RowID, r storage.Row) bool {
+		ok, _, err := compiled.EvalFirstMatch(r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			want++
+		}
+		return true
+	})
+	if want != len(res.Rows) {
+		t.Fatalf("oracle allows %d rows, query returned %d", want, len(res.Rows))
+	}
+}

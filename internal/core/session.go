@@ -6,6 +6,7 @@ import (
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
 )
 
 // Session is the unit of per-user query state: it binds one querier
@@ -101,14 +102,45 @@ func (s *Session) RewriteSQL(sql, dialect string, opts ...engine.EmitOption) (*e
 	return e.Emit(stmt, rep.GuardedCTEs)
 }
 
+// QueryArgs is Query with inbound bind arguments: placeholders (`?`) in
+// sql are resolved to args before the policy rewrite, so pushable
+// conjuncts and index sargs see real literals — exactly as if the caller
+// had inlined them. The argument count must match the placeholder count.
+func (s *Session) QueryArgs(ctx context.Context, sql string, args []storage.Value) (*engine.Rows, error) {
+	stmt, _, err := s.rewriteArgs(sql, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.db.StreamStmt(ctx, stmt)
+}
+
+// ExecuteArgs is Execute with inbound bind arguments (see QueryArgs).
+func (s *Session) ExecuteArgs(ctx context.Context, sql string, args []storage.Value) (*engine.Result, error) {
+	stmt, _, err := s.rewriteArgs(sql, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.db.QueryStmtCtx(ctx, stmt)
+}
+
 // Prepare parses sql once for repeated execution through this session
 // (or any other session on the same middleware).
 func (s *Session) Prepare(sql string) (*Stmt, error) { return s.m.Prepare(sql) }
 
 func (s *Session) rewrite(sql string) (*sqlparser.SelectStmt, *Report, error) {
+	return s.rewriteArgs(sql, nil)
+}
+
+// rewriteArgs parses, binds placeholders (erroring on a count mismatch,
+// including args given to a placeholder-free statement), and rewrites.
+func (s *Session) rewriteArgs(sql string, args []storage.Value) (*sqlparser.SelectStmt, *Report, error) {
 	parsed, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.m.rewriteParsed(parsed, s.qm)
+	bound, err := sqlparser.BindStmt(parsed, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.m.rewriteParsed(bound, s.qm)
 }

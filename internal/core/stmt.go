@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
 )
 
 // Stmt is a prepared query: the SQL is parsed once, and the policy
@@ -18,9 +20,10 @@ import (
 // prepared statement can never serve rows under stale policies. A Stmt
 // is safe for concurrent use by multiple Sessions.
 type Stmt struct {
-	m   *Middleware
-	sql string
-	ast *sqlparser.SelectStmt
+	m        *Middleware
+	sql      string
+	ast      *sqlparser.SelectStmt
+	numInput int // placeholders in ast, counted once at Prepare
 
 	mu    sync.Mutex
 	plans map[planKey]*preparedPlan
@@ -53,11 +56,22 @@ func (m *Middleware) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{m: m, sql: sql, ast: ast, plans: make(map[planKey]*preparedPlan)}, nil
+	return &Stmt{
+		m:        m,
+		sql:      sql,
+		ast:      ast,
+		numInput: sqlparser.NumPlaceholders(ast),
+		plans:    make(map[planKey]*preparedPlan),
+	}, nil
 }
 
 // SQL returns the statement's original text.
 func (st *Stmt) SQL() string { return st.sql }
+
+// NumInput returns the number of bind placeholders (`?`) the statement
+// declares. A statement with placeholders must run through QueryArgs or
+// ExecuteArgs.
+func (st *Stmt) NumInput() int { return st.numInput }
 
 // Query runs the prepared statement for the session, streaming the
 // result. The cached rewritten plan for the session's (querier, purpose)
@@ -79,6 +93,54 @@ func (st *Stmt) Execute(ctx context.Context, s *Session) (*engine.Result, error)
 		return nil, err
 	}
 	return st.m.db.QueryStmtCtx(ctx, p.stmt)
+}
+
+// QueryArgs runs the prepared statement with bind arguments, streaming
+// the result. Placeholders are bound against the pristine parse before
+// the policy rewrite, so each execution is rewritten with its literals in
+// place; the parse is still amortised across calls, but the per-(querier,
+// purpose) plan cache only serves placeholder-free statements — bound
+// literals differ per call.
+func (st *Stmt) QueryArgs(ctx context.Context, s *Session, args []storage.Value) (*engine.Rows, error) {
+	if st.numInput == 0 && len(args) == 0 {
+		return st.Query(ctx, s)
+	}
+	stmt, err := st.bindRewrite(s.qm, args)
+	if err != nil {
+		return nil, err
+	}
+	return st.m.db.StreamStmt(ctx, stmt)
+}
+
+// ExecuteArgs runs the prepared statement with bind arguments and
+// materialises the result (see QueryArgs).
+func (st *Stmt) ExecuteArgs(ctx context.Context, s *Session, args []storage.Value) (*engine.Result, error) {
+	if st.numInput == 0 && len(args) == 0 {
+		return st.Execute(ctx, s)
+	}
+	stmt, err := st.bindRewrite(s.qm, args)
+	if err != nil {
+		return nil, err
+	}
+	return st.m.db.QueryStmtCtx(ctx, stmt)
+}
+
+// bindRewrite binds args against the pristine AST (BindStmt deep-copies,
+// so st.ast stays reusable) and policy-rewrites the bound statement.
+func (st *Stmt) bindRewrite(qm policy.Metadata, args []storage.Value) (*sqlparser.SelectStmt, error) {
+	bound, err := sqlparser.BindStmt(st.ast, args)
+	if err != nil {
+		return nil, err
+	}
+	if bound == st.ast { // zero placeholders: rewrite must not mutate the pristine parse
+		bound = sqlparser.CloneStmt(st.ast)
+	}
+	stmt, _, err := st.m.rewriteParsed(bound, qm)
+	if err != nil {
+		return nil, err
+	}
+	st.rewrites.Add(1)
+	return stmt, nil
 }
 
 // Report returns the decision report of the session's current cached
@@ -151,6 +213,9 @@ const maxCachedPlans = 1024
 // mid-rewrite the stored stamp no longer matches and the next call
 // rewrites again, so staleness never outlives the racing change.
 func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, error) {
+	if st.numInput > 0 {
+		return nil, fmt.Errorf("core: statement has %d placeholder(s); run it with QueryArgs/ExecuteArgs", st.numInput)
+	}
 	key := planKey{querier: qm.Querier, purpose: qm.Purpose}
 	cur := st.m.Epoch()
 	st.mu.Lock()

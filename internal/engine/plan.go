@@ -252,7 +252,7 @@ func orBranches(db *DB, t *storage.Table, ref string, e sqlparser.Expr, allowed 
 func planAccess(db *DB, t *storage.Table, ref string, conjuncts []sqlparser.Expr, hint *sqlparser.IndexHint) accessPlan {
 	n := float64(t.NumRows())
 	seq := accessPlan{Kind: AccessSeq, EstSel: 1}
-	seq.zonePreds, seq.zoneCols = compileZonePreds(conjuncts, ref, t.Schema)
+	seq.zonePreds, seq.zoneCols = compileZonePreds(db, conjuncts, ref, t.Schema)
 	if n == 0 {
 		return seq
 	}

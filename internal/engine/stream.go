@@ -133,6 +133,13 @@ func (r *Rows) Scan(dest ...any) error {
 // cancellation surfaces here as the context's error.
 func (r *Rows) Err() error { return r.err }
 
+// Counters returns a snapshot of this query's private work counters
+// (tuples read, segments pruned, policy evaluations, …) accumulated so
+// far. The same counters merge into the DB accumulators when the Rows is
+// released, so the snapshot attributes work to one query without racing
+// concurrent sessions.
+func (r *Rows) Counters() Counters { return r.ex.local }
+
 // Close stops iteration and releases the underlying scan. It is
 // idempotent and safe after exhaustion.
 func (r *Rows) Close() error {

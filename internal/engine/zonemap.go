@@ -46,8 +46,10 @@ type zoneNode struct {
 }
 
 // zoneCompiler interns referenced columns into compact slots so the scan
-// fetches each segment's zones with one lock acquisition.
+// fetches each segment's zones with one lock acquisition. db (optional)
+// supplies Δ-resolver provenance for UDF-call conjuncts.
 type zoneCompiler struct {
+	db     *DB
 	ref    string
 	schema *storage.Schema
 	cols   []int // schema column offsets, deduped
@@ -117,7 +119,71 @@ func (zc *zoneCompiler) compile(e sqlparser.Expr) (zoneNode, bool) {
 		}
 		return n, true
 	}
+	if n, ok := zc.compileDelta(e); ok {
+		return n, true
+	}
 	return zoneNode{}, false
+}
+
+// maxDeltaZonePoints bounds the owner set a Δ leaf enumerates: testing a
+// segment costs O(points), so a partition wider than this stays
+// unrefutable rather than taxing every segment of every scan.
+const maxDeltaZonePoints = 4096
+
+// compileDelta recognises a Δ-call arm — `udf(setID, …) = TRUE`, the
+// shape SIEVE emits for partitions past the Δ threshold (§5.4) — and,
+// when a DeltaResolver is registered for the UDF, lowers it to an
+// owner-equality leaf over the partition's owner set. The resolver's
+// contract (the call implies ownerCol IN owners) is what makes the
+// refutation sound; min/max zones and the segment owner dictionary then
+// prune exactly as they would for an explicit IN list.
+func (zc *zoneCompiler) compileDelta(e sqlparser.Expr) (zoneNode, bool) {
+	if zc.db == nil {
+		return zoneNode{}, false
+	}
+	cmp, ok := e.(*sqlparser.CompareExpr)
+	if !ok || cmp.Op != sqlparser.CmpEq {
+		return zoneNode{}, false
+	}
+	call, _ := cmp.L.(*sqlparser.FuncCall)
+	lit, _ := cmp.R.(*sqlparser.Literal)
+	if call == nil { // flipped: TRUE = udf(...)
+		call, _ = cmp.R.(*sqlparser.FuncCall)
+		lit, _ = cmp.L.(*sqlparser.Literal)
+	}
+	if call == nil || lit == nil || lit.Val.K != storage.KindBool || lit.Val.I == 0 {
+		return zoneNode{}, false
+	}
+	if len(call.Args) == 0 {
+		return zoneNode{}, false
+	}
+	idLit, ok := call.Args[0].(*sqlparser.Literal)
+	if !ok || idLit.Val.K != storage.KindInt {
+		return zoneNode{}, false
+	}
+	resolve, ok := zc.db.deltaResolverFor(call.Name)
+	if !ok {
+		return zoneNode{}, false
+	}
+	ownerCol, owners, ok := resolve(idLit.Val.I)
+	if !ok || len(owners) == 0 || len(owners) > maxDeltaZonePoints {
+		return zoneNode{}, false
+	}
+	ci := zc.schema.ColumnIndex(ownerCol)
+	if ci < 0 {
+		return zoneNode{}, false
+	}
+	pts := make([]storage.Value, len(owners))
+	for i, id := range owners {
+		pts[i] = storage.NewInt(id)
+	}
+	return zoneNode{
+		op:        zoneLeaf,
+		slot:      zc.slotFor(ownerCol),
+		s:         sarg{col: ownerCol, points: pts},
+		schemaCol: ci,
+		pts64:     owners,
+	}, true
 }
 
 // segMeta carries one segment's refutation inputs: the interned zone maps
@@ -180,9 +246,9 @@ func (n *zoneNode) refuted(m *segMeta) (refuted, usedDict bool) {
 
 // compileZonePreds compiles the scan's conjuncts into refutation trees plus
 // the schema column offsets their leaves reference. An empty tree list
-// means the scan cannot prune.
-func compileZonePreds(conjs []sqlparser.Expr, ref string, schema *storage.Schema) ([]zoneNode, []int) {
-	zc := &zoneCompiler{ref: ref, schema: schema, slots: make(map[int]int)}
+// means the scan cannot prune. db may be nil (no Δ-resolver lowering).
+func compileZonePreds(db *DB, conjs []sqlparser.Expr, ref string, schema *storage.Schema) ([]zoneNode, []int) {
+	zc := &zoneCompiler{db: db, ref: ref, schema: schema, slots: make(map[int]int)}
 	var nodes []zoneNode
 	for _, cj := range conjs {
 		if n, ok := zc.compile(cj); ok {

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Principal is what a bearer token resolves to: the querier identity the
+// paper's query metadata carries (§3.2), an optional pinned purpose, and
+// whether the token may administer policies. Authentication happens at
+// the wire; authorization stays where SIEVE puts it — in the policy
+// corpus the rewrite enforces. A querier with no policies is simply
+// default-denied by the guarded expression, not rejected at the door.
+type Principal struct {
+	Querier string
+	// Purpose pins the Pur-BAC purpose sessions under this token may
+	// declare; empty lets the session choose per OpenSessionRequest.
+	Purpose string
+	// Admin permits POST/DELETE /v1/policies.
+	Admin bool
+}
+
+// ParseTokens reads the static token table, one grant per line:
+//
+//	<token> <querier> [purpose|-] [admin]
+//
+// '-' (or omission) leaves the purpose unpinned. Blank lines and lines
+// starting with '#' are ignored. Duplicate tokens are an error — silently
+// keeping either grant would make the file's meaning order-dependent.
+func ParseTokens(r io.Reader) (map[string]Principal, error) {
+	out := make(map[string]Principal)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("server: tokens line %d: want 'token querier [purpose|-] [admin]', got %d fields", line, len(fields))
+		}
+		p := Principal{Querier: fields[1]}
+		rest := fields[2:]
+		if len(rest) > 0 && rest[len(rest)-1] == "admin" {
+			p.Admin = true
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) > 1 {
+			return nil, fmt.Errorf("server: tokens line %d: trailing field %q (only 'admin' may follow the purpose)", line, rest[1])
+		}
+		if len(rest) == 1 && rest[0] != "-" {
+			p.Purpose = rest[0]
+		}
+		if _, dup := out[fields[0]]; dup {
+			return nil, fmt.Errorf("server: tokens line %d: duplicate token", line)
+		}
+		out[fields[0]] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// demoToken resolves the development-only bearer scheme
+// `demo:<querier>[|<purpose>][|admin]`, enabled by Config.AllowDemoTokens
+// so the demo campus is explorable without a token file. The optional
+// fields are '|'-separated because querier names themselves may contain
+// colons (the campus uses "profile:staff", "group:…"). It is an identity
+// assertion, not authentication — never enable it on a server holding
+// real data.
+func demoToken(tok string) (Principal, bool) {
+	rest, ok := strings.CutPrefix(tok, "demo:")
+	if !ok || rest == "" {
+		return Principal{}, false
+	}
+	p := Principal{}
+	if r, found := strings.CutSuffix(rest, "|admin"); found {
+		p.Admin = true
+		rest = r
+	}
+	if i := strings.LastIndex(rest, "|"); i >= 0 {
+		p.Purpose = rest[i+1:]
+		rest = rest[:i]
+	}
+	if rest == "" || strings.Contains(rest, "|") {
+		return Principal{}, false
+	}
+	p.Querier = rest
+	return p, true
+}
+
+// authenticate resolves the request's Authorization header to a
+// principal. Every failure is the same 401 — the response never reveals
+// whether a token exists.
+func (s *Server) authenticate(r *http.Request) (Principal, bool) {
+	h := r.Header.Get("Authorization")
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || tok == "" {
+		return Principal{}, false
+	}
+	if p, ok := s.cfg.Tokens[tok]; ok {
+		return p, true
+	}
+	if s.cfg.AllowDemoTokens {
+		if p, ok := demoToken(tok); ok {
+			return p, true
+		}
+	}
+	return Principal{}, false
+}

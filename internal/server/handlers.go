@@ -1,0 +1,426 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/backend"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// routes wires the protocol onto the mux (Go 1.22 method+wildcard
+// patterns).
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleOpenSession))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.withSession(s.handleCloseSession)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.auth(s.withSession(s.handleQuery)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/rewrite", s.auth(s.withSession(s.handleRewrite)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/prepare", s.auth(s.withSession(s.handlePrepare)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/stmts/{sid}/query", s.auth(s.withSession(s.handleStmtQuery)))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}/stmts/{sid}", s.auth(s.withSession(s.handleStmtClose)))
+	s.mux.HandleFunc("POST /v1/policies", s.auth(s.handleAddPolicy))
+	s.mux.HandleFunc("DELETE /v1/policies/{id}", s.auth(s.handleRevokePolicy))
+}
+
+// jsonError writes the protocol's uniform error body.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// jsonOK writes a 200 JSON body.
+func jsonOK(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// readJSON decodes a request body, rejecting trailing garbage and bodies
+// over 1 MiB (policies and statements are small; row data never flows
+// client→server).
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// authedHandler is a handler that has passed bearer authentication.
+type authedHandler func(w http.ResponseWriter, r *http.Request, prin Principal)
+
+// auth authenticates the request, counts it, and logs its completion.
+func (s *Server) auth(h authedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.vz.Requests.Add(1)
+		prin, ok := s.authenticate(r)
+		if !ok {
+			s.vz.AuthFailures.Add(1)
+			jsonError(w, http.StatusUnauthorized, "missing or unknown bearer token")
+			return
+		}
+		start := time.Now()
+		h(w, r, prin)
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"querier", prin.Querier, "dur", time.Since(start))
+	}
+}
+
+// withSession resolves the {id} path wildcard to the caller's live
+// session.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *liveSession)) authedHandler {
+	return func(w http.ResponseWriter, r *http.Request, prin Principal) {
+		ls, ok := s.lookupSession(r.PathValue("id"), prin)
+		if !ok {
+			jsonError(w, http.StatusNotFound, "no such session")
+			return
+		}
+		h(w, r, ls)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := HealthResponse{Status: "ok", Backend: s.backendName(), Sessions: s.vz.SessionsOpen.Load()}
+	if s.draining.Load() {
+		body.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(body)
+		return
+	}
+	jsonOK(w, body)
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	ec := s.m.DB().CountersSnapshot()
+	jsonOK(w, map[string]int64{
+		"requests_total":           s.vz.Requests.Load(),
+		"auth_failures":            s.vz.AuthFailures.Load(),
+		"queries_total":            s.vz.Queries.Load(),
+		"rows_streamed":            s.vz.RowsStreamed.Load(),
+		"early_disconnects":        s.vz.EarlyDisconnects.Load(),
+		"rejected_draining":        s.vz.RejectedDraining.Load(),
+		"rejected_limit":           s.vz.RejectedLimit.Load(),
+		"sessions_opened":          s.vz.SessionsOpened.Load(),
+		"sessions_open":            s.vz.SessionsOpen.Load(),
+		"stmts_prepared":           s.vz.StmtsPrepared.Load(),
+		"policy_changes":           s.vz.PolicyChanges.Load(),
+		"policy_epoch":             int64(s.m.Epoch()),
+		"engine_tuples_read":       ec.TuplesRead,
+		"engine_segments_pruned":   ec.SegmentsPruned,
+		"engine_owner_dict_pruned": ec.OwnerDictPruned,
+		"engine_policy_evals":      ec.PolicyEvals,
+	})
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request, prin Principal) {
+	if s.draining.Load() {
+		s.vz.RejectedDraining.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req OpenSessionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ls, err := s.openSession(prin, req.Purpose)
+	if err != nil {
+		code := http.StatusBadRequest
+		if s.cfg.MaxSessionsPerTenant > 0 {
+			// openSession's only post-validation failure is the cap.
+			s.mu.Lock()
+			capped := s.perTenant[prin.Querier] >= s.cfg.MaxSessionsPerTenant
+			s.mu.Unlock()
+			if capped {
+				code = http.StatusTooManyRequests
+				s.vz.RejectedLimit.Add(1)
+			}
+		}
+		jsonError(w, code, "%v", err)
+		return
+	}
+	md := ls.sess.Metadata()
+	jsonOK(w, OpenSessionResponse{SessionID: ls.id, Querier: md.Querier, Purpose: md.Purpose})
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	s.closeSession(ls)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	var req QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	args, err := DecodeArgs(req.Args)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.streamQuery(w, r, func(ctx context.Context) (rowStream, error) {
+		if s.cfg.Backend != nil {
+			if len(args) > 0 {
+				return nil, fmt.Errorf("placeholder arguments need the embedded backend; %s executes each emission's own args", s.backendName())
+			}
+			return backend.SessionQuery(ctx, s.cfg.Backend, ls.sess, req.SQL)
+		}
+		return ls.sess.QueryArgs(ctx, req.SQL, args)
+	})
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	var req RewriteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Dialect == "" || req.Dialect == "sieve" {
+		sql, _, err := ls.sess.Rewrite(req.SQL)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		jsonOK(w, RewriteResponse{SQL: sql})
+		return
+	}
+	em, err := ls.sess.RewriteSQL(req.SQL, req.Dialect)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := RewriteResponse{SQL: em.SQL}
+	for _, a := range em.Args {
+		out.Args = append(out.Args, EncodeValue(a))
+	}
+	jsonOK(w, out)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	if s.draining.Load() {
+		s.vz.RejectedDraining.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req PrepareRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	st, err := ls.sess.Prepare(req.SQL)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := ls.prepare(st)
+	s.vz.StmtsPrepared.Add(1)
+	jsonOK(w, PrepareResponse{StmtID: id, NumInput: st.NumInput()})
+}
+
+func (s *Server) handleStmtQuery(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	st, ok := ls.stmt(r.PathValue("sid"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no such prepared statement")
+		return
+	}
+	var req StmtQueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	args, err := DecodeArgs(req.Args)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.streamQuery(w, r, func(ctx context.Context) (rowStream, error) {
+		if s.cfg.Backend != nil {
+			if len(args) > 0 {
+				return nil, fmt.Errorf("placeholder arguments need the embedded backend; %s executes each emission's own args", s.backendName())
+			}
+			return backend.StmtQuery(ctx, s.cfg.Backend, ls.sess, st)
+		}
+		return st.QueryArgs(ctx, ls.sess, args)
+	})
+}
+
+func (s *Server) handleStmtClose(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	if !ls.dropStmt(r.PathValue("sid")) {
+		jsonError(w, http.StatusNotFound, "no such prepared statement")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// rowStream is the common pull surface of engine.Rows and backend.Rows.
+type rowStream interface {
+	Columns() []string
+	Next() bool
+	Row() storage.Row
+	Err() error
+	Close() error
+}
+
+// streamQuery runs one query and streams its result as NDJSON: a columns
+// line, one line per row, then a terminal done/error line. Flushes are
+// batched so a large result does not pay a syscall per row, but the
+// columns line flushes immediately — a client learns its query was
+// accepted before the first row materialises.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ctx context.Context) (rowStream, error)) {
+	if s.draining.Load() {
+		s.vz.RejectedDraining.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	release, ok := s.acquireQuerySlot(ctx)
+	if !ok {
+		s.vz.RejectedLimit.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "query queue wait exceeded the request deadline")
+		return
+	}
+	defer release()
+	s.vz.Queries.Add(1)
+
+	rows, err := run(ctx)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(StreamLine{Columns: rows.Columns()}); err != nil {
+		s.vz.EarlyDisconnects.Add(1)
+		return
+	}
+	flush()
+
+	var n int64
+	for rows.Next() {
+		if err := enc.Encode(StreamLine{Row: EncodeRow(rows.Row())}); err != nil {
+			// The write side failed: the client went away. Closing rows
+			// stops the scan so abandoned queries do not finish for an
+			// audience of nobody.
+			s.vz.EarlyDisconnects.Add(1)
+			return
+		}
+		n++
+		if n%64 == 0 {
+			flush()
+		}
+	}
+	s.vz.RowsStreamed.Add(n)
+	if err := rows.Err(); err != nil {
+		if ctx.Err() != nil && r.Context().Err() != nil {
+			// The request context died first: a disconnect, not a query
+			// error worth a terminal line nobody will read.
+			s.vz.EarlyDisconnects.Add(1)
+			return
+		}
+		_ = enc.Encode(StreamLine{Error: err.Error()})
+		flush()
+		return
+	}
+	done := StreamLine{Done: true, Rows: n}
+	if er, ok := rows.(*engine.Rows); ok {
+		c := er.Counters()
+		done.Counters = &StreamCounters{
+			TuplesRead:      c.TuplesRead,
+			SegmentsScanned: c.SegmentsScanned,
+			SegmentsPruned:  c.SegmentsPruned,
+			OwnerDictPruned: c.OwnerDictPruned,
+			PolicyEvals:     c.PolicyEvals,
+			UDFInvocations:  c.UDFInvocations,
+		}
+		s.log.Info("query",
+			"rows", n, "tuples_read", c.TuplesRead,
+			"segments_pruned", c.SegmentsPruned, "policy_evals", c.PolicyEvals)
+	}
+	_ = enc.Encode(done)
+	flush()
+}
+
+// cmpOps maps the protocol's condition operators to the parser's.
+var cmpOps = map[string]sqlparser.CmpOp{
+	"=": sqlparser.CmpEq, "!=": sqlparser.CmpNe,
+	"<": sqlparser.CmpLt, "<=": sqlparser.CmpLe,
+	">": sqlparser.CmpGt, ">=": sqlparser.CmpGe,
+}
+
+func (s *Server) handleAddPolicy(w http.ResponseWriter, r *http.Request, prin Principal) {
+	if !prin.Admin {
+		jsonError(w, http.StatusForbidden, "policy administration needs an admin token")
+		return
+	}
+	var req PolicyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	action := policy.Allow
+	if req.Action != "" {
+		action = policy.Action(req.Action)
+	}
+	p := &policy.Policy{
+		Owner: req.Owner, Querier: req.Querier, Purpose: req.Purpose,
+		Relation: req.Relation, Action: action,
+	}
+	for i, c := range req.Conditions {
+		op, ok := cmpOps[c.Op]
+		if !ok {
+			jsonError(w, http.StatusBadRequest, "condition %d: unknown operator %q", i+1, c.Op)
+			return
+		}
+		v, err := DecodeValue(c.Value)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "condition %d: %v", i+1, err)
+			return
+		}
+		p.Conditions = append(p.Conditions, policy.Compare(c.Attr, op, v))
+	}
+	if err := s.m.AddPolicy(p); err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.vz.PolicyChanges.Add(1)
+	jsonOK(w, PolicyResponse{ID: p.ID})
+}
+
+func (s *Server) handleRevokePolicy(w http.ResponseWriter, r *http.Request, prin Principal) {
+	if !prin.Admin {
+		jsonError(w, http.StatusForbidden, "policy administration needs an admin token")
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad policy id %q", r.PathValue("id"))
+		return
+	}
+	if err := s.m.RevokePolicy(id); err != nil {
+		jsonError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.vz.PolicyChanges.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -235,6 +235,16 @@ type FuncCall struct {
 	Distinct bool
 }
 
+// Placeholder is an inbound bind parameter (`?`). Idx is the 1-based
+// ordinal in lexical order across the whole statement. Placeholders exist
+// only between Parse and BindStmt: the policy rewrite and the engine both
+// require literal values (pushable conjuncts and sargs are extracted from
+// constants), so binding happens before rewriting and an unbound
+// placeholder reaching evaluation is an error.
+type Placeholder struct {
+	Idx int
+}
+
 // SubqueryExpr is a scalar subquery used as a value.
 type SubqueryExpr struct {
 	Select *SelectStmt
@@ -246,6 +256,7 @@ type ExistsExpr struct {
 }
 
 func (*Literal) exprNode()      {}
+func (*Placeholder) exprNode()  {}
 func (*ColRef) exprNode()       {}
 func (*BinaryExpr) exprNode()   {}
 func (*CompareExpr) exprNode()  {}

@@ -1,0 +1,111 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// TestPlaceholderParseRoundTrip checks `?` lexes, parses to ordinal
+// Placeholder nodes, survives clone, and round-trips through Print.
+func TestPlaceholderParseRoundTrip(t *testing.T) {
+	const q = "SELECT a FROM t WHERE a = ? AND b BETWEEN ? AND ? OR c IN (?, ?)"
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumPlaceholders(s); n != 5 {
+		t.Fatalf("NumPlaceholders = %d, want 5", n)
+	}
+	var idxs []int
+	forEachExprRoot(s, func(e Expr) {
+		Walk(e, true, func(x Expr) {
+			if ph, ok := x.(*Placeholder); ok {
+				idxs = append(idxs, ph.Idx)
+			}
+		})
+	})
+	for i, idx := range idxs {
+		if idx != i+1 {
+			t.Fatalf("placeholder ordinals = %v, want 1..5 in lexical order", idxs)
+		}
+	}
+	out := Print(s)
+	if strings.Count(out, "?") != 5 {
+		t.Fatalf("printed %q, want 5 placeholders", out)
+	}
+	re, err := Parse(out)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if NumPlaceholders(re) != 5 {
+		t.Fatal("round-trip lost placeholders")
+	}
+	if NumPlaceholders(CloneStmt(s)) != 5 {
+		t.Fatal("clone lost placeholders")
+	}
+}
+
+// TestBindStmt binds values in ordinal order without mutating the input,
+// and rejects arity mismatches.
+func TestBindStmt(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE a = ? AND b < ?")
+	bound, err := BindStmt(s, []storage.Value{storage.NewInt(7), storage.NewString("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Print(bound); got != "SELECT a FROM t WHERE a = 7 AND b < 'x'" {
+		t.Fatalf("bound print = %q", got)
+	}
+	if NumPlaceholders(s) != 2 {
+		t.Fatal("BindStmt mutated its input")
+	}
+	if _, err := BindStmt(s, []storage.Value{storage.NewInt(7)}); err == nil {
+		t.Fatal("missing arg accepted")
+	}
+	if _, err := BindStmt(MustParse("SELECT a FROM t"), []storage.Value{storage.NewInt(7)}); err == nil {
+		t.Fatal("surplus arg accepted")
+	}
+	// No placeholders, no args: input returned as-is, no clone.
+	plain := MustParse("SELECT a FROM t")
+	same, err := BindStmt(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != plain {
+		t.Fatal("placeholder-free statement should pass through unchanged")
+	}
+}
+
+// TestBindStmtNested reaches placeholders inside subqueries, derived
+// tables, CTEs and set-operation arms.
+func TestBindStmtNested(t *testing.T) {
+	const q = "WITH w AS (SELECT a FROM t WHERE a > ?) " +
+		"SELECT x FROM (SELECT a AS x FROM t WHERE a < ?) AS d " +
+		"WHERE x IN (SELECT a FROM t WHERE a = ?) " +
+		"UNION SELECT a FROM w WHERE a <> ?"
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumPlaceholders(s); n != 4 {
+		t.Fatalf("NumPlaceholders = %d, want 4", n)
+	}
+	args := []storage.Value{
+		storage.NewInt(1), storage.NewInt(2), storage.NewInt(3), storage.NewInt(4),
+	}
+	bound, err := BindStmt(s, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(bound)
+	if strings.Contains(out, "?") {
+		t.Fatalf("unbound placeholder survives: %q", out)
+	}
+	for _, want := range []string{"a > 1", "a < 2", "a = 3", "a != 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bound output %q missing %q", out, want)
+		}
+	}
+}

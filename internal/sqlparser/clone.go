@@ -12,6 +12,9 @@ func CloneExpr(e Expr) Expr {
 	case *ColRef:
 		c := *x
 		return &c
+	case *Placeholder:
+		c := *x
+		return &c
 	case *BinaryExpr:
 		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
 	case *CompareExpr:

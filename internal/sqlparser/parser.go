@@ -55,6 +55,7 @@ type parser struct {
 	toks  []token
 	pos   int
 	input string
+	nArgs int // placeholders seen so far; assigns 1-based ordinals
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -634,6 +635,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return Col(t.text, col.text), nil
 		}
 		return Col("", t.text), nil
+	case t.kind == tokSymbol && t.text == "?":
+		p.advance()
+		p.nArgs++
+		return &Placeholder{Idx: p.nArgs}, nil
 	case t.kind == tokSymbol && t.text == "(":
 		p.advance()
 		if p.atKeyword("SELECT") || p.atKeyword("WITH") {

@@ -296,6 +296,8 @@ func (p *Printer) expr(e Expr, parent int) {
 	switch x := e.(type) {
 	case *Literal:
 		p.style.Literal(b, x.Val)
+	case *Placeholder:
+		b.WriteString("?")
 	case *ColRef:
 		if x.Table != "" {
 			p.style.Ident(b, x.Table)

@@ -132,7 +132,7 @@ func lex(input string) ([]token, error) {
 				continue
 			}
 			switch c {
-			case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.':
+			case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', '?':
 				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
 				i++
 			default:

@@ -10,19 +10,34 @@ import (
 	"github.com/sieve-db/sieve/internal/core"
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
 )
-
-// errNoPlaceholders rejects parameterised statements: the middleware's
-// parser takes literal SQL; parameterisation happens on the *outbound*
-// side, where the emitters lift literals into Emission.Args for the
-// backend. Inbound placeholder support would require binding args before
-// the policy rewrite, which is future work.
-var errNoPlaceholders = errors.New(
-	"sievesql: placeholder arguments are not supported; inline literals (SIEVE parameterises emissions itself)")
 
 // errNoTransactions: SIEVE enforces read policies; there is nothing to
 // commit.
 var errNoTransactions = errors.New("sievesql: transactions are not supported (SIEVE is a read middleware)")
+
+// bindArgs converts driver named values to engine scalars. Only ordinal
+// (`?`) parameters exist in SIEVE's dialect, so named arguments are
+// rejected; values convert through storage.FromNative, binding args
+// *before* the policy rewrite so guards and sargs see real literals.
+func bindArgs(args []driver.NamedValue) ([]storage.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]storage.Value, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("sievesql: named argument %q not supported; use ordinal ? placeholders", a.Name)
+		}
+		v, err := storage.FromNative(a.Value)
+		if err != nil {
+			return nil, fmt.Errorf("sievesql: argument %d: %w", a.Ordinal, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
 
 // conn is one driver connection: one sieve session. database/sql
 // serialises use of a connection, matching Session's one-goroutine
@@ -82,10 +97,11 @@ func (c *conn) BeginTx(context.Context, driver.TxOptions) (driver.Tx, error) {
 // QueryContext implements driver.QueryerContext: statements run without a
 // prepared-statement round trip, streaming under ctx.
 func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
-	if len(args) > 0 {
-		return nil, errNoPlaceholders
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
 	}
-	r, err := c.session().Query(ctx, query)
+	r, err := c.session().QueryArgs(ctx, query, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -96,10 +112,11 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 // exhaustion and reports the rows it produced as affected — useful for
 // fire-and-count callers; SIEVE has no write path.
 func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
-	if len(args) > 0 {
-		return nil, errNoPlaceholders
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
 	}
-	res, err := c.session().Execute(ctx, query)
+	res, err := c.session().ExecuteArgs(ctx, query, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -116,9 +133,19 @@ func (c *conn) IsValid() bool { return !c.closed }
 // immutable metadata, so reuse is always clean.
 func (c *conn) ResetSession(context.Context) error { return nil }
 
-// CheckNamedValue implements driver.NamedValueChecker only to fail fast
-// with the package's own message instead of the default converter's.
-func (c *conn) CheckNamedValue(*driver.NamedValue) error { return errNoPlaceholders }
+// CheckNamedValue implements driver.NamedValueChecker: arguments are
+// accepted when they convert to an engine scalar, bypassing the default
+// converter (which would reject time-of-day strings and flatten NULL
+// handling we want storage.FromNative to own).
+func (c *conn) CheckNamedValue(nv *driver.NamedValue) error {
+	if nv.Name != "" {
+		return fmt.Errorf("sievesql: named argument %q not supported; use ordinal ? placeholders", nv.Name)
+	}
+	if _, err := storage.FromNative(nv.Value); err != nil {
+		return fmt.Errorf("sievesql: argument %d: %w", nv.Ordinal, err)
+	}
+	return nil
+}
 
 // stmt is a prepared statement: its sieve.Stmt caches the rewritten plan
 // (and per-dialect emissions) per (querier, purpose) across executions
@@ -132,23 +159,35 @@ type stmt struct {
 // and is dropped with it.
 func (s *stmt) Close() error { return nil }
 
-// NumInput implements driver.Stmt: sieve SQL carries no placeholders.
-func (s *stmt) NumInput() int { return 0 }
+// NumInput implements driver.Stmt: the placeholder count from the
+// prepared parse, letting database/sql enforce argument arity.
+func (s *stmt) NumInput() int { return s.st.NumInput() }
+
+// namedValues adapts the positional driver.Value form (the non-Context
+// driver.Stmt entry points) to named values.
+func namedValues(args []driver.Value) []driver.NamedValue {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]driver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}
 
 // Exec implements driver.Stmt.
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	if len(args) > 0 {
-		return nil, errNoPlaceholders
-	}
-	return s.ExecContext(context.Background(), nil)
+	return s.ExecContext(context.Background(), namedValues(args))
 }
 
 // ExecContext implements driver.StmtExecContext.
 func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
-	if len(args) > 0 {
-		return nil, errNoPlaceholders
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
 	}
-	res, err := s.st.Execute(ctx, s.c.session())
+	res, err := s.st.ExecuteArgs(ctx, s.c.session(), vals)
 	if err != nil {
 		return nil, err
 	}
@@ -157,19 +196,17 @@ func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (drive
 
 // Query implements driver.Stmt.
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	if len(args) > 0 {
-		return nil, errNoPlaceholders
-	}
-	return s.QueryContext(context.Background(), nil)
+	return s.QueryContext(context.Background(), namedValues(args))
 }
 
 // QueryContext implements driver.StmtQueryContext: the cached plan
-// streams under ctx.
+// streams under ctx (placeholder statements bind-then-rewrite per call).
 func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
-	if len(args) > 0 {
-		return nil, errNoPlaceholders
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
 	}
-	r, err := s.st.Query(ctx, s.c.session())
+	r, err := s.st.QueryArgs(ctx, s.c.session(), vals)
 	if err != nil {
 		return nil, err
 	}

@@ -242,22 +242,91 @@ func TestScanValue(t *testing.T) {
 	}
 }
 
-// TestUnsupportedSurface pins the clear-error contract for placeholders
-// and transactions.
+// TestUnsupportedSurface pins the clear-error contract for transactions
+// and placeholder arity/name mistakes.
 func TestUnsupportedSurface(t *testing.T) {
 	m, _ := buildMiddleware(t, 4)
 	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "alice", Purpose: "audit"}))
 	defer db.Close()
 
-	if _, err := db.Query("SELECT id FROM events WHERE id = ?", 1); err == nil ||
-		!strings.Contains(err.Error(), "placeholder") {
-		t.Errorf("placeholder query: err = %v", err)
-	}
 	if _, err := db.Begin(); err == nil || !strings.Contains(err.Error(), "transactions") {
 		t.Errorf("Begin: err = %v", err)
 	}
 	if _, err := db.Exec("SELECT id FROM nosuch"); err == nil {
 		t.Error("Exec on a missing relation must error")
+	}
+	// Arity mismatches error cleanly in both directions.
+	if _, err := db.Query("SELECT id FROM events WHERE id = ?"); err == nil ||
+		!strings.Contains(err.Error(), "placeholder") {
+		t.Errorf("missing arg: err = %v", err)
+	}
+	if _, err := db.Query("SELECT id FROM events", 1); err == nil {
+		t.Errorf("surplus arg: err = %v", err)
+	}
+	// Named arguments have no spelling in SIEVE's dialect.
+	if _, err := db.Query("SELECT id FROM events WHERE id = ?", sql.Named("id", 1)); err == nil ||
+		!strings.Contains(err.Error(), "named argument") {
+		t.Errorf("named arg: err = %v", err)
+	}
+}
+
+// TestPlaceholderQueries binds inbound `?` arguments through parse →
+// rewrite → execute: values act exactly like inline literals, policy
+// enforcement included, and prepared statements rebind per execution.
+func TestPlaceholderQueries(t *testing.T) {
+	m, _ := buildMiddleware(t, 10)
+	db := sql.OpenDB(sievesql.NewConnector(m, sieve.Metadata{Querier: "alice", Purpose: "audit"}))
+	defer db.Close()
+
+	// Direct query: alice holds owner 7 (rows 0..4), so id >= 2 leaves 3.
+	var n int
+	if err := db.QueryRow("SELECT count(*) FROM events WHERE id >= ?", 2).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("bound count = %d, want 3", n)
+	}
+
+	// The bound value must not grant beyond policy: owner 8 rows stay
+	// invisible no matter what the argument says.
+	if err := db.QueryRow("SELECT count(*) FROM events WHERE owner = ?", 8).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("owner 8 rows visible through bound arg: %d", n)
+	}
+
+	// Prepared statement: rebinding per execution, multiple placeholders,
+	// mixed types (DATE arrives as time.Time).
+	st, err := db.Prepare("SELECT id FROM events WHERE id BETWEEN ? AND ? AND day = ? ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	day := time.Date(2000, 1, 2, 0, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		lo, hi int64
+		want   int
+	}{{0, 9, 5}, {1, 3, 3}, {4, 9, 1}} {
+		rows, err := st.Query(tc.lo, tc.hi, day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for rows.Next() {
+			var id int64
+			if err := rows.Scan(&id); err != nil {
+				t.Fatal(err)
+			}
+			got++
+		}
+		rows.Close()
+		if got != tc.want {
+			t.Fatalf("[%d,%d]: %d rows, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	if _, err := st.Query(int64(1)); err == nil {
+		t.Error("prepared statement accepted wrong arity")
 	}
 }
 
