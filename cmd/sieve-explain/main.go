@@ -62,6 +62,11 @@ func main() {
 		fmt.Printf("  cost LinearScan : %s\n", cost(dec.CostLinearScan))
 		fmt.Printf("  cost IndexQuery : %s (index %s)\n", cost(dec.CostIndexQuery), orDash(dec.QueryIndex))
 		fmt.Printf("  cost IndexGuards: %s\n", cost(dec.CostIndexGuards))
+		shared := "generated for this querier"
+		if dec.SharedState {
+			shared = "shared from another querier's generation"
+		}
+		fmt.Printf("  signature       : %s (%s)\n", dec.Signature, shared)
 	}
 	if ge, ok := demo.M.GuardedExpression(qm, workload.TableWiFi); ok {
 		fmt.Printf("\n%s\n", ge.String())
@@ -106,6 +111,12 @@ func main() {
 		c.TuplesRead, c.SegmentsScanned, c.SegmentsPruned, c.ParallelScans, campus.DB.EffectiveScanWorkers())
 	fmt.Printf("vectorised: %d batches / %d rows batch-evaluated, %d segments pruned by owner dictionaries\n",
 		c.BatchesVectorised, c.RowsVectorised, c.OwnerDictPruned)
+
+	cs := demo.M.CacheStats()
+	fmt.Printf("guard cache: %d hits / %d misses, %d generations, %d shared bindings, %d live states for %d claims\n",
+		cs.GuardCacheHits, cs.GuardCacheMisses, cs.GuardRegens, cs.GuardShares, cs.GuardStates, cs.Claims)
+	fmt.Printf("invalidation: %d churn events touched %d claims; plan cache %d hits / %d misses\n",
+		cs.ScopedInvalidations, cs.ClaimsInvalidated, cs.PlanCacheHits, cs.PlanCacheMisses)
 }
 
 func orDash(s string) string {

@@ -17,8 +17,12 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "campus", "dataset: campus | mall")
+	dataset := flag.String("dataset", "campus", "dataset: campus | mall | scale")
 	scale := flag.String("scale", "test", "scale: test | bench")
+	queriers := flag.Int("queriers", 10000, "scale dataset: querier population size")
+	groups := flag.Int("groups", 100, "scale dataset: access groups (ceiling on policy profiles)")
+	policies := flag.Int("policies", 100000, "scale dataset: policy corpus size")
+	zipf := flag.Float64("zipf", 1.2, "scale dataset: group-popularity skew (> 1)")
 	flag.Parse()
 
 	switch *dataset {
@@ -26,10 +30,45 @@ func main() {
 		campusStats(*scale)
 	case "mall":
 		mallStats(*scale)
+	case "scale":
+		scaleStats(*queriers, *groups, *policies, *zipf)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
+}
+
+// scaleStats prints the million-policy-regime corpus shape: how many
+// distinct policy profiles the querier population collapses into, and
+// how skewed the group membership is.
+func scaleStats(queriers, groups, policies int, zipf float64) {
+	cfg := workload.DefaultScaleConfig()
+	cfg.Queriers = queriers
+	cfg.Groups = groups
+	cfg.Policies = policies
+	cfg.ZipfS = zipf
+	corpus := workload.BuildScaleCorpus(cfg)
+	fmt.Printf("Million-policy-regime corpus (seed %d)\n", cfg.Seed)
+	fmt.Printf("  queriers: %d   groups: %d   policies: %d   zipf s: %.2f\n",
+		queriers, groups, policies, zipf)
+	fmt.Printf("  distinct policy profiles: %d (%.1f queriers per profile)\n",
+		corpus.Profiles, float64(queriers)/float64(maxInt(corpus.Profiles, 1)))
+	counts := corpus.GroupCounts()
+	top := counts
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Printf("  largest groups by membership: %v\n", top)
+	perGroup := workload.QuerierCounts(corpus.Policies)
+	fmt.Printf("  groups holding policies: %d (avg %.1f policies/group)\n",
+		len(perGroup), avgStr(perGroup))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func campusStats(scale string) {

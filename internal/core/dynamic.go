@@ -67,13 +67,27 @@ func TotalCostModel(rho, cr, ce, alpha float64, policies, queryPreds int) float6
 }
 
 // PendingPolicies reports how many policies are queued against the key's
-// guarded expression awaiting regeneration.
+// guard state awaiting regeneration. For an invalidated claim the delta
+// is computed on demand against the store (pending ids are no longer
+// accumulated by the trigger — invalidation is just a flag), so the count
+// reflects exactly the insert-only difference a §6 deferral would append.
 func (m *Middleware) PendingPolicies(qm policy.Metadata, relation string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st, ok := m.states[geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}]
+	c, ok := m.claims[geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}]
+	if !ok || c.state == nil {
+		return 0
+	}
+	if c.valid {
+		return len(c.pendingIDs)
+	}
+	if c.forceRegen {
+		return 0
+	}
+	ps := m.store.PoliciesFor(policy.Metadata{Querier: qm.Querier, Purpose: qm.Purpose}, relation, m.groups)
+	pend, ok := diffSuperset(policyIDs(ps), c.state.ids)
 	if !ok {
 		return 0
 	}
-	return len(st.pendingIDs)
+	return len(pend)
 }

@@ -203,48 +203,73 @@ func (gt *guardTables) markOutdated(rowID storage.RowID) {
 	_ = gt.ge.Update(rowID, nr)
 }
 
-// guardedExpressionFor returns the (possibly regenerated) guarded
-// expression state for a key, applying the §5.1/§6 freshness rules:
-//
-//   - no state yet → generate, persist, cache;
-//   - outdated and eager regeneration (default, §5.1) → regenerate now;
-//   - outdated with a regeneration interval (§6) → regenerate only once
-//     the pending-insert count reaches k̃; otherwise reuse the stale
-//     expression and report the pending policies for appended arms.
-func (m *Middleware) guardedExpressionFor(qm policy.Metadata, relation string) (*geState, []*policy.Policy, error) {
+// guardedExpressionFor returns the guard state for a key, applying the
+// §5.1/§6 freshness rules through the signature-sharing cache. The bool
+// reports whether the resolution was a cache hit (a valid claim).
+func (m *Middleware) guardedExpressionFor(qm policy.Metadata, relation string) (*geState, []*policy.Policy, bool, error) {
 	key := geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st, ok := m.states[key]
-	if ok && !st.outdated {
-		return st, nil, nil
-	}
-	if ok && st.outdated && !m.eagerRegen && !st.forceRegen {
-		k := m.optimalK(st)
-		if len(st.pendingIDs) < k {
-			pending := make([]*policy.Policy, 0, len(st.pendingIDs))
-			for _, id := range st.pendingIDs {
-				if p, found := m.store.ByID(id); found && p.Action == policy.Allow && p.Relation == relation {
-					pending = append(pending, p)
-				}
-			}
-			return st, pending, nil
-		}
-	}
-	st, err := m.regenerateLocked(key)
-	if err != nil {
-		return nil, nil, err
-	}
-	return st, nil, nil
+	return m.resolveClaimLocked(key)
 }
 
-// regenerateLocked rebuilds the guarded expression for a key. Caller holds
-// m.mu. The corpus is always filtered with the middleware-wide resolver:
-// the state is cached under a key shared by every session, so letting a
-// session's older pinned resolution populate it would leak that session's
-// view of group membership into everyone else's queries.
-func (m *Middleware) regenerateLocked(key geKey) (*geState, error) {
+// resolveClaimLocked is the heart of signature sharing. Caller holds m.mu.
+//
+//   - valid claim → serve its state (plus §6 pending arms) with no store
+//     access at all;
+//   - invalid or missing claim → recompute the applicable policy set, and
+//     in signature order: share an existing state generated for the exact
+//     same id set; else, under a §6 regeneration interval, keep the
+//     claim's stale state with the insert-only delta appended as pending
+//     arms while it stays below k̃; else generate (and persist) a fresh
+//     state for the signature.
+//
+// The corpus is always filtered with the middleware-wide group resolver:
+// states are shared across sessions, so a session's pinned older
+// resolution must never populate them.
+func (m *Middleware) resolveClaimLocked(key geKey) (*geState, []*policy.Policy, bool, error) {
+	c := m.claims[key]
+	if c != nil && c.valid {
+		m.stats.guardHits++
+		return c.state, m.pendingPoliciesLocked(c), true, nil
+	}
+	m.stats.guardMisses++
 	ps := m.store.PoliciesFor(policy.Metadata{Querier: key.querier, Purpose: key.purpose}, key.relation, m.groups)
+	ids := policyIDs(ps)
+	hash := signatureHash(ids)
+	if c == nil {
+		c = &claim{key: key}
+		m.claims[key] = c
+		m.registerClaimLocked(c)
+		m.evictClaimsLocked(c)
+	}
+	if st := m.lookupStateLocked(key.relation, hash, ids); st != nil {
+		m.bindClaimLocked(c, st, true)
+		return st, nil, false, nil
+	}
+	// §6 deferred regeneration: reuse the stale expression with the new
+	// grants appended as owner arms until the insertion count reaches k̃.
+	// Only insert-only deltas qualify; revocation-shaped changes (or a
+	// forced regen) fall through to generation.
+	if c.state != nil && !c.state.gone && !m.eagerRegen && !c.forceRegen {
+		if pend, ok := diffSuperset(ids, c.state.ids); ok && len(pend) < m.optimalK(c.state) {
+			c.pendingIDs = pend
+			c.valid = true
+			return c.state, m.pendingPoliciesLocked(c), false, nil
+		}
+	}
+	st, err := m.generateStateLocked(key, ps, ids, hash)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	m.bindClaimLocked(c, st, false)
+	return st, nil, false, nil
+}
+
+// generateStateLocked builds, persists, and indexes a fresh shared state
+// for a signature. Caller holds m.mu. key is only the representative the
+// rGE rows are written under; the state itself is keyed by signature.
+func (m *Middleware) generateStateLocked(key geKey, ps []*policy.Policy, ids []int64, hash uint64) (*geState, error) {
 	sel, err := m.selectivityFor(key.relation)
 	if err != nil {
 		return nil, err
@@ -257,15 +282,14 @@ func (m *Middleware) regenerateLocked(key geKey) (*geState, error) {
 	if err != nil {
 		return nil, err
 	}
-	old := m.states[key]
-	st := &geState{ge: ge, geRowID: rowID}
-	if old != nil {
-		st.regens = old.regens + 1
-		m.dropCheckSetsLocked(old.setIDs)
+	m.nextStateID++
+	st := &geState{
+		ge: ge, relation: key.relation, ids: ids, hash: hash,
+		stateID: m.nextStateID, geRowID: rowID, reprKey: key,
+		deltaSets: make(map[int]int64),
 	}
 	// Register Δ check sets for guards above the threshold (§5.4).
 	schema := m.db.MustTable(key.relation).Schema
-	st.deltaSets = make(map[int]int64)
 	for gi := range ge.Guards {
 		g := &ge.Guards[gi]
 		if m.deltaThreshold > 0 && len(g.Policies) > m.deltaThreshold {
@@ -277,43 +301,54 @@ func (m *Middleware) regenerateLocked(key geKey) (*geState, error) {
 			st.deltaSets[gi] = id
 		}
 	}
-	m.states[key] = st
+	sk := stateKey{relation: key.relation, hash: hash}
+	m.states[sk] = append(m.states[sk], st)
+	m.stats.guardRegens++
 	return st, nil
 }
 
-// InvalidateAll marks every cached guarded expression outdated; mainly for
-// tests and administrative resets.
+// InvalidateAll retires every shared guard state and force-invalidates
+// every claim; mainly for tests, administrative resets, and
+// group-membership changes (the scoped index is built from membership at
+// claim-creation time).
 func (m *Middleware) InvalidateAll() {
-	// Epoch bump deferred until after the outdated flags are set — see
-	// RevokePolicy for the prepared-plan staleness argument.
 	defer m.epoch.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, st := range m.states {
-		st.outdated = true
-		m.persist.markOutdated(st.geRowID)
+	m.stats.scopedInvalidations++
+	for _, bucket := range m.states {
+		for _, st := range append([]*geState(nil), bucket...) {
+			m.removeStateLocked(st)
+		}
+	}
+	for _, c := range m.claims {
+		m.invalidateClaimLocked(c, true)
 	}
 }
 
-// GuardedExpression exposes the current guarded expression for inspection
-// (experiments, cmd/sieve-explain). It does not trigger regeneration.
+// GuardedExpression exposes the key's current guarded expression for
+// inspection (experiments, cmd/sieve-explain). It does not trigger
+// regeneration. The expression may be shared: its Querier/Purpose fields
+// name the claim that generated it, not necessarily the one asking.
 func (m *Middleware) GuardedExpression(qm policy.Metadata, relation string) (*guard.GuardedExpression, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st, ok := m.states[geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}]
-	if !ok {
+	c, ok := m.claims[geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}]
+	if !ok || c.state == nil {
 		return nil, false
 	}
-	return st.ge, true
+	return c.state.ge, true
 }
 
-// Regens reports how many times the key's expression has been regenerated.
+// Regens reports how many distinct guard generations the key has been
+// bound to — shared bindings count once, so queriers riding an existing
+// signature see 1 without having paid a generation.
 func (m *Middleware) Regens(qm policy.Metadata, relation string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st, ok := m.states[geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}]
+	c, ok := m.claims[geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation}]
 	if !ok {
 		return 0
 	}
-	return st.regens + 1
+	return c.gens
 }

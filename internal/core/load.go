@@ -75,8 +75,8 @@ func (m *Middleware) LoadPersistedGuards() (int, error) {
 
 	loaded := 0
 	for _, h := range headers {
-		if _, cached := m.states[h.key]; cached {
-			continue // live state wins over persisted state
+		if _, cached := m.claims[h.key]; cached {
+			continue // live claim wins over persisted state
 		}
 		sel, err := m.selectivityFor(h.key.relation)
 		if err != nil {
@@ -118,24 +118,67 @@ func (m *Middleware) LoadPersistedGuards() (int, error) {
 			}
 			ge.Guards = append(ge.Guards, g)
 		}
-		st := &geState{ge: ge, outdated: h.outdated, geRowID: h.rowID, deltaSets: map[int]int64{}}
-		// Re-register Δ check sets for oversized partitions (§5.4).
-		schema := m.db.MustTable(h.key.relation).Schema
+		// The signature is the union of the partitions' surviving policy
+		// ids; identical persisted expressions (queriers that shared a
+		// profile when they were saved) fold back onto one shared state.
+		var sigIDs []int64
+		seenID := make(map[int64]bool)
 		for gi := range ge.Guards {
-			g := &ge.Guards[gi]
-			if m.deltaThreshold > 0 && len(g.Policies) > m.deltaThreshold {
-				id, err := m.registerCheckSetLocked(g.Policies, h.key.relation, schema)
-				if err != nil {
-					return loaded, err
+			for _, p := range ge.Guards[gi].Policies {
+				if !seenID[p.ID] {
+					seenID[p.ID] = true
+					sigIDs = append(sigIDs, p.ID)
 				}
-				st.setIDs = append(st.setIDs, id)
-				st.deltaSets[gi] = id
 			}
 		}
-		m.states[h.key] = st
+		sortIDs(sigIDs)
+		hash := signatureHash(sigIDs)
+		st := m.lookupStateLocked(h.key.relation, hash, sigIDs)
+		if st == nil {
+			m.nextStateID++
+			st = &geState{
+				ge: ge, relation: h.key.relation, ids: sigIDs, hash: hash,
+				stateID: m.nextStateID, geRowID: h.rowID, reprKey: h.key,
+				deltaSets: map[int]int64{},
+			}
+			// Re-register Δ check sets for oversized partitions (§5.4).
+			schema := m.db.MustTable(h.key.relation).Schema
+			for gi := range ge.Guards {
+				g := &ge.Guards[gi]
+				if m.deltaThreshold > 0 && len(g.Policies) > m.deltaThreshold {
+					id, err := m.registerCheckSetLocked(g.Policies, h.key.relation, schema)
+					if err != nil {
+						return loaded, err
+					}
+					st.setIDs = append(st.setIDs, id)
+					st.deltaSets[gi] = id
+				}
+			}
+			sk := stateKey{relation: h.key.relation, hash: hash}
+			m.states[sk] = append(m.states[sk], st)
+		}
+		c := &claim{key: h.key, gens: 1, valid: !h.outdated}
+		m.claims[h.key] = c
+		m.registerClaimLocked(c)
+		c.state = st
+		st.refs++
+		if st.claims == nil {
+			st.claims = make(map[*claim]struct{})
+		}
+		st.claims[c] = struct{}{}
 		loaded++
 	}
 	return loaded, nil
+}
+
+// sortIDs is an allocation-free insertion sort: persisted partitions are
+// near-sorted already and small.
+func sortIDs(ids []int64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }
 
 // condFromRows rebuilds a guard condition from its rGG rows: one row for an

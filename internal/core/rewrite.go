@@ -58,12 +58,19 @@ func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadat
 	relations := m.protectedIn(stmt)
 	for _, relation := range relations {
 		refName := topLevelRefName(stmt, relation)
-		st, pending, err := m.guardedExpressionFor(qm, relation)
+		st, pending, hit, err := m.guardedExpressionFor(qm, relation)
 		if err != nil {
 			return nil, nil, err
 		}
+		if hit {
+			rep.GuardCacheHits++
+		} else {
+			rep.GuardCacheMisses++
+		}
 		dec := m.chooseStrategy(stmt, relation, refName, st.ge, pending)
 		dec.DeltaGuards = len(st.deltaSets)
+		dec.Signature = st.signature()
+		dec.SharedState = st.reprKey != (geKey{querier: qm.Querier, purpose: qm.Purpose, relation: relation})
 		queryConjs := m.pushableConjuncts(stmt, relation)
 		cte, prov, err := m.buildGuardedCTE(relation, st, pending, queryConjs, dec)
 		if err != nil {

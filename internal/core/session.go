@@ -18,11 +18,12 @@ import (
 // connections onto SIEVE.
 //
 // Group membership is assumed stable while guarded expressions stay
-// cached: the guard cache is keyed by (querier, purpose, relation) and
-// always regenerated from the middleware-wide resolver, so a membership
-// change is not an invalidation event (policy inserts and revocations
-// flip the outdated flag; membership edits never did). After changing a
-// resolver's answers, call InvalidateAll.
+// cached: claims are indexed for scoped invalidation under the
+// (relation, principal) scopes resolved at claim creation, and guard
+// states are always regenerated from the middleware-wide resolver, so a
+// membership change is not an invalidation event (policy inserts and
+// revocations invalidate claims; membership edits never did). After
+// changing a resolver's answers, call InvalidateAll.
 type Session struct {
 	m      *Middleware
 	qm     policy.Metadata
@@ -57,11 +58,25 @@ func (s *Session) Groups() []string { return s.groups }
 // and closing the Rows early releases the scan (LIMIT-style early
 // termination without a LIMIT clause).
 func (s *Session) Query(ctx context.Context, sql string) (*engine.Rows, error) {
-	stmt, _, err := s.rewrite(sql)
+	stmt, rep, err := s.rewrite(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.m.db.StreamStmt(ctx, stmt)
+	rows, err := s.m.db.StreamStmt(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	rows.AddCounters(cacheSeed(rep))
+	return rows, nil
+}
+
+// cacheSeed lifts a rewrite report's cache-effectiveness counts into
+// engine counters so streaming queries carry them in Rows.Counters().
+func cacheSeed(rep *Report) engine.Counters {
+	return engine.Counters{
+		GuardCacheHits:   int64(rep.GuardCacheHits),
+		GuardCacheMisses: int64(rep.GuardCacheMisses),
+	}
 }
 
 // Execute rewrites sql under the session's policies, runs it under ctx,
@@ -107,11 +122,16 @@ func (s *Session) RewriteSQL(sql, dialect string, opts ...engine.EmitOption) (*e
 // conjuncts and index sargs see real literals — exactly as if the caller
 // had inlined them. The argument count must match the placeholder count.
 func (s *Session) QueryArgs(ctx context.Context, sql string, args []storage.Value) (*engine.Rows, error) {
-	stmt, _, err := s.rewriteArgs(sql, args)
+	stmt, rep, err := s.rewriteArgs(sql, args)
 	if err != nil {
 		return nil, err
 	}
-	return s.m.db.StreamStmt(ctx, stmt)
+	rows, err := s.m.db.StreamStmt(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	rows.AddCounters(cacheSeed(rep))
+	return rows, nil
 }
 
 // ExecuteArgs is Execute with inbound bind arguments (see QueryArgs).

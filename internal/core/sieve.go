@@ -49,17 +49,30 @@ type Middleware struct {
 	noHints        bool             // suppress index hints even on mysql (ablation)
 
 	// epoch counts policy-visibility changes (inserts, revocations,
-	// newly protected relations, administrative invalidation). Prepared
-	// statements stamp their cached rewritten plans with the epoch and
-	// re-rewrite when it moves — the same guard-invalidation events that
-	// flip the §5.1 outdated flag invalidate prepared plans.
+	// newly protected relations, administrative invalidation). It is an
+	// observability counter: plan validity is carried by the signature
+	// tokens (see planTokenFor), so churn no longer discards unrelated
+	// cached plans the way a global epoch check would.
 	epoch atomic.Uint64
 
 	mu        sync.Mutex
 	protected map[string]bool
-	states    map[geKey]*geState
-	registry  map[int64]*checkSet
-	nextSetID int64
+	// claims maps (querier, purpose, relation) to its binding onto a
+	// shared guard state; states buckets the shared states by
+	// (relation, signature hash); byPrincipal is the scoped-invalidation
+	// index from (relation, principal) to the claims a policy naming that
+	// pair can affect.
+	claims      map[geKey]*claim
+	states      map[stateKey][]*geState
+	byPrincipal map[relPrincipal]map[*claim]struct{}
+	nextStateID uint64
+	stats       cacheStats
+	registry    map[int64]*checkSet
+	nextSetID   int64
+
+	// planHits/planMisses aggregate Stmt plan-token lookups; atomics
+	// because Stmt bumps them without holding m.mu.
+	planHits, planMisses atomic.Int64
 
 	persist *guardTables
 
@@ -72,26 +85,37 @@ type geKey struct {
 	relation string
 }
 
-// geState is the cached guarded expression for one key plus its dynamic
-// bookkeeping (§5.1/§6): the outdated flag, and policies inserted since the
-// last regeneration.
+// geState is one generated guarded expression, shared by every claim
+// whose applicable policy set matches its signature. Immutable after
+// generation except for the refcount/claim bookkeeping, which m.mu
+// guards; the per-claim dynamic state (§5.1 outdated flag, §6 pending
+// policies) lives on the claims bound to it.
 type geState struct {
-	ge         *guard.GuardedExpression
-	outdated   bool
-	pendingIDs []int64
+	ge *guard.GuardedExpression
+	// relation plus ids/hash form the signature: the canonical sorted
+	// applicable-policy-id set the expression was generated from.
+	relation string
+	ids      []int64
+	hash     uint64
+	// stateID is a process-unique generation token; plan-cache tokens
+	// embed it, so replacing a state invalidates exactly the plans that
+	// used it.
+	stateID uint64
 	// setIDs are the Δ check-set ids registered for this expression's
-	// guards; replaced wholesale on regeneration.
+	// guards; dropped when the state retires.
 	setIDs []int64
 	// deltaSets maps guard index → Δ check-set id for guards whose
 	// partitions exceed the Δ threshold (§5.4).
 	deltaSets map[int]int64
-	// geRowID is the row of this expression in rGE.
-	geRowID int32
-	// regens counts how many times this expression was (re)generated.
-	regens int
-	// forceRegen overrides §6 deferral: set on revocation, which cannot be
-	// compensated by appended arms.
-	forceRegen bool
+	// geRowID is the row of this expression in rGE (persisted under
+	// reprKey, the first claim that generated it).
+	geRowID storage.RowID
+	reprKey geKey
+	// refs counts bound claims; claims holds them for scoped
+	// invalidation when the state retires. gone marks a retired state.
+	refs   int
+	claims map[*claim]struct{}
+	gone   bool
 }
 
 // Option configures the middleware.
@@ -150,7 +174,9 @@ func New(store *policy.Store, opts ...Option) (*Middleware, error) {
 		eagerRegen:     true,
 		regen:          DefaultRegenConfig(),
 		protected:      make(map[string]bool),
-		states:         make(map[geKey]*geState),
+		claims:         make(map[geKey]*claim),
+		states:         make(map[stateKey][]*geState),
+		byPrincipal:    make(map[relPrincipal]map[*claim]struct{}),
 		registry:       make(map[int64]*checkSet),
 	}
 	for _, o := range opts {
@@ -211,9 +237,10 @@ func (m *Middleware) Protect(relation string) error {
 }
 
 // Epoch returns the policy-visibility epoch: it advances on every event
-// that can change what any querier is allowed to see (policy insert or
-// revocation, Protect, InvalidateAll). Cached rewritten plans are valid
-// only for the epoch they were produced under.
+// that can change what some querier is allowed to see (policy insert or
+// revocation, Protect, InvalidateAll). It is a churn counter for
+// observability (/varz); plan validity is scoped per signature via the
+// plan tokens, not gated on this global value.
 func (m *Middleware) Epoch() uint64 { return m.epoch.Load() }
 
 // Protected reports whether a relation is access-controlled.
@@ -227,43 +254,38 @@ func (m *Middleware) Protected(relation string) bool {
 // trigger.
 func (m *Middleware) AddPolicy(p *policy.Policy) error { return m.store.Insert(p) }
 
-// RevokePolicy removes a policy (§6) and invalidates every guarded
-// expression it could have contributed to.
+// RevokePolicy removes a policy (§6) and invalidates exactly the guard
+// states and claims it contributed to. The store shrinks FIRST: any
+// signature re-resolution ordered after the invalidation below then
+// necessarily sees the post-revocation policy set, so a revoked grant can
+// never be re-validated into a fresh state.
 func (m *Middleware) RevokePolicy(id int64) error {
 	p, err := m.store.Revoke(id)
 	if err != nil {
 		return err
 	}
-	// The epoch must move only after the guard states are invalidated:
-	// a prepared statement stamps its plan with the epoch read before
-	// rewriting, so bumping first would let a rewrite that still saw the
-	// fresh state cache a stale plan under the post-revocation epoch.
 	defer m.epoch.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for key, st := range m.states {
-		if key.relation != p.Relation {
+	m.stats.scopedInvalidations++
+	// Retire every shared state whose signature contains the revoked id:
+	// revocation shrinks the grant set, which appended arms cannot
+	// express, so these generations must never be re-bound. Retirement
+	// force-invalidates the claims bound to them, wherever they came
+	// from — the principal index below additionally catches claims whose
+	// pending set held the policy.
+	for sk, bucket := range m.states {
+		if sk.relation != p.Relation {
 			continue
 		}
-		applies := key.querier == p.Querier
-		if !applies {
-			for _, g := range m.groups.GroupsOf(key.querier) {
-				if g == p.Querier {
-					applies = true
-					break
-				}
+		for _, st := range append([]*geState(nil), bucket...) {
+			if containsID(st.ids, p.ID) {
+				m.removeStateLocked(st)
 			}
 		}
-		if !applies {
-			continue
-		}
-		// Revocation shrinks the grant set: unlike insertion it cannot be
-		// served by appended arms, so the expression must regenerate before
-		// the next query regardless of the §6 deferral mode.
-		st.outdated = true
-		st.pendingIDs = nil
-		st.forceRegen = true
-		m.persist.markOutdated(st.geRowID)
+	}
+	for c := range m.byPrincipal[relPrincipal{relation: p.Relation, principal: p.Querier}] {
+		m.invalidateClaimLocked(c, true)
 	}
 	return nil
 }
@@ -289,38 +311,24 @@ func (m *Middleware) selectivityFor(relation string) (guard.Selectivity, error) 
 	return &guard.TableSelectivity{Stats: stats, IndexedCols: indexed, Table: t}, nil
 }
 
-// onPolicyInserted is the rP insert trigger (§5.1): flip the outdated flag
-// of every guarded expression the new policy can affect and queue the
-// policy id for deferred regeneration (§6). The rP row layout is
+// onPolicyInserted is the rP insert trigger (§5.1), now scoped: only the
+// claims registered under the (relation, querier-principal) the policy
+// names — filtered by purpose — are flagged for re-resolution. Claims for
+// other principals, purposes, or relations keep their valid bindings and
+// their prepared plans. The store caches the policy before the rP insert
+// fires this trigger, so a flagged claim's re-resolution always sees the
+// new grant. The rP row layout is
 // ⟨id, owner, querier, associated_table, purpose, action, inserted_at⟩.
 func (m *Middleware) onPolicyInserted(_ string, row storage.Row) {
-	id, querier, relation, purpose := row[0].I, row[2].S, row[3].S, row[4].S
-	// Epoch bump deferred until after the outdated flags are set — see
-	// RevokePolicy for the prepared-plan staleness argument.
+	querier, relation, purpose := row[2].S, row[3].S, row[4].S
 	defer m.epoch.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for key, st := range m.states {
-		if key.relation != relation {
+	m.stats.scopedInvalidations++
+	for c := range m.byPrincipal[relPrincipal{relation: relation, principal: querier}] {
+		if purpose != policy.AnyPurpose && purpose != c.key.purpose {
 			continue
 		}
-		if purpose != policy.AnyPurpose && purpose != key.purpose {
-			continue
-		}
-		applies := key.querier == querier
-		if !applies {
-			for _, g := range m.groups.GroupsOf(key.querier) {
-				if g == querier {
-					applies = true
-					break
-				}
-			}
-		}
-		if !applies {
-			continue
-		}
-		st.outdated = true
-		st.pendingIDs = append(st.pendingIDs, id)
-		m.persist.markOutdated(st.geRowID)
+		m.invalidateClaimLocked(c, false)
 	}
 }

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+)
+
+// sigFixture is a population of queriers split across access groups, with
+// every policy granted to a group identity — so group members share one
+// policy signature, the regime the signature cache is built for.
+type sigFixture struct {
+	m        *Middleware
+	db       *engine.DB
+	queriers []string
+	groupOf  map[string]string
+}
+
+// newSigFixture builds nGroups groups of perGroup queriers each. Group g
+// is granted the owners in [g*10, g*10+ownersPerGroup).
+const sigOwnersPerGroup = 5
+
+func newSigFixture(t *testing.T, nGroups, perGroup int) *sigFixture {
+	t.Helper()
+	db := engine.New(engine.MySQL())
+	db.UDFOverheadIters = 0
+	loadCampus(t, db)
+	store, err := policy.NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := policy.StaticGroups{}
+	f := &sigFixture{db: db, groupOf: make(map[string]string)}
+	var ps []*policy.Policy
+	for g := 0; g < nGroups; g++ {
+		gname := fmt.Sprintf("grp%d", g)
+		for i := 0; i < perGroup; i++ {
+			q := fmt.Sprintf("member%d_%d", g, i)
+			groups[q] = []string{gname}
+			f.queriers = append(f.queriers, q)
+			f.groupOf[q] = gname
+		}
+		for o := 0; o < sigOwnersPerGroup; o++ {
+			ps = append(ps, &policy.Policy{
+				Owner: int64(g*10 + o), Querier: gname, Purpose: policy.AnyPurpose,
+				Relation: "wifi", Action: policy.Allow,
+			})
+		}
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(store, WithGroups(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect("wifi"); err != nil {
+		t.Fatal(err)
+	}
+	f.m = m
+	return f
+}
+
+func (f *sigFixture) metadata(q string) policy.Metadata {
+	return policy.Metadata{Querier: q, Purpose: "attendance"}
+}
+
+// TestSignatureSharingIsOProfiles drives a querier population through one
+// prepared statement and checks the tentpole's cardinality claim: guard
+// generations, guard states, and cached plans number O(profiles), not
+// O(queriers), and one policy insert invalidates only the touched
+// signature's plan.
+func TestSignatureSharingIsOProfiles(t *testing.T) {
+	const nGroups, perGroup = 4, 15
+	f := newSigFixture(t, nGroups, perGroup)
+	st, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range f.queriers {
+		if _, err := st.Execute(context.Background(), f.m.NewSession(f.metadata(q))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := f.m.CacheStats()
+	if cs.Claims != int64(len(f.queriers)) {
+		t.Errorf("claims = %d, want one per querier (%d)", cs.Claims, len(f.queriers))
+	}
+	if cs.GuardStates != nGroups {
+		t.Errorf("guard states = %d, want one per profile (%d)", cs.GuardStates, nGroups)
+	}
+	if cs.GuardRegens != nGroups {
+		t.Errorf("guard regens = %d, want one per profile (%d)", cs.GuardRegens, nGroups)
+	}
+	if got := st.CachedPlans(); got != nGroups {
+		t.Errorf("cached plans = %d, want one per profile (%d)", got, nGroups)
+	}
+	if want := int64(len(f.queriers) - nGroups); cs.GuardShares < want {
+		t.Errorf("guard shares = %d, want >= %d (every member after the first shares)", cs.GuardShares, want)
+	}
+
+	// One policy insert against grp0: exactly grp0's signature moves.
+	rewritesBefore := st.Rewrites()
+	regensBefore := make(map[string]int)
+	for _, q := range f.queriers {
+		regensBefore[q] = f.m.Regens(f.metadata(q), "wifi")
+	}
+	if err := f.m.AddPolicy(&policy.Policy{
+		Owner: 7, Querier: "grp0", Purpose: policy.AnyPurpose,
+		Relation: "wifi", Action: policy.Allow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range f.queriers {
+		if _, err := st.Execute(context.Background(), f.m.NewSession(f.metadata(q))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Rewrites() - rewritesBefore; got != 1 {
+		t.Errorf("plans rebuilt after one AddPolicy = %d, want 1 (the touched signature)", got)
+	}
+	for _, q := range f.queriers {
+		got := f.m.Regens(f.metadata(q), "wifi")
+		want := regensBefore[q]
+		if f.groupOf[q] == "grp0" {
+			want++
+		}
+		if got != want {
+			t.Errorf("querier %s (group %s): regens = %d, want %d", q, f.groupOf[q], got, want)
+		}
+	}
+}
+
+// TestConcurrentChurnWithSharedPreparedStatements runs policy churn
+// (AddPolicy/RevokePolicy of a grant to one group) against live prepared
+// statements spanning signature-sharing queriers. It asserts the two
+// safety properties scoped invalidation must preserve under concurrency:
+// a revoked policy's rows never appear in a query that started after the
+// revocation returned, and queriers in the untouched group keep their
+// guard generation throughout (their plans were never invalidated).
+// Meant to run under -race with -cpu=1,4 (see CI).
+func TestConcurrentChurnWithSharedPreparedStatements(t *testing.T) {
+	const nGroups, perGroup = 2, 4
+	const churnOwner = int64(15) // in no group's stable grant range
+	f := newSigFixture(t, nGroups, perGroup)
+	st, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// legalOwners[g] is the stable grant set of group g.
+	legal := make(map[string]map[int64]bool)
+	for g := 0; g < nGroups; g++ {
+		set := make(map[int64]bool)
+		for o := 0; o < sigOwnersPerGroup; o++ {
+			set[int64(g*10+o)] = true
+		}
+		legal[fmt.Sprintf("grp%d", g)] = set
+	}
+
+	// Warm every querier's claim and plan, then pin the untouched
+	// group's regen counters.
+	for _, q := range f.queriers {
+		if _, err := st.Execute(ctx, f.m.NewSession(f.metadata(q))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grp1Regens := make(map[string]int)
+	for _, q := range f.queriers {
+		if f.groupOf[q] == "grp1" {
+			grp1Regens[q] = f.m.Regens(f.metadata(q), "wifi")
+		}
+	}
+
+	churnIters := 40
+	if testing.Short() {
+		churnIters = 10
+	}
+	stop := make(chan struct{})
+	errc := make(chan error, len(f.queriers)+1)
+	var wg sync.WaitGroup
+
+	// Readers: every querier hammers the shared prepared statement and
+	// validates each result against the two legal worlds — its group's
+	// stable grants, plus (while the churn grant may be live, grp0 only)
+	// the churn owner. Any other owner is an enforcement escape.
+	for _, q := range f.queriers {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			sess := f.m.NewSession(f.metadata(q))
+			allowed := legal[f.groupOf[q]]
+			churnLegal := f.groupOf[q] == "grp0"
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := st.Execute(ctx, sess)
+				if err != nil {
+					errc <- fmt.Errorf("querier %s: %v", q, err)
+					return
+				}
+				for _, r := range res.Rows {
+					owner := r[1].I
+					if allowed[owner] || (churnLegal && owner == churnOwner) {
+						continue
+					}
+					errc <- fmt.Errorf("querier %s saw owner %d (legal: stable grants%s)",
+						q, owner, map[bool]string{true: " + churn owner", false: ""}[churnLegal])
+					return
+				}
+			}
+		}(q)
+	}
+
+	// Writer: add and revoke the grant, and after every revocation
+	// returns, verify airtightness serially — a fresh query through the
+	// same prepared statement must not leak the revoked owner's rows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		checker := f.m.NewSession(f.metadata(f.queriers[0])) // a grp0 member
+		for i := 0; i < churnIters; i++ {
+			p := &policy.Policy{
+				Owner: churnOwner, Querier: "grp0", Purpose: policy.AnyPurpose,
+				Relation: "wifi", Action: policy.Allow,
+			}
+			if err := f.m.AddPolicy(p); err != nil {
+				errc <- err
+				return
+			}
+			if err := f.m.RevokePolicy(p.ID); err != nil {
+				errc <- err
+				return
+			}
+			res, err := st.Execute(ctx, checker)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, r := range res.Rows {
+				if r[1].I == churnOwner {
+					errc <- fmt.Errorf("iteration %d: owner %d row visible after RevokePolicy returned", i, churnOwner)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// The untouched group's claims were never invalidated: regen
+	// counters stay flat through the whole churn storm.
+	for q, before := range grp1Regens {
+		if got := f.m.Regens(f.metadata(q), "wifi"); got != before {
+			t.Errorf("untouched querier %s: regens %d → %d (scoped invalidation leaked)", q, before, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -14,43 +15,44 @@ import (
 
 // Stmt is a prepared query: the SQL is parsed once, and the policy
 // rewrite (guard lookup, strategy choice, CTE construction — the per-
-// query work SIEVE amortises, §5) is cached per (querier, purpose).
-// Cached plans are stamped with the middleware's policy epoch and
-// re-rewritten transparently after any policy insert or revocation, so a
-// prepared statement can never serve rows under stale policies. A Stmt
-// is safe for concurrent use by multiple Sessions.
+// query work SIEVE amortises, §5) is cached per plan token: the
+// signature-resolved guard states of the protected relations the
+// statement touches (see planTokenFor). Queriers who share a policy
+// profile therefore share one rewritten plan and one per-dialect
+// emission, and policy churn invalidates only the plans whose signature
+// actually changed — a cached plan can never serve rows under stale
+// policies because any change to the querier's applicable set changes
+// the token. A Stmt is safe for concurrent use by multiple Sessions.
 type Stmt struct {
 	m        *Middleware
 	sql      string
 	ast      *sqlparser.SelectStmt
 	numInput int // placeholders in ast, counted once at Prepare
+	// tables are the distinct base relations the statement references
+	// (protected or not — protection is re-checked per call, so a later
+	// Protect of a referenced relation takes effect immediately).
+	tables []string
 
 	mu    sync.Mutex
-	plans map[planKey]*preparedPlan
+	plans map[string]*preparedPlan
 
 	rewrites atomic.Int64
 }
 
-type planKey struct {
-	querier string
-	purpose string
-}
-
 type preparedPlan struct {
-	stmt  *sqlparser.SelectStmt
-	rep   *Report
-	epoch uint64
+	stmt *sqlparser.SelectStmt
+	rep  *Report
 
 	// emissions caches per-dialect SQL generated from this plan. It lives
-	// on the plan, not the Stmt, so epoch invalidation discards emissions
+	// on the plan, not the Stmt, so token invalidation discards emissions
 	// and rewritten AST together.
 	mu        sync.Mutex
 	emissions map[string]*engine.Emission
 }
 
 // Prepare parses sql for repeated execution. The rewrite itself is
-// deferred to the first Query/Execute per (querier, purpose), since it
-// depends on who is asking.
+// deferred to the first Query/Execute per policy signature, since it
+// depends on what the asking querier may see.
 func (m *Middleware) Prepare(sql string) (*Stmt, error) {
 	ast, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -61,8 +63,26 @@ func (m *Middleware) Prepare(sql string) (*Stmt, error) {
 		sql:      sql,
 		ast:      ast,
 		numInput: sqlparser.NumPlaceholders(ast),
-		plans:    make(map[planKey]*preparedPlan),
+		tables:   referencedTables(ast),
+		plans:    make(map[string]*preparedPlan),
 	}, nil
+}
+
+// referencedTables lists the distinct base-table names a statement
+// references anywhere (including subqueries and CTE bodies), sorted.
+func referencedTables(ast *sqlparser.SelectStmt) []string {
+	seen := make(map[string]bool)
+	forEachTableRef(ast, func(ref *sqlparser.TableRef) {
+		if ref.Subquery == nil {
+			seen[ref.Name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SQL returns the statement's original text.
@@ -74,21 +94,26 @@ func (st *Stmt) SQL() string { return st.sql }
 func (st *Stmt) NumInput() int { return st.numInput }
 
 // Query runs the prepared statement for the session, streaming the
-// result. The cached rewritten plan for the session's (querier, purpose)
-// is reused when the policy epoch has not moved; otherwise the statement
-// is re-rewritten from the pristine parse.
+// result. The cached rewritten plan for the session's policy signature is
+// reused while the signature holds; otherwise the statement is
+// re-rewritten from the pristine parse.
 func (st *Stmt) Query(ctx context.Context, s *Session) (*engine.Rows, error) {
-	p, err := st.planFor(s.qm)
+	p, seed, err := st.planFor(s.qm)
 	if err != nil {
 		return nil, err
 	}
-	return st.m.db.StreamStmt(ctx, p.stmt)
+	rows, err := st.m.db.StreamStmt(ctx, p.stmt)
+	if err != nil {
+		return nil, err
+	}
+	rows.AddCounters(seed)
+	return rows, nil
 }
 
 // Execute runs the prepared statement for the session and materialises
 // the result.
 func (st *Stmt) Execute(ctx context.Context, s *Session) (*engine.Result, error) {
-	p, err := st.planFor(s.qm)
+	p, _, err := st.planFor(s.qm)
 	if err != nil {
 		return nil, err
 	}
@@ -98,18 +123,26 @@ func (st *Stmt) Execute(ctx context.Context, s *Session) (*engine.Result, error)
 // QueryArgs runs the prepared statement with bind arguments, streaming
 // the result. Placeholders are bound against the pristine parse before
 // the policy rewrite, so each execution is rewritten with its literals in
-// place; the parse is still amortised across calls, but the per-(querier,
-// purpose) plan cache only serves placeholder-free statements — bound
-// literals differ per call.
+// place; the parse is still amortised across calls, but the plan cache
+// only serves placeholder-free statements — bound literals differ per
+// call.
 func (st *Stmt) QueryArgs(ctx context.Context, s *Session, args []storage.Value) (*engine.Rows, error) {
 	if st.numInput == 0 && len(args) == 0 {
 		return st.Query(ctx, s)
 	}
-	stmt, err := st.bindRewrite(s.qm, args)
+	stmt, rep, err := st.bindRewrite(s.qm, args)
 	if err != nil {
 		return nil, err
 	}
-	return st.m.db.StreamStmt(ctx, stmt)
+	rows, err := st.m.db.StreamStmt(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	rows.AddCounters(engine.Counters{
+		GuardCacheHits:   int64(rep.GuardCacheHits),
+		GuardCacheMisses: int64(rep.GuardCacheMisses),
+	})
+	return rows, nil
 }
 
 // ExecuteArgs runs the prepared statement with bind arguments and
@@ -118,7 +151,7 @@ func (st *Stmt) ExecuteArgs(ctx context.Context, s *Session, args []storage.Valu
 	if st.numInput == 0 && len(args) == 0 {
 		return st.Execute(ctx, s)
 	}
-	stmt, err := st.bindRewrite(s.qm, args)
+	stmt, _, err := st.bindRewrite(s.qm, args)
 	if err != nil {
 		return nil, err
 	}
@@ -127,26 +160,26 @@ func (st *Stmt) ExecuteArgs(ctx context.Context, s *Session, args []storage.Valu
 
 // bindRewrite binds args against the pristine AST (BindStmt deep-copies,
 // so st.ast stays reusable) and policy-rewrites the bound statement.
-func (st *Stmt) bindRewrite(qm policy.Metadata, args []storage.Value) (*sqlparser.SelectStmt, error) {
+func (st *Stmt) bindRewrite(qm policy.Metadata, args []storage.Value) (*sqlparser.SelectStmt, *Report, error) {
 	bound, err := sqlparser.BindStmt(st.ast, args)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if bound == st.ast { // zero placeholders: rewrite must not mutate the pristine parse
 		bound = sqlparser.CloneStmt(st.ast)
 	}
-	stmt, _, err := st.m.rewriteParsed(bound, qm)
+	stmt, rep, err := st.m.rewriteParsed(bound, qm)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	st.rewrites.Add(1)
-	return stmt, nil
+	return stmt, rep, nil
 }
 
 // Report returns the decision report of the session's current cached
 // plan, rewriting first if the cache is cold or stale.
 func (st *Stmt) Report(s *Session) (*Report, error) {
-	p, err := st.planFor(s.qm)
+	p, _, err := st.planFor(s.qm)
 	if err != nil {
 		return nil, err
 	}
@@ -154,18 +187,19 @@ func (st *Stmt) Report(s *Session) (*Report, error) {
 }
 
 // EmitSQL returns the prepared statement's emission for the dialect under
-// the session's (querier, purpose): executable backend SQL with bound
-// args, generated from the cached rewritten plan. Emissions are cached
-// per dialect alongside the plan and invalidated with it by the policy
-// epoch, so a prepared statement amortises parse, rewrite and emission
-// across calls. Passing options bypasses the cache (the emission then
-// differs from the canonical per-dialect form).
+// the session's policy signature: executable backend SQL with bound args,
+// generated from the cached rewritten plan. Emissions are cached per
+// dialect alongside the plan and invalidated with it when the signature
+// moves, so a prepared statement amortises parse, rewrite and emission
+// across calls — and across every querier sharing the signature. Passing
+// options bypasses the cache (the emission then differs from the
+// canonical per-dialect form).
 func (st *Stmt) EmitSQL(s *Session, dialect string, opts ...engine.EmitOption) (*engine.Emission, error) {
 	e, err := engine.EmitterFor(dialect, opts...)
 	if err != nil {
 		return nil, err
 	}
-	p, err := st.planFor(s.qm)
+	p, _, err := st.planFor(s.qm)
 	if err != nil {
 		return nil, err
 	}
@@ -195,64 +229,67 @@ func (st *Stmt) EmitSQL(s *Session, dialect string, opts ...engine.EmitOption) (
 // the work a non-prepared Execute would have paid once per call.
 func (st *Stmt) Rewrites() int64 { return st.rewrites.Load() }
 
-// CachedPlans reports how many (querier, purpose) plans are cached.
+// CachedPlans reports how many distinct signature plans are cached.
 func (st *Stmt) CachedPlans() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.plans)
 }
 
-// maxCachedPlans bounds one Stmt's plan cache. A server sharing one
-// prepared statement across an unbounded querier population must not
-// grow memory linearly with queriers that never return; past the cap,
-// stale-epoch entries are evicted first, then arbitrary ones.
+// maxCachedPlans bounds one Stmt's plan cache. Tokens make the live plan
+// population O(distinct policy signatures), not O(queriers), so the cap
+// only guards against unbounded signature churn; past it, arbitrary
+// entries are evicted (a superseded token can never be asked for again,
+// and a still-live one just re-rewrites on its next use).
 const maxCachedPlans = 1024
 
-// planFor returns a rewritten plan no older than the current policy
-// epoch. The epoch is read before rewriting: if a policy change lands
-// mid-rewrite the stored stamp no longer matches and the next call
-// rewrites again, so staleness never outlives the racing change.
-func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, error) {
+// planFor returns the rewritten plan for the session's current plan
+// token. The token is resolved first (under the middleware lock, so it is
+// consistent with the guard states the rewrite would use); a hit returns
+// the shared plan, a miss rewrites from the pristine parse and caches
+// under the token. seed carries the guard/plan cache counters for
+// streaming paths to fold into the query's engine counters.
+func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, engine.Counters, error) {
+	var seed engine.Counters
 	if st.numInput > 0 {
-		return nil, fmt.Errorf("core: statement has %d placeholder(s); run it with QueryArgs/ExecuteArgs", st.numInput)
+		return nil, seed, fmt.Errorf("core: statement has %d placeholder(s); run it with QueryArgs/ExecuteArgs", st.numInput)
 	}
-	key := planKey{querier: qm.Querier, purpose: qm.Purpose}
-	cur := st.m.Epoch()
+	tok, seed, err := st.m.planTokenFor(qm, st.tables)
+	if err != nil {
+		return nil, seed, err
+	}
 	st.mu.Lock()
-	p := st.plans[key]
+	p := st.plans[tok]
 	st.mu.Unlock()
-	if p != nil && p.epoch == cur {
-		return p, nil
+	if p != nil {
+		seed.PlanCacheHits++
+		st.m.planHits.Add(1)
+		return p, seed, nil
 	}
+	seed.PlanCacheMisses++
+	st.m.planMisses.Add(1)
 	stmt, rep, err := st.m.rewriteParsed(sqlparser.CloneStmt(st.ast), qm)
 	if err != nil {
-		return nil, err
+		return nil, seed, err
 	}
 	st.rewrites.Add(1)
-	p = &preparedPlan{stmt: stmt, rep: rep, epoch: cur}
+	p = &preparedPlan{stmt: stmt, rep: rep}
 	st.mu.Lock()
 	if len(st.plans) >= maxCachedPlans {
-		st.evictLocked(cur)
+		st.evictLocked()
 	}
-	st.plans[key] = p
+	st.plans[tok] = p
 	st.mu.Unlock()
-	return p, nil
+	return p, seed, nil
 }
 
-// evictLocked makes room in the plan cache: stale-epoch entries go
-// first (they can never be served again without a rewrite), and if the
-// cache is all fresh, an arbitrary entry is dropped. Caller holds st.mu.
-func (st *Stmt) evictLocked(cur uint64) {
-	for k, p := range st.plans {
-		if p.epoch != cur {
-			delete(st.plans, k)
-		}
-	}
-	if len(st.plans) < maxCachedPlans {
-		return
-	}
+// evictLocked makes room in the plan cache by dropping arbitrary entries.
+// Caller holds st.mu.
+func (st *Stmt) evictLocked() {
 	for k := range st.plans {
 		delete(st.plans, k)
-		return
+		if len(st.plans) < maxCachedPlans {
+			return
+		}
 	}
 }

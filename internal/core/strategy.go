@@ -48,6 +48,13 @@ type TableDecision struct {
 	// guarded linear scan skips them without reading a tuple.
 	SegmentsTotal    int
 	SegmentsPrunable int
+	// Signature is the canonical policy-set signature (FNV-64a of the
+	// sorted applicable policy ids) of the guard state this decision used.
+	// Queriers sharing it share the generation and the plan.
+	Signature string
+	// SharedState is true when the guard state was generated for a
+	// different (querier, purpose) and reused here via the signature.
+	SharedState bool
 }
 
 // Report describes one rewrite: the final SQL, per-table decisions, and
@@ -60,6 +67,11 @@ type Report struct {
 	// conjuncts and strategy that produced it — engine.Emitter implementations
 	// consume it to reframe the disjunction for MySQL or PostgreSQL.
 	GuardedCTEs []engine.GuardedCTE
+	// GuardCacheHits/GuardCacheMisses count, for this rewrite, how many
+	// protected relations resolved from a valid cached claim vs. required
+	// consulting the policy store (sharing or regenerating).
+	GuardCacheHits   int
+	GuardCacheMisses int
 }
 
 // chooseStrategy implements §5.5: EXPLAIN the original query to learn the

@@ -71,6 +71,17 @@ type Counters struct {
 	RowsVectorised    int64
 	UDFInvocations    int64 // user-defined function calls
 	PolicyEvals       int64 // policy object-condition set evaluations (set by UDFs)
+	// Rewrite-layer cache effectiveness, seeded by the middleware on
+	// streaming paths (core.Rows carry them via Rows.AddCounters):
+	// GuardCacheHits/GuardCacheMisses count protected-relation guard-state
+	// resolutions served from a valid cached claim vs. recomputed;
+	// PlanCacheHits/PlanCacheMisses count prepared-statement plan-token
+	// lookups. They describe work *avoided* before execution started, not
+	// engine work.
+	GuardCacheHits   int64
+	GuardCacheMisses int64
+	PlanCacheHits    int64
+	PlanCacheMisses  int64
 }
 
 // Add accumulates other into c.
@@ -88,6 +99,10 @@ func (c *Counters) Add(other Counters) {
 	c.RowsVectorised += other.RowsVectorised
 	c.UDFInvocations += other.UDFInvocations
 	c.PolicyEvals += other.PolicyEvals
+	c.GuardCacheHits += other.GuardCacheHits
+	c.GuardCacheMisses += other.GuardCacheMisses
+	c.PlanCacheHits += other.PlanCacheHits
+	c.PlanCacheMisses += other.PlanCacheMisses
 }
 
 // Reset zeroes the counters.

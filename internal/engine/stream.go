@@ -140,6 +140,13 @@ func (r *Rows) Err() error { return r.err }
 // concurrent sessions.
 func (r *Rows) Counters() Counters { return r.ex.local }
 
+// AddCounters folds externally measured work into this query's private
+// counters before they merge into the DB accumulators at release. The
+// middleware uses it to attach rewrite-layer cache effectiveness (guard
+// and plan cache hits/misses) to the query that experienced it. Call
+// before iterating: the counters are owned by the query's goroutine.
+func (r *Rows) AddCounters(c Counters) { r.ex.local.Add(c) }
+
 // Close stops iteration and releases the underlying scan. It is
 // idempotent and safe after exhaustion.
 func (r *Rows) Close() error {

@@ -1,0 +1,234 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// PolicyScaleFile is where PolicyScale writes its machine-readable
+// results.
+const PolicyScaleFile = "BENCH_policy_scale.json"
+
+// policyScaleCell is one (policy count, querier count) measurement in
+// BENCH_policy_scale.json.
+type policyScaleCell struct {
+	Policies int `json:"policies"`
+	Queriers int `json:"queriers"`
+	// Profiles is the number of distinct policy signatures across the
+	// population; the signature cache holds guard states and plans to
+	// O(profiles), not O(queriers).
+	Profiles    int   `json:"profiles"`
+	GuardStates int64 `json:"guard_states"`
+	GuardRegens int64 `json:"guard_regens"`
+	PlansCached int   `json:"plans_cached"`
+	// FirstPassUS / SteadyUS are the mean per-querier rewrite-side
+	// latencies (µs) of the cold pass (every claim resolved, shared
+	// states bound) and the warm pass (token hits only).
+	FirstPassUS float64 `json:"first_pass_us_per_querier"`
+	SteadyUS    float64 `json:"steady_us_per_querier"`
+	// SteadyHitRate is Δhits/(Δhits+Δmisses) of the guard signature
+	// cache over the warm pass.
+	SteadyHitRate float64 `json:"steady_hit_rate"`
+	// Churn deltas from adding one policy to the most-populous group:
+	// how many claims the scoped invalidation touched, and how many
+	// plans/guard generations the next full pass had to rebuild.
+	ChurnClaimsInvalidated int64 `json:"churn_claims_invalidated"`
+	ChurnPlansRebuilt      int64 `json:"churn_plans_rebuilt"`
+	ChurnGuardRegens       int64 `json:"churn_guard_regens"`
+}
+
+// policyScaleResult is the BENCH_policy_scale.json document.
+type policyScaleResult struct {
+	Groups int               `json:"groups"`
+	ZipfS  float64           `json:"zipf_s"`
+	Cells  []policyScaleCell `json:"cells"`
+}
+
+// PolicyScale measures the million-policy regime: rewrite-side latency,
+// signature-cache effectiveness, and the blast radius of policy churn as
+// the policy corpus (10³→10⁵ at bench scale) and querier population
+// grow while the profile count stays fixed. Results also land in
+// BENCH_policy_scale.json, written and then re-parsed so a malformed
+// document fails the run.
+func PolicyScale(cfg Config) (*Table, error) {
+	return PolicyScaleToFile(cfg, PolicyScaleFile)
+}
+
+// PolicyScaleToFile is PolicyScale writing its JSON document to path.
+func PolicyScaleToFile(cfg Config, path string) (*Table, error) {
+	if len(cfg.PolicyScalePolicies) == 0 || len(cfg.PolicyScaleQueriers) == 0 {
+		return nil, fmt.Errorf("experiment: policyscale sweep is empty (set PolicyScalePolicies and PolicyScaleQueriers)")
+	}
+	tab := &Table{
+		ID:      "PolicyScale",
+		Title:   "Million-policy regime: signature-shared plans and scoped invalidation",
+		Headers: []string{"policies", "queriers", "profiles", "states", "plans", "first µs/q", "steady µs/q", "hit rate", "churn claims", "churn plans"},
+		Notes: []string{
+			"states and plans are O(profiles), not O(queriers): queriers sharing a policy profile share one guard generation and one rewritten plan",
+			"churn columns: one AddPolicy against the most-populous group; only that signature's claims and plans are touched",
+		},
+	}
+	res := policyScaleResult{Groups: cfg.PolicyScaleGroups, ZipfS: cfg.PolicyScaleZipf}
+	for _, nq := range cfg.PolicyScaleQueriers {
+		for _, np := range cfg.PolicyScalePolicies {
+			cell, err := policyScaleCellRun(cfg, np, nq)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: policyscale %dp/%dq: %w", np, nq, err)
+			}
+			res.Cells = append(res.Cells, *cell)
+			tab.Rows = append(tab.Rows, []string{
+				fmt.Sprintf("%d", cell.Policies),
+				fmt.Sprintf("%d", cell.Queriers),
+				fmt.Sprintf("%d", cell.Profiles),
+				fmt.Sprintf("%d", cell.GuardStates),
+				fmt.Sprintf("%d", cell.PlansCached),
+				fmt.Sprintf("%.1f", cell.FirstPassUS),
+				fmt.Sprintf("%.1f", cell.SteadyUS),
+				fmt.Sprintf("%.3f", cell.SteadyHitRate),
+				fmt.Sprintf("%d", cell.ChurnClaimsInvalidated),
+				fmt.Sprintf("%d", cell.ChurnPlansRebuilt),
+			})
+		}
+	}
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	// Read the document back and re-parse it: the file on disk — not the
+	// in-memory struct — is what downstream tooling consumes, so a
+	// malformed or empty document must fail here.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var check policyScaleResult
+	if err := json.Unmarshal(raw, &check); err != nil {
+		return nil, fmt.Errorf("experiment: %s does not parse: %w", path, err)
+	}
+	if len(check.Cells) == 0 {
+		return nil, fmt.Errorf("experiment: %s has no cells", path)
+	}
+	tab.Notes = append(tab.Notes, fmt.Sprintf("wrote %s (%d cells)", path, len(check.Cells)))
+	return tab, nil
+}
+
+// policyScaleCellRun builds one regime environment and measures it.
+func policyScaleCellRun(cfg Config, policies, queriers int) (*policyScaleCell, error) {
+	scfg := workload.DefaultScaleConfig()
+	scfg.Groups = cfg.PolicyScaleGroups
+	if cfg.PolicyScaleZipf > 1 {
+		scfg.ZipfS = cfg.PolicyScaleZipf
+	}
+	scfg.Policies = policies
+	scfg.Queriers = queriers
+	corpus := workload.BuildScaleCorpus(scfg)
+
+	db, err := corpus.BuildScaleDB(engine.MySQL())
+	if err != nil {
+		return nil, err
+	}
+	store, err := policy.NewStore(db)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.BulkLoad(corpus.Policies); err != nil {
+		return nil, err
+	}
+	m, err := core.New(store, core.WithGroups(corpus.Groups()))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Protect(workload.TableTelemetry); err != nil {
+		return nil, err
+	}
+	st, err := m.Prepare("SELECT * FROM " + workload.TableTelemetry)
+	if err != nil {
+		return nil, err
+	}
+
+	sessions := make([]*core.Session, len(corpus.Queriers))
+	for i, q := range corpus.Queriers {
+		sessions[i] = m.NewSession(policy.Metadata{Querier: q, Purpose: "analytics"})
+	}
+	pass := func() (time.Duration, error) {
+		start := time.Now()
+		for _, sess := range sessions {
+			if _, err := st.Report(sess); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	cell := &policyScaleCell{Policies: policies, Queriers: queriers, Profiles: corpus.Profiles}
+
+	// Cold pass: every querier resolves a claim; queriers sharing a
+	// profile bind the same guard state and plan.
+	cold, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	cs := m.CacheStats()
+	cell.GuardStates = cs.GuardStates
+	cell.GuardRegens = cs.GuardRegens
+	cell.PlansCached = st.CachedPlans()
+	cell.FirstPassUS = float64(cold.Microseconds()) / float64(queriers)
+
+	// One end-to-end execution, so the measured plans also run.
+	if _, err := st.Execute(context.Background(), sessions[0]); err != nil {
+		return nil, err
+	}
+
+	// Warm pass: tokens hit, claims stay valid.
+	before := m.CacheStats()
+	warm, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	after := m.CacheStats()
+	cell.SteadyUS = float64(warm.Microseconds()) / float64(queriers)
+	dHits := after.GuardCacheHits - before.GuardCacheHits
+	dMiss := after.GuardCacheMisses - before.GuardCacheMisses
+	if dHits+dMiss > 0 {
+		cell.SteadyHitRate = float64(dHits) / float64(dHits+dMiss)
+	}
+
+	// Churn: one policy added to the most-populous group. Scoped
+	// invalidation must touch only that signature — the next full pass
+	// rebuilds one profile's guard state and plan, not the population's.
+	head := 0
+	counts := make([]int, scfg.Groups)
+	for _, g := range corpus.GroupOf {
+		counts[g]++
+		if counts[g] > counts[head] {
+			head = g
+		}
+	}
+	preChurn := m.CacheStats()
+	preRewrites := st.Rewrites()
+	if err := m.AddPolicy(&policy.Policy{
+		Owner: 0, Querier: workload.ScaleGroupName(head), Purpose: policy.AnyPurpose,
+		Relation: workload.TableTelemetry, Action: policy.Allow,
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := pass(); err != nil {
+		return nil, err
+	}
+	postChurn := m.CacheStats()
+	cell.ChurnClaimsInvalidated = postChurn.ClaimsInvalidated - preChurn.ClaimsInvalidated
+	cell.ChurnPlansRebuilt = st.Rewrites() - preRewrites
+	cell.ChurnGuardRegens = postChurn.GuardRegens - preChurn.GuardRegens
+	return cell, nil
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPolicyScale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_policy_scale.json")
+	tab, err := PolicyScaleToFile(TestConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty PolicyScale table")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res policyScaleResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("BENCH_policy_scale.json does not parse: %v", err)
+	}
+	if len(res.Cells) != len(tab.Rows) {
+		t.Fatalf("cells = %d, rows = %d", len(res.Cells), len(tab.Rows))
+	}
+	for _, c := range res.Cells {
+		// The regime's cardinality claim: states and plans are bounded
+		// by the profile count, not the querier population.
+		if c.Profiles >= c.Queriers {
+			t.Errorf("%dp/%dq: profiles (%d) not smaller than queriers", c.Policies, c.Queriers, c.Profiles)
+		}
+		if c.GuardStates > int64(c.Profiles) {
+			t.Errorf("%dp/%dq: guard states %d exceed profiles %d", c.Policies, c.Queriers, c.GuardStates, c.Profiles)
+		}
+		if c.PlansCached > c.Profiles {
+			t.Errorf("%dp/%dq: cached plans %d exceed profiles %d", c.Policies, c.Queriers, c.PlansCached, c.Profiles)
+		}
+		if c.SteadyHitRate < 0.99 {
+			t.Errorf("%dp/%dq: steady-state hit rate %.3f, want ~1", c.Policies, c.Queriers, c.SteadyHitRate)
+		}
+		// Churn blast radius: one AddPolicy rebuilds at most the touched
+		// signature's plan and invalidates fewer claims than there are
+		// queriers (only the touched group's members).
+		if c.ChurnPlansRebuilt > 1 {
+			t.Errorf("%dp/%dq: churn rebuilt %d plans, want <= 1", c.Policies, c.Queriers, c.ChurnPlansRebuilt)
+		}
+		if c.ChurnClaimsInvalidated >= int64(c.Queriers) {
+			t.Errorf("%dp/%dq: churn invalidated %d claims out of %d queriers — not scoped",
+				c.Policies, c.Queriers, c.ChurnClaimsInvalidated, c.Queriers)
+		}
+	}
+}

@@ -86,6 +86,14 @@ type Config struct {
 	// default, runtime.NumCPU()). The -workers flag of sieve-bench sets
 	// it, adding a scaling dimension to the exp4/5 curves.
 	Workers int
+	// PolicyScalePolicies and PolicyScaleQueriers are the corpus- and
+	// population-size sweep of the policyscale experiment (the
+	// million-policy regime), over PolicyScaleGroups access profiles
+	// with PolicyScaleZipf group-popularity skew.
+	PolicyScalePolicies []int
+	PolicyScaleQueriers []int
+	PolicyScaleGroups   int
+	PolicyScaleZipf     float64
 }
 
 // TestConfig finishes in a few seconds; used by unit tests.
@@ -100,6 +108,11 @@ func TestConfig() Config {
 		Timeout:         10 * time.Second,
 		Queriers:        3,
 		SampleTuples:    400,
+
+		PolicyScalePolicies: []int{200, 1000},
+		PolicyScaleQueriers: []int{200},
+		PolicyScaleGroups:   10,
+		PolicyScaleZipf:     1.3,
 	}
 }
 
@@ -117,6 +130,9 @@ func MediumConfig() Config {
 	cfg.Queriers = 3
 	cfg.Timeout = 20 * time.Second
 	cfg.SampleTuples = 1500
+	cfg.PolicyScalePolicies = []int{1000, 5000, 20000}
+	cfg.PolicyScaleQueriers = []int{2000}
+	cfg.PolicyScaleGroups = 50
 	return cfg
 }
 
@@ -132,6 +148,13 @@ func BenchConfig() Config {
 		Timeout:         30 * time.Second,
 		Queriers:        5,
 		SampleTuples:    3000,
+
+		// The acceptance shape of the million-policy regime: 10⁴
+		// queriers over ≤100 profiles, policy counts 10³ → 10⁵.
+		PolicyScalePolicies: []int{1000, 10000, 100000},
+		PolicyScaleQueriers: []int{1000, 10000},
+		PolicyScaleGroups:   100,
+		PolicyScaleZipf:     1.2,
 	}
 }
 

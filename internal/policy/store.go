@@ -2,8 +2,10 @@ package policy
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/sqlparser"
@@ -16,28 +18,67 @@ const (
 	TableOC = "sieve_object_conditions" // rOC
 )
 
+// storeShards fixes the shard fan-out of the in-memory policy indexes. A
+// power of two so the hash folds with a mask; 64 keeps per-shard maps tiny
+// even at 10⁶ policies while bounding the struct's fixed footprint.
+const storeShards = 64
+
+// querierShard holds one shard of the querier index: querier name →
+// relation → that querier's policies. The per-relation sub-index keeps
+// PoliciesFor proportional to the policies that can actually apply, not to
+// everything a busy group owns across relations.
+type querierShard struct {
+	mu        sync.RWMutex
+	byQuerier map[string]map[string][]*Policy
+}
+
+// idShard holds one shard of the id index.
+type idShard struct {
+	mu   sync.RWMutex
+	byID map[int64]*Policy
+}
+
 // Store persists policies in the engine's rP and rOC relations and keeps an
 // in-memory cache for the hot lookup paths (the Δ operator and P_QM
 // filtering). The cache and the relations are maintained together; loading
 // an existing database reconstructs the cache from the relations.
+//
+// The cache is sharded: queriers and ids hash onto independent
+// RWMutex-guarded shards, so concurrent PoliciesFor reads for different
+// principals never contend with each other — and contend with churn only
+// when the churn touches their own shard. This is what lets a large querier
+// population resolve policy signatures in parallel while policies are being
+// inserted and revoked.
 type Store struct {
 	db *engine.DB
 
-	mu        sync.RWMutex
-	all       []*Policy
-	byID      map[int64]*Policy
-	byQuerier map[string][]*Policy
-	nextID    int64
-	clock     int64
+	queriers [storeShards]querierShard
+	ids      [storeShards]idShard
+
+	// meta guards the id/clock generators only.
+	meta   sync.Mutex
+	nextID int64
+	clock  int64
+
+	count atomic.Int64
 }
+
+func shardOf(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32() & (storeShards - 1)
+}
+
+func idShardOf(id int64) uint32 { return uint32(id) & (storeShards - 1) }
 
 // NewStore creates (or reattaches to) the policy relations in db.
 func NewStore(db *engine.DB) (*Store, error) {
-	s := &Store{
-		db:        db,
-		byID:      make(map[int64]*Policy),
-		byQuerier: make(map[string][]*Policy),
-		nextID:    1,
+	s := &Store{db: db, nextID: 1}
+	for i := range s.queriers {
+		s.queriers[i].byQuerier = make(map[string]map[string][]*Policy)
+	}
+	for i := range s.ids {
+		s.ids[i].byID = make(map[int64]*Policy)
 	}
 	if _, ok := db.Table(TableP); !ok {
 		pSchema := storage.MustSchema(
@@ -80,49 +121,52 @@ func NewStore(db *engine.DB) (*Store, error) {
 func (s *Store) DB() *engine.DB { return s.db }
 
 // Len returns the number of stored policies.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.all)
-}
+func (s *Store) Len() int { return int(s.count.Load()) }
 
-// All returns the stored policies (shared slice; callers must not mutate).
+// All returns the stored policies sorted by id. The slice is freshly
+// assembled per call; callers must not mutate the policies themselves.
 func (s *Store) All() []*Policy {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.all
+	out := make([]*Policy, 0, s.count.Load())
+	for i := range s.ids {
+		sh := &s.ids[i]
+		sh.mu.RLock()
+		for _, p := range sh.byID {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
+	}
+	Sort(out)
+	return out
 }
 
 // ByID looks a policy up by id.
 func (s *Store) ByID(id int64) (*Policy, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.byID[id]
+	sh := &s.ids[idShardOf(id)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.byID[id]
 	return p, ok
 }
 
 // PoliciesFor returns P_QM^i for one relation: allow-policies whose querier
 // conditions match the metadata directly or via group membership (§3.2).
+// The result is sorted by id, so two queriers with the same applicable set
+// get byte-identical signatures. Each principal name touches exactly one
+// shard under a read lock; a policy lives under its own querier name only,
+// and the principal names are distinct, so no dedup pass is needed.
 func (s *Store) PoliciesFor(qm Metadata, relation string, groups Groups) []*Policy {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	names := append([]string{qm.Querier}, groups.GroupsOf(qm.Querier)...)
 	var out []*Policy
-	seen := make(map[int64]bool)
 	for _, name := range names {
-		for _, p := range s.byQuerier[name] {
-			if seen[p.ID] {
+		sh := &s.queriers[shardOf(name)]
+		sh.mu.RLock()
+		for _, p := range sh.byQuerier[name][relation] {
+			if p.Action != Allow || !p.AppliesTo(qm, groups) {
 				continue
 			}
-			if p.Relation != relation || p.Action != Allow {
-				continue
-			}
-			if !p.AppliesTo(qm, groups) {
-				continue
-			}
-			seen[p.ID] = true
 			out = append(out, p)
 		}
+		sh.mu.RUnlock()
 	}
 	Sort(out)
 	return out
@@ -130,23 +174,30 @@ func (s *Store) PoliciesFor(qm Metadata, relation string, groups Groups) []*Poli
 
 // Insert persists one policy, assigning its ID and insertion timestamp.
 // The write goes through engine.Insert so that rP insert triggers (guard
-// invalidation, §5.1) fire.
+// invalidation, §5.1) fire. The in-memory cache is updated BEFORE the rP
+// row lands: the trigger announces the policy to the middleware, and any
+// signature resolution racing that announcement must already see the
+// policy in the store — caching after the insert would leave a window in
+// which a claim re-validates against the pre-insert set and the new grant
+// stays invisible until the next churn event.
 func (s *Store) Insert(p *Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
+	s.meta.Lock()
 	p.ID = s.nextID
 	s.nextID++
 	s.clock++
 	p.InsertedAt = s.clock
-	s.mu.Unlock()
+	s.meta.Unlock()
 
+	s.cache(p)
 	if err := s.db.Insert(TableP, storage.Row{
 		storage.NewInt(p.ID), storage.NewInt(p.Owner), storage.NewString(p.Querier),
 		storage.NewString(p.Relation), storage.NewString(p.Purpose),
 		storage.NewString(string(p.Action)), storage.NewInt(p.InsertedAt),
 	}); err != nil {
+		s.uncache(p)
 		return err
 	}
 	rows, err := conditionRows(p)
@@ -158,25 +209,22 @@ func (s *Store) Insert(p *Policy) error {
 			return err
 		}
 	}
-	s.mu.Lock()
-	s.cache(p)
-	s.mu.Unlock()
 	return nil
 }
 
 // BulkLoad persists many policies without firing triggers (initial load).
 func (s *Store) BulkLoad(ps []*Policy) error {
 	var pRows, ocRows []storage.Row
-	s.mu.Lock()
 	for _, p := range ps {
 		if err := p.Validate(); err != nil {
-			s.mu.Unlock()
 			return err
 		}
+		s.meta.Lock()
 		p.ID = s.nextID
 		s.nextID++
 		s.clock++
 		p.InsertedAt = s.clock
+		s.meta.Unlock()
 		pRows = append(pRows, storage.Row{
 			storage.NewInt(p.ID), storage.NewInt(p.Owner), storage.NewString(p.Querier),
 			storage.NewString(p.Relation), storage.NewString(p.Purpose),
@@ -184,24 +232,52 @@ func (s *Store) BulkLoad(ps []*Policy) error {
 		})
 		rows, err := conditionRows(p)
 		if err != nil {
-			s.mu.Unlock()
 			return err
 		}
 		ocRows = append(ocRows, rows...)
 		s.cache(p)
 	}
-	s.mu.Unlock()
 	if err := s.db.BulkInsert(TableP, pRows); err != nil {
 		return err
 	}
 	return s.db.BulkInsert(TableOC, ocRows)
 }
 
-// cache records a policy in the in-memory maps. Callers hold s.mu.
+// cache records a policy in the sharded in-memory indexes.
 func (s *Store) cache(p *Policy) {
-	s.all = append(s.all, p)
-	s.byID[p.ID] = p
-	s.byQuerier[p.Querier] = append(s.byQuerier[p.Querier], p)
+	qs := &s.queriers[shardOf(p.Querier)]
+	qs.mu.Lock()
+	byRel, ok := qs.byQuerier[p.Querier]
+	if !ok {
+		byRel = make(map[string][]*Policy)
+		qs.byQuerier[p.Querier] = byRel
+	}
+	byRel[p.Relation] = append(byRel[p.Relation], p)
+	qs.mu.Unlock()
+
+	is := &s.ids[idShardOf(p.ID)]
+	is.mu.Lock()
+	is.byID[p.ID] = p
+	is.mu.Unlock()
+
+	s.count.Add(1)
+}
+
+// uncache reverses cache after a failed persist.
+func (s *Store) uncache(p *Policy) {
+	qs := &s.queriers[shardOf(p.Querier)]
+	qs.mu.Lock()
+	if byRel, ok := qs.byQuerier[p.Querier]; ok {
+		byRel[p.Relation] = removePolicy(byRel[p.Relation], p.ID)
+	}
+	qs.mu.Unlock()
+
+	is := &s.ids[idShardOf(p.ID)]
+	is.mu.Lock()
+	delete(is.byID, p.ID)
+	is.mu.Unlock()
+
+	s.count.Add(-1)
 }
 
 var ocSeq int64
@@ -246,19 +322,31 @@ func conditionRows(p *Policy) ([]storage.Row, error) {
 }
 
 // Revoke removes a policy from the store and its relations (§6: policies
-// can be revoked at any time). Callers that cache guarded expressions must
-// invalidate them; core.Middleware.RevokePolicy does both.
+// can be revoked at any time). The in-memory indexes shrink FIRST, then the
+// rows are deleted: callers that cache guarded expressions invalidate those
+// caches after Revoke returns (core.Middleware.RevokePolicy does), and any
+// signature re-resolution that runs after the invalidation must already see
+// the post-revocation set — the reverse order would let a stale set be
+// re-validated as fresh.
 func (s *Store) Revoke(id int64) (*Policy, error) {
-	s.mu.Lock()
-	p, ok := s.byID[id]
+	is := &s.ids[idShardOf(id)]
+	is.mu.Lock()
+	p, ok := is.byID[id]
+	if ok {
+		delete(is.byID, id)
+	}
+	is.mu.Unlock()
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("policy: no policy %d to revoke", id)
 	}
-	delete(s.byID, id)
-	s.all = removePolicy(s.all, id)
-	s.byQuerier[p.Querier] = removePolicy(s.byQuerier[p.Querier], id)
-	s.mu.Unlock()
+
+	qs := &s.queriers[shardOf(p.Querier)]
+	qs.mu.Lock()
+	if byRel, ok := qs.byQuerier[p.Querier]; ok {
+		byRel[p.Relation] = removePolicy(byRel[p.Relation], id)
+	}
+	qs.mu.Unlock()
+	s.count.Add(-1)
 
 	pTab := s.db.MustTable(TableP)
 	var pRows []storage.RowID
@@ -289,8 +377,11 @@ func (s *Store) Revoke(id int64) (*Policy, error) {
 	return p, nil
 }
 
+// removePolicy copies ps without id. A fresh slice, not an in-place
+// truncation: readers under a shard RLock may still be iterating the old
+// backing array.
 func removePolicy(ps []*Policy, id int64) []*Policy {
-	out := ps[:0]
+	out := make([]*Policy, 0, len(ps))
 	for _, p := range ps {
 		if p.ID != id {
 			out = append(out, p)
@@ -324,15 +415,16 @@ func (s *Store) loadFromTables() error {
 		}
 		p.Conditions = cs
 		s.cache(p)
+		s.meta.Lock()
 		if p.ID >= s.nextID {
 			s.nextID = p.ID + 1
 		}
 		if p.InsertedAt > s.clock {
 			s.clock = p.InsertedAt
 		}
+		s.meta.Unlock()
 		return true
 	})
-	Sort(s.all)
 	return firstErr
 }
 

@@ -105,7 +105,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	ec := s.m.DB().CountersSnapshot()
+	cs := s.m.CacheStats()
 	jsonOK(w, map[string]int64{
+		"guard_cache_hits":         cs.GuardCacheHits,
+		"guard_cache_misses":       cs.GuardCacheMisses,
+		"guard_regens":             cs.GuardRegens,
+		"guard_shares":             cs.GuardShares,
+		"guard_states":             cs.GuardStates,
+		"guard_claims":             cs.Claims,
+		"scoped_invalidations":     cs.ScopedInvalidations,
+		"claims_invalidated":       cs.ClaimsInvalidated,
+		"plan_cache_hits":          cs.PlanCacheHits,
+		"plan_cache_misses":        cs.PlanCacheMisses,
 		"requests_total":           s.vz.Requests.Load(),
 		"auth_failures":            s.vz.AuthFailures.Load(),
 		"queries_total":            s.vz.Queries.Load(),
@@ -347,12 +358,16 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 	if er, ok := rows.(*engine.Rows); ok {
 		c := er.Counters()
 		done.Counters = &StreamCounters{
-			TuplesRead:      c.TuplesRead,
-			SegmentsScanned: c.SegmentsScanned,
-			SegmentsPruned:  c.SegmentsPruned,
-			OwnerDictPruned: c.OwnerDictPruned,
-			PolicyEvals:     c.PolicyEvals,
-			UDFInvocations:  c.UDFInvocations,
+			TuplesRead:       c.TuplesRead,
+			SegmentsScanned:  c.SegmentsScanned,
+			SegmentsPruned:   c.SegmentsPruned,
+			OwnerDictPruned:  c.OwnerDictPruned,
+			PolicyEvals:      c.PolicyEvals,
+			UDFInvocations:   c.UDFInvocations,
+			GuardCacheHits:   c.GuardCacheHits,
+			GuardCacheMisses: c.GuardCacheMisses,
+			PlanCacheHits:    c.PlanCacheHits,
+			PlanCacheMisses:  c.PlanCacheMisses,
 		}
 		s.log.Info("query",
 			"rows", n, "tuples_read", c.TuplesRead,

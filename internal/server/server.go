@@ -23,9 +23,12 @@
 //	GET    /varz                           counters, JSON
 //
 // Server-side prepared statements reuse core.Stmt, so the parse and the
-// policy rewrite are cached per (querier, purpose) and invalidated by the
-// policy epoch: a policy added through POST /v1/policies re-rewrites
-// every prepared statement on its next execution, with no reconnect.
+// policy rewrite are cached per policy-set signature: queriers sharing a
+// policy profile share one rewritten plan, and a policy added through
+// POST /v1/policies invalidates only the plans whose signature it
+// touched — every other tenant's prepared statements keep their plans,
+// and the affected ones re-rewrite transparently on their next
+// execution, with no reconnect.
 package server
 
 import (

@@ -204,6 +204,13 @@ type StreamCounters struct {
 	OwnerDictPruned int64 `json:"owner_dict_pruned"`
 	PolicyEvals     int64 `json:"policy_evals"`
 	UDFInvocations  int64 `json:"udf_invocations"`
+	// Rewrite-layer cache effectiveness for this query: guard-state
+	// resolutions served from the signature cache vs. recomputed, and
+	// (prepared statements only) plan-token lookups.
+	GuardCacheHits   int64 `json:"guard_cache_hits,omitempty"`
+	GuardCacheMisses int64 `json:"guard_cache_misses,omitempty"`
+	PlanCacheHits    int64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses  int64 `json:"plan_cache_misses,omitempty"`
 }
 
 // StreamLine is one line of a query response (application/x-ndjson).

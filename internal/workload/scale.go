@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// TableTelemetry is the protected relation of the large-regime corpus.
+const TableTelemetry = "Telemetry"
+
+// ScaleConfig parameterises the million-policy-regime corpus: the paper's
+// full TIPPERS deployment holds 869K policies over tens of thousands of
+// queriers (§7.1), but those queriers cluster into a small number of
+// access profiles — a class shares its lecturer's grants, a lab shares
+// its PI's. The corpus models that shape directly: a large querier
+// population partitioned into few access groups whose popularity follows
+// a Zipf law, with every policy granted to a group identity, so group
+// members share one applicable policy set (one signature) and the
+// middleware's guard and plan caches can be held to O(groups) instead of
+// O(queriers).
+type ScaleConfig struct {
+	Seed int64
+	// Queriers is the number of distinct querier identities.
+	Queriers int
+	// Groups is the number of access groups the queriers divide into —
+	// the ceiling on distinct policy profiles.
+	Groups int
+	// Policies is the corpus size; each policy is granted to one group.
+	Policies int
+	// Owners is the data-owner population the policies speak for.
+	Owners int
+	// ZipfS is the skew of group popularity (must be > 1; higher means
+	// fewer groups hold most queriers and most policies — the §2.1
+	// classroom shape).
+	ZipfS float64
+	// Rows is the protected relation's tuple count. The regime measures
+	// rewrite-side behaviour, so this stays small.
+	Rows int
+	// APs bounds the location attribute used in policy conditions.
+	APs int
+}
+
+// DefaultScaleConfig fills the regime's fixed dimensions; callers sweep
+// Queriers and Policies.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{Seed: 7, Groups: 100, Owners: 500, ZipfS: 1.2, Rows: 512, APs: 32}
+}
+
+// ScaleQuerierName returns the querier identity of population member i.
+func ScaleQuerierName(i int) string { return fmt.Sprintf("sq:%05d", i) }
+
+// ScaleGroupName returns the querier identity of access group g.
+func ScaleGroupName(g int) string { return fmt.Sprintf("sg:%03d", g) }
+
+// ScaleCorpus is the generated large-regime population and policy corpus.
+type ScaleCorpus struct {
+	Cfg      ScaleConfig
+	Policies []*policy.Policy
+	// Queriers lists the population's querier identities; GroupOf[i] is
+	// the access group of Queriers[i].
+	Queriers []string
+	GroupOf  []int
+	// Profiles is the number of distinct applicable policy sets across
+	// the population: groups that both hold members and received
+	// policies count once each, and every member of a policy-free group
+	// shares the single empty profile.
+	Profiles int
+
+	groups policy.StaticGroups
+}
+
+// Groups returns the corpus's group-membership resolver.
+func (sc *ScaleCorpus) Groups() policy.Groups { return sc.groups }
+
+// BuildScaleCorpus generates the population and its policy corpus.
+// Deterministic under Cfg.Seed.
+func BuildScaleCorpus(cfg ScaleConfig) *ScaleCorpus {
+	if cfg.Groups < 1 {
+		cfg.Groups = 1
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.Owners < 1 {
+		cfg.Owners = 1
+	}
+	if cfg.APs < 1 {
+		cfg.APs = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Groups-1))
+
+	sc := &ScaleCorpus{
+		Cfg:      cfg,
+		Queriers: make([]string, cfg.Queriers),
+		GroupOf:  make([]int, cfg.Queriers),
+		groups:   policy.StaticGroups{},
+	}
+	hasMember := make([]bool, cfg.Groups)
+	for i := 0; i < cfg.Queriers; i++ {
+		g := int(zipf.Uint64())
+		sc.Queriers[i] = ScaleQuerierName(i)
+		sc.GroupOf[i] = g
+		sc.groups[sc.Queriers[i]] = []string{ScaleGroupName(g)}
+		hasMember[g] = true
+	}
+
+	// Policies are granted to group identities with the same skew, so
+	// popular groups accumulate both members and policies. Conditions
+	// reuse the §2.1 control dimensions (location, time window) so the
+	// generated guards are non-trivial.
+	hasPolicy := make([]bool, cfg.Groups)
+	sc.Policies = make([]*policy.Policy, 0, cfg.Policies)
+	for i := 0; i < cfg.Policies; i++ {
+		g := int(zipf.Uint64())
+		hasPolicy[g] = true
+		p := &policy.Policy{
+			Owner:    int64(r.Intn(cfg.Owners)),
+			Querier:  ScaleGroupName(g),
+			Purpose:  policy.AnyPurpose,
+			Relation: TableTelemetry,
+			Action:   policy.Allow,
+		}
+		if r.Float64() < 0.6 {
+			p.Conditions = append(p.Conditions,
+				policy.Compare("ap", sqlparser.CmpEq, storage.NewInt(int64(r.Intn(cfg.APs)))))
+		}
+		if r.Float64() < 0.7 {
+			start := 8 + r.Intn(9)
+			p.Conditions = append(p.Conditions, policy.RangeClosed("ts_time",
+				storage.NewTime(int64(start)*3600),
+				storage.NewTime(int64(start+1+r.Intn(4))*3600)))
+		}
+		sc.Policies = append(sc.Policies, p)
+	}
+
+	empty := false
+	for g := 0; g < cfg.Groups; g++ {
+		switch {
+		case hasMember[g] && hasPolicy[g]:
+			sc.Profiles++
+		case hasMember[g]:
+			empty = true
+		}
+	}
+	if empty {
+		sc.Profiles++
+	}
+	return sc
+}
+
+// BuildScaleDB creates the regime's protected relation in a fresh engine
+// of the given dialect and fills it with Cfg.Rows tuples whose owner and
+// location values line up with the corpus's policy conditions.
+func (sc *ScaleCorpus) BuildScaleDB(dialect engine.Dialect) (*engine.DB, error) {
+	db := engine.New(dialect)
+	schema := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "ap", Type: storage.KindInt},
+		storage.Column{Name: "ts_time", Type: storage.KindTime},
+	)
+	if _, err := db.CreateTable(TableTelemetry, schema); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(sc.Cfg.Seed + 1))
+	rows := make([]storage.Row, sc.Cfg.Rows)
+	for i := range rows {
+		rows[i] = storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(r.Intn(sc.Cfg.Owners))),
+			storage.NewInt(int64(r.Intn(sc.Cfg.APs))),
+			storage.NewTime(int64(6+r.Intn(16))*3600 + int64(r.Intn(3600))),
+		}
+	}
+	if err := db.BulkInsert(TableTelemetry, rows); err != nil {
+		return nil, err
+	}
+	for _, col := range []string{"owner", "ap", "ts_time"} {
+		if err := db.CreateIndex(TableTelemetry, col); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Analyze(TableTelemetry); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// GroupCounts tallies queriers per access group, descending — the Zipf
+// head is visible in the first few entries.
+func (sc *ScaleCorpus) GroupCounts() []int {
+	counts := make([]int, sc.Cfg.Groups)
+	for _, g := range sc.GroupOf {
+		counts[g]++
+	}
+	// Insertion sort descending (group counts are few).
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0 && counts[j] > counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	return counts
+}

@@ -136,6 +136,11 @@ type (
 	RegenConfig = core.RegenConfig
 	// Calibration holds measured cost-model constants (§5.4).
 	Calibration = core.Calibration
+	// CacheStats snapshots the middleware's guard/plan cache
+	// effectiveness: signature-cache hits and misses, guard
+	// generations vs. shared bindings, live states and claims, and
+	// scoped-invalidation churn.
+	CacheStats = core.CacheStats
 
 	// Store persists policies in the engine (rP/rOC).
 	Store = policy.Store
