@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
@@ -49,13 +50,17 @@ func (m *Middleware) RewriteQuery(sql string, qm policy.Metadata) (*sqlparser.Se
 
 // rewriteParsed rewrites a parsed statement in place under qm's policies.
 // Callers that keep the original AST (prepared statements) must pass a
-// clone.
+// clone. The Report carries the plan token assembled from the same
+// (state, pending) resolutions the CTEs were built from — each taken
+// under m.mu — so the token always describes exactly the guards in the
+// rewritten statement, however policy churn interleaves with the rewrite.
 func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadata) (*sqlparser.SelectStmt, *Report, error) {
 	if qm.Querier == "" {
 		return nil, nil, fmt.Errorf("sieve: query metadata must identify the querier")
 	}
 	rep := &Report{}
 	relations := m.protectedIn(stmt)
+	var tok strings.Builder
 	for _, relation := range relations {
 		refName := topLevelRefName(stmt, relation)
 		st, pending, hit, err := m.guardedExpressionFor(qm, relation)
@@ -67,6 +72,11 @@ func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadat
 		} else {
 			rep.GuardCacheMisses++
 		}
+		fmt.Fprintf(&tok, "%s=%d", relation, st.stateID)
+		for _, p := range pending {
+			fmt.Fprintf(&tok, ",%d", p.ID)
+		}
+		tok.WriteByte(';')
 		dec := m.chooseStrategy(stmt, relation, refName, st.ge, pending)
 		dec.DeltaGuards = len(st.deltaSets)
 		dec.Signature = st.signature()
@@ -86,6 +96,7 @@ func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadat
 	m.mu.Lock()
 	m.queriesSeen++
 	m.mu.Unlock()
+	rep.planToken = tok.String()
 	rep.SQL = sqlparser.Print(stmt)
 	return stmt, rep, nil
 }

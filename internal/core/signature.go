@@ -386,6 +386,9 @@ func (st *geState) signature() string {
 // served stale; and churn that leaves the signature untouched leaves the
 // token untouched, so unrelated plans survive. Queriers sharing a
 // signature produce identical tokens and share one plan per statement.
+// This function only LOOKS UP plans; Stmt.planFor inserts them under the
+// token the rewrite itself resolved (Report.planToken), so churn between
+// this resolution and the rewrite cannot mis-key a plan (see planFor).
 // seed carries the guard-cache counters for the caller to fold into the
 // query's engine counters.
 func (m *Middleware) planTokenFor(qm policy.Metadata, tables []string) (string, engine.Counters, error) {

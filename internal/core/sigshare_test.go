@@ -8,6 +8,7 @@ import (
 
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
 )
 
 // sigFixture is a population of queriers split across access groups, with
@@ -268,5 +269,244 @@ func TestConcurrentChurnWithSharedPreparedStatements(t *testing.T) {
 		if got := f.m.Regens(f.metadata(q), "wifi"); got != before {
 			t.Errorf("untouched querier %s: regens %d → %d (scoped invalidation leaked)", q, before, got)
 		}
+	}
+}
+
+// TestPlanCachedUnderRewriteResolvedToken pins the plan-cache keying
+// invariant that closes the TOCTOU between token resolution and the
+// rewrite (both take m.mu separately): when a policy granted to ONE
+// member of a signature-sharing group lands between the two, the rewrite
+// includes the new grant's arm, so the plan must be cached under the
+// token the rewrite itself resolved. Caching it under the pre-insert
+// token would serve the grantee's extra rows to every peer still
+// resolving the old signature — peers the policy does not apply to.
+func TestPlanCachedUnderRewriteResolvedToken(t *testing.T) {
+	f := newSigFixture(t, 1, 2)
+	st, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qmA := f.metadata("member0_0")
+	qmB := f.metadata("member0_1")
+	// Warm both claims: one shared signature, one shared token.
+	for _, qm := range []policy.Metadata{qmA, qmB} {
+		if _, err := st.Execute(ctx, f.m.NewSession(qm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tokA, _, err := f.m.planTokenFor(qmA, st.tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokB, _, err := f.m.planTokenFor(qmB, st.tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokA != tokB {
+		t.Fatalf("shared-signature members resolved different tokens: %q vs %q", tokA, tokB)
+	}
+
+	// The racing insert: a personal grant to member0_0 (not the group),
+	// landing after A's token was resolved and before A's rewrite.
+	const personalOwner = int64(25)
+	if err := f.m.AddPolicy(&policy.Policy{
+		Owner: personalOwner, Querier: "member0_0", Purpose: policy.AnyPurpose,
+		Relation: "wifi", Action: policy.Allow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := f.m.rewriteParsed(sqlparser.CloneStmt(st.ast), qmA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.planToken == tokA {
+		t.Fatalf("post-insert rewrite reported the pre-insert token %q; a plan carrying the new grant would be cached under the shared stale key", tokA)
+	}
+	freshA, _, err := f.m.planTokenFor(qmA, st.tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.planToken != freshA {
+		t.Errorf("rewrite token = %q, want A's post-insert token %q", rep.planToken, freshA)
+	}
+	// B's applicable set did not change: B keeps the old token and must
+	// never resolve to the grantee's.
+	freshB, _, err := f.m.planTokenFor(qmB, st.tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshB != tokB {
+		t.Errorf("peer's token moved %q → %q though its policy set is unchanged", tokB, freshB)
+	}
+	if freshB == rep.planToken {
+		t.Errorf("peer resolves the grantee's token %q: the personal grant's plan would be shared", freshB)
+	}
+
+}
+
+// TestMidRewriteInsertDoesNotPoisonSharedPlan drives the TOCTOU leak end
+// to end, deterministically: two queriers share a signature and their
+// claims are warm, the prepared statement's plan cache is cold, and a
+// personal grant to querier A is injected — via the test hook — exactly
+// between A's plan-token resolution and A's rewrite. A's rewrite then
+// carries the grant's arm while A's lookup token predates it; caching
+// that plan under the lookup token (the pre-fix behaviour) would hand
+// B, who still resolves that token, the grantee's rows.
+func TestMidRewriteInsertDoesNotPoisonSharedPlan(t *testing.T) {
+	const grantOwner = int64(25) // outside grp0's stable grants (owners 0-4)
+	f := newSigFixture(t, 1, 2)
+	ctx := context.Background()
+	qmA := f.metadata("member0_0")
+	qmB := f.metadata("member0_1")
+	// Warm both claims through a throwaway statement so the shared
+	// signature exists before the statement under test ever runs.
+	warm, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qm := range []policy.Metadata{qmA, qmB} {
+		if _, err := warm.Execute(ctx, f.m.NewSession(qm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := false
+	st.hookAfterToken = func() {
+		if inserted {
+			return
+		}
+		inserted = true
+		if err := f.m.AddPolicy(&policy.Policy{
+			Owner: grantOwner, Querier: "member0_0", Purpose: policy.AnyPurpose,
+			Relation: "wifi", Action: policy.Allow,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Execute(ctx, f.m.NewSession(qmA)); err != nil {
+		t.Fatal(err)
+	}
+	if !inserted {
+		t.Fatal("test hook never fired; the window was not exercised")
+	}
+	st.hookAfterToken = nil
+	res, err := st.Execute(ctx, f.m.NewSession(qmB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[1].I == grantOwner {
+			t.Fatalf("member0_1 saw owner %d, granted only to member0_0 mid-rewrite", grantOwner)
+		}
+	}
+}
+
+// TestConcurrentPersonalGrantNeverLeaksAcrossSignature stresses the
+// INSERT direction of churn (the revocation direction is covered above):
+// a personal grant to one member of a signature-sharing group is added
+// and revoked in a loop while both the grantee and a peer hammer the same
+// prepared statement. The peer's applicable set never contains the grant,
+// so the peer must never see the granted owner's rows, whatever
+// interleaving of token resolution, insert, rewrite, and caching occurs.
+// Meant to run under -race with -cpu=1,4 (see CI).
+func TestConcurrentPersonalGrantNeverLeaksAcrossSignature(t *testing.T) {
+	const grantOwner = int64(25) // outside grp0's stable grants (owners 0-4)
+	f := newSigFixture(t, 1, 2)
+	st, err := f.m.Prepare("SELECT * FROM wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	grantee, peer := "member0_0", "member0_1"
+	for _, q := range []string{grantee, peer} {
+		if _, err := st.Execute(ctx, f.m.NewSession(f.metadata(q))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	churnIters := 40
+	if testing.Short() {
+		churnIters = 10
+	}
+	stop := make(chan struct{})
+	errc := make(chan error, 3)
+	var wg sync.WaitGroup
+
+	// The grantee hammers the statement so plan rebuilds race the writer;
+	// its rows may legally include grantOwner while the grant is live.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := f.m.NewSession(f.metadata(grantee))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := st.Execute(ctx, sess); err != nil {
+				errc <- fmt.Errorf("grantee: %v", err)
+				return
+			}
+		}
+	}()
+
+	// The peer shares the pre-grant signature and must never see the
+	// personally granted owner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := f.m.NewSession(f.metadata(peer))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := st.Execute(ctx, sess)
+			if err != nil {
+				errc <- fmt.Errorf("peer: %v", err)
+				return
+			}
+			for _, r := range res.Rows {
+				if r[1].I == grantOwner {
+					errc <- fmt.Errorf("peer %s saw owner %d, granted only to %s", peer, grantOwner, grantee)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < churnIters; i++ {
+			p := &policy.Policy{
+				Owner: grantOwner, Querier: grantee, Purpose: policy.AnyPurpose,
+				Relation: "wifi", Action: policy.Allow,
+			}
+			if err := f.m.AddPolicy(p); err != nil {
+				errc <- err
+				return
+			}
+			if err := f.m.RevokePolicy(p.ID); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
 	}
 }

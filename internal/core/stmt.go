@@ -37,6 +37,11 @@ type Stmt struct {
 	plans map[string]*preparedPlan
 
 	rewrites atomic.Int64
+
+	// hookAfterToken, when non-nil, runs on a plan-cache miss between
+	// token resolution and the rewrite. Tests use it to interleave policy
+	// churn into the exact window the rewrite-resolved cache key closes.
+	hookAfterToken func()
 }
 
 type preparedPlan struct {
@@ -244,11 +249,20 @@ func (st *Stmt) CachedPlans() int {
 const maxCachedPlans = 1024
 
 // planFor returns the rewritten plan for the session's current plan
-// token. The token is resolved first (under the middleware lock, so it is
-// consistent with the guard states the rewrite would use); a hit returns
-// the shared plan, a miss rewrites from the pristine parse and caches
-// under the token. seed carries the guard/plan cache counters for
-// streaming paths to fold into the query's engine counters.
+// token. The token is resolved first; a hit returns the shared plan, a
+// miss rewrites from the pristine parse. The fresh plan is cached under
+// the token the rewrite itself resolved (Report.planToken), NOT the
+// lookup token: the two are taken under separate m.mu critical sections,
+// and an AddPolicy landing between them makes the rewrite include
+// pending/regenerated arms the lookup token does not encode — caching
+// that plan under the pre-insert token would serve the new grant's rows
+// to every querier still resolving the old signature, queriers the
+// policy does not apply to. Keying by the rewrite's own resolutions is
+// sound under any interleaving (a token embedding a state or pending id
+// can only be produced by queriers whose applicable set contains exactly
+// those policies, and revocation retires the state or the pending id
+// from every future resolution). seed carries the guard/plan cache
+// counters for streaming paths to fold into the query's engine counters.
 func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, engine.Counters, error) {
 	var seed engine.Counters
 	if st.numInput > 0 {
@@ -268,6 +282,9 @@ func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, engine.Counters, err
 	}
 	seed.PlanCacheMisses++
 	st.m.planMisses.Add(1)
+	if st.hookAfterToken != nil {
+		st.hookAfterToken()
+	}
 	stmt, rep, err := st.m.rewriteParsed(sqlparser.CloneStmt(st.ast), qm)
 	if err != nil {
 		return nil, seed, err
@@ -278,7 +295,7 @@ func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, engine.Counters, err
 	if len(st.plans) >= maxCachedPlans {
 		st.evictLocked()
 	}
-	st.plans[tok] = p
+	st.plans[rep.planToken] = p
 	st.mu.Unlock()
 	return p, seed, nil
 }

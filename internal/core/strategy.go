@@ -72,6 +72,14 @@ type Report struct {
 	// consulting the policy store (sharing or regenerating).
 	GuardCacheHits   int
 	GuardCacheMisses int
+	// planToken is the signature token of the guard resolutions this
+	// rewrite was actually built from, in planTokenFor's format. Stmt
+	// caches the plan under THIS token, not the one resolved before the
+	// rewrite: the two are taken under separate critical sections, so a
+	// policy landing between them would otherwise bind a plan containing
+	// the new grant's arms to the pre-churn token — which queriers the
+	// grant does not apply to still resolve to.
+	planToken string
 }
 
 // chooseStrategy implements §5.5: EXPLAIN the original query to learn the

@@ -152,12 +152,26 @@ func (s *Store) ByID(id int64) (*Policy, bool) {
 // conditions match the metadata directly or via group membership (§3.2).
 // The result is sorted by id, so two queriers with the same applicable set
 // get byte-identical signatures. Each principal name touches exactly one
-// shard under a read lock; a policy lives under its own querier name only,
-// and the principal names are distinct, so no dedup pass is needed.
+// shard under a read lock, and a policy lives under its own querier name
+// only — so visiting each DISTINCT name once yields no duplicates. The
+// duplicate-skip below guards against Groups resolvers that return the
+// querier itself or repeated group names: a duplicated policy id would
+// break signature canonicality (splitting otherwise-identical profiles)
+// and duplicate guard arms.
 func (s *Store) PoliciesFor(qm Metadata, relation string, groups Groups) []*Policy {
 	names := append([]string{qm.Querier}, groups.GroupsOf(qm.Querier)...)
 	var out []*Policy
-	for _, name := range names {
+	for i, name := range names {
+		dup := false
+		for _, prev := range names[:i] {
+			if prev == name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		sh := &s.queriers[shardOf(name)]
 		sh.mu.RLock()
 		for _, p := range sh.byQuerier[name][relation] {
@@ -191,6 +205,15 @@ func (s *Store) Insert(p *Policy) error {
 	p.InsertedAt = s.clock
 	s.meta.Unlock()
 
+	// Serialise the object conditions BEFORE anything is written: a
+	// condition the store cannot persist then aborts with no trace instead
+	// of leaving an rP row whose rOC rows are missing — which a reload
+	// would reconstruct as a policy with fewer conditions than granted.
+	rows, err := conditionRows(p)
+	if err != nil {
+		return err
+	}
+
 	s.cache(p)
 	if err := s.db.Insert(TableP, storage.Row{
 		storage.NewInt(p.ID), storage.NewInt(p.Owner), storage.NewString(p.Querier),
@@ -200,12 +223,15 @@ func (s *Store) Insert(p *Policy) error {
 		s.uncache(p)
 		return err
 	}
-	rows, err := conditionRows(p)
-	if err != nil {
-		return err
-	}
 	for _, r := range rows {
 		if err := s.db.Insert(TableOC, r); err != nil {
+			// Roll back the half-commit: drop the cached policy and every
+			// row that already landed so memory, rP and rOC agree the
+			// policy does not exist. (The rP trigger already fired, but it
+			// only invalidates claims — a conservative no-op once the
+			// policy is gone from the store.)
+			s.uncache(p)
+			s.deleteRows(p.ID)
 			return err
 		}
 	}
@@ -348,6 +374,15 @@ func (s *Store) Revoke(id int64) (*Policy, error) {
 	qs.mu.Unlock()
 	s.count.Add(-1)
 
+	if err := s.deleteRows(id); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// deleteRows removes every persisted rP and rOC row of one policy id
+// (used by Revoke, and by Insert to roll back a partial persist).
+func (s *Store) deleteRows(id int64) error {
 	pTab := s.db.MustTable(TableP)
 	var pRows []storage.RowID
 	pTab.Scan(func(rowID storage.RowID, r storage.Row) bool {
@@ -358,7 +393,7 @@ func (s *Store) Revoke(id int64) (*Policy, error) {
 	})
 	for _, rowID := range pRows {
 		if err := pTab.Delete(rowID); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	ocTab := s.db.MustTable(TableOC)
@@ -371,10 +406,10 @@ func (s *Store) Revoke(id int64) (*Policy, error) {
 	})
 	for _, rowID := range ocRows {
 		if err := ocTab.Delete(rowID); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // removePolicy copies ps without id. A fresh slice, not an in-place

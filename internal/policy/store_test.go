@@ -223,3 +223,75 @@ func TestStoreQueryableLikePaperTable4(t *testing.T) {
 		t.Errorf("first condition row = %v", res.Rows[0])
 	}
 }
+
+func TestInsertAbortsCleanlyOnUnserialisableCondition(t *testing.T) {
+	// A condition kind the store cannot serialise must abort the insert
+	// with NO trace: no cached policy, no rP row, no rOC rows. A
+	// half-committed insert (rP row without its conditions) would make a
+	// reload reconstruct the policy with fewer conditions than granted,
+	// silently widening the grant.
+	s := newStore(t)
+	bad := &Policy{
+		Owner: 7, Querier: "Mallory", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Allow,
+		Conditions: []ObjectCondition{
+			{Attr: "wifiAP", Kind: CondKind(99)},
+		},
+	}
+	if err := s.Insert(bad); err == nil {
+		t.Fatal("Insert accepted an unserialisable condition")
+	}
+	if s.Len() != 0 {
+		t.Errorf("store caches %d policies after failed insert, want 0", s.Len())
+	}
+	if _, ok := s.ByID(bad.ID); ok {
+		t.Error("failed insert left the policy in the id index")
+	}
+	if got := s.PoliciesFor(Metadata{Querier: "Mallory", Purpose: "Attendance"}, "WiFi_Dataset", NoGroups); len(got) != 0 {
+		t.Errorf("failed insert left %d policies applicable", len(got))
+	}
+	count := 0
+	s.DB().MustTable(TableP).Scan(func(_ storage.RowID, _ storage.Row) bool {
+		count++
+		return true
+	})
+	if count != 0 {
+		t.Errorf("failed insert left %d rP rows, want 0", count)
+	}
+}
+
+// selfishGroups is a pathological Groups resolver: it violates the
+// contract by returning the member itself and duplicate group names.
+type selfishGroups struct{}
+
+func (selfishGroups) GroupsOf(member string) []string {
+	return []string{member, "faculty", "faculty"}
+}
+
+func TestPoliciesForDedupsPathologicalGroupResolvers(t *testing.T) {
+	// A resolver that returns the querier itself or repeated groups must
+	// not duplicate policy ids in the result: signatures are canonical
+	// sorted id lists, and a duplicated id would split otherwise-identical
+	// profiles and duplicate guard arms.
+	s := newStore(t)
+	direct := &Policy{Owner: 1, Querier: "Prof. Smith", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Allow}
+	viaGroup := &Policy{Owner: 2, Querier: "faculty", Purpose: "Attendance",
+		Relation: "WiFi_Dataset", Action: Allow}
+	for _, p := range []*Policy{direct, viaGroup} {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.PoliciesFor(Metadata{Querier: "Prof. Smith", Purpose: "Attendance"}, "WiFi_Dataset", selfishGroups{})
+	if len(got) != 2 {
+		t.Fatalf("PoliciesFor = %d policies, want 2 (no duplicates)", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Errorf("duplicate policy id %d in result", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
