@@ -77,6 +77,7 @@ var experiments = []exp{
 	{"workers", "Parallel guarded scan scaling (1..NumCPU workers)", experiment.WorkerScaling},
 	{"vector", "Vectorised vs row-at-a-time guard evaluation", experiment.VectorComparison},
 	{"policyscale", "Million-policy regime: signature-shared plans, scoped invalidation", experiment.PolicyScale},
+	{"recovery", "Durability: WAL append, snapshot MB/s, replay rec/s, cold recovery", experiment.Recovery},
 }
 
 func main() {

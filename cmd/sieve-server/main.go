@@ -13,6 +13,13 @@
 // scheme exists so the campus is explorable with zero setup. SIGTERM and
 // SIGINT drain gracefully: /healthz flips to 503, new work is rejected,
 // and in-flight streams get -drain-timeout to finish.
+//
+// With -data-dir the server is durable: every acknowledged mutation (row
+// writes, policy grants and revocations, Protect calls) is write-ahead
+// logged into the directory before it applies, snapshots bound replay,
+// and the next start with the same -data-dir recovers exactly the
+// acknowledged state — see docs/durability.md. A clean drain ends with a
+// checkpoint so the following boot replays nothing.
 package main
 
 import (
@@ -23,11 +30,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	sieve "github.com/sieve-db/sieve"
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/cli"
 	"github.com/sieve-db/sieve/internal/server"
+	"github.com/sieve-db/sieve/internal/wal"
 	"github.com/sieve-db/sieve/internal/workload"
 )
 
@@ -62,9 +71,31 @@ func run(opts *cli.ServerOpts) error {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
-	demo, err := workload.NewDemo(sieve.MySQL())
-	if err != nil {
-		return err
+	var (
+		demo *workload.Demo
+		mgr  *wal.Manager
+	)
+	if opts.DataDir != "" {
+		syncPolicy, err := wal.ParseSyncPolicy(opts.WALSync)
+		if err != nil {
+			return err
+		}
+		dd, err := workload.NewDurableDemo(sieve.MySQL(), opts.DataDir, wal.Options{Sync: syncPolicy})
+		if err != nil {
+			return err
+		}
+		demo, mgr = &dd.Demo, dd.Manager
+		cfg.ExtraVarz = mgr.Varz
+		if rec := dd.Recovered; rec != nil {
+			fmt.Printf("recovered %s: snapshot lsn %d + %d replayed records in %v (torn tail: %d bytes)\n",
+				opts.DataDir, rec.SnapshotLSN, rec.Replayed, rec.Duration.Round(time.Millisecond), rec.TornBytes)
+		}
+	} else {
+		d, err := workload.NewDemo(sieve.MySQL())
+		if err != nil {
+			return err
+		}
+		demo = d
 	}
 	cfg.Middleware = demo.M
 	if opts.Backend != "" && opts.Backend != "embedded" {
@@ -94,6 +125,7 @@ func run(opts *cli.ServerOpts) error {
 	go func() { done <- srv.Serve(l) }()
 	select {
 	case err := <-done:
+		closeWAL(mgr)
 		return err
 	case <-sigCtx.Done():
 		stop()
@@ -103,6 +135,22 @@ func run(opts *cli.ServerOpts) error {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "drain deadline passed; connections closed: %v\n", err)
 		}
-		return <-done
+		err := <-done
+		closeWAL(mgr)
+		return err
+	}
+}
+
+// closeWAL ends a durable run cleanly: the final checkpoint means the
+// next boot restores one snapshot and replays nothing.
+func closeWAL(mgr *wal.Manager) {
+	if mgr == nil {
+		return
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown checkpoint failed (WAL still covers the state): %v\n", err)
+	}
+	if err := mgr.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "closing WAL: %v\n", err)
 	}
 }

@@ -87,6 +87,8 @@ type ServerOpts struct {
 	Tokens         string
 	DemoTokens     bool
 	Backend        string
+	DataDir        string
+	WALSync        string
 	RequestTimeout time.Duration
 	DrainTimeout   time.Duration
 	MaxQueries     int
@@ -100,7 +102,9 @@ const serverIntro = `Usage: sieve-server [flags]
 Serves the demo campus behind SIEVE's policy-enforcing middleware over a
 versioned HTTP/JSON protocol: bearer-token sessions, streamed NDJSON
 results, server-side prepared statements, policy administration, and a
-graceful SIGTERM drain. See docs/server.md for the protocol.
+graceful SIGTERM drain. With -data-dir, mutations are write-ahead logged
+and snapshotted there, and a restart recovers the acknowledged state. See
+docs/server.md for the protocol and docs/durability.md for the log.
 
 Flags:
 `
@@ -113,6 +117,8 @@ func ServerFlags() (*flag.FlagSet, *ServerOpts) {
 	fs.StringVar(&opts.Tokens, "tokens", "", "token file: one 'token querier [purpose|-] [admin]' per line")
 	fs.BoolVar(&opts.DemoTokens, "demo-tokens", false, "accept 'demo:<querier>[|<purpose>][|admin]' bearer tokens (INSECURE, demos only)")
 	fs.StringVar(&opts.Backend, "backend", "embedded", "execution backend: embedded | fake-mysql | fake-postgres | driver://dsn")
+	fs.StringVar(&opts.DataDir, "data-dir", "", "durability directory for WAL + snapshots (empty = in-memory only)")
+	fs.StringVar(&opts.WALSync, "wal-sync", "always", "WAL fsync policy with -data-dir: always | interval | none")
 	fs.DurationVar(&opts.RequestTimeout, "request-timeout", 30*time.Second, "per-query execution deadline, streaming included (0 = none)")
 	fs.DurationVar(&opts.DrainTimeout, "drain-timeout", 15*time.Second, "SIGTERM: how long in-flight requests may finish before connections close")
 	fs.IntVar(&opts.MaxQueries, "max-queries", 64, "concurrent query cap across all sessions (0 = unlimited)")

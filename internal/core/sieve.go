@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -76,7 +77,36 @@ type Middleware struct {
 
 	persist *guardTables
 
+	// durMu guards the durability hook (SetDurability); Protect logs
+	// through it so a recovered instance re-protects the same relations.
+	durMu sync.RWMutex
+	dur   DurabilityLog
+
 	queriesSeen int64
+}
+
+// DurabilityLog is the middleware's WAL hook (internal/wal implements
+// it): Protect appends a record before the relation joins the protected
+// set, so the enforcement perimeter itself survives a crash — a relation
+// protected before the crash can never come back unprotected. The
+// commit-closure contract matches engine.WAL.
+type DurabilityLog interface {
+	AppendProtect(relation string, check func() error) (commit func(), err error)
+}
+
+// SetDurability attaches the WAL hook. Attach at wiring time, after
+// recovery has re-protected the recovered relations.
+func (m *Middleware) SetDurability(d DurabilityLog) {
+	m.durMu.Lock()
+	defer m.durMu.Unlock()
+	m.dur = d
+}
+
+// durability returns the attached hook, or nil.
+func (m *Middleware) durability() DurabilityLog {
+	m.durMu.RLock()
+	defer m.durMu.RUnlock()
+	return m.dur
 }
 
 type geKey struct {
@@ -229,11 +259,36 @@ func (m *Middleware) Protect(relation string) error {
 	if err := t.TrackOwners(policy.OwnerAttr); err != nil {
 		return err
 	}
+	// Log after the physical preparation (the CreateIndex above logged as
+	// its own DDL record), before the relation joins the protected set: a
+	// crash between the two replays the index build but not the
+	// protection — consistent, because the Protect was never acked.
+	if d := m.durability(); d != nil {
+		commit, err := d.AppendProtect(relation, nil)
+		if err != nil {
+			return err
+		}
+		defer commit()
+	}
 	m.mu.Lock()
 	m.protected[relation] = true
 	m.mu.Unlock()
 	m.epoch.Add(1)
 	return nil
+}
+
+// ProtectedRelations returns the access-controlled relations, sorted —
+// the set a durability snapshot records so recovery re-protects exactly
+// what the crashed instance enforced.
+func (m *Middleware) ProtectedRelations() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.protected))
+	for r := range m.protected {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Epoch returns the policy-visibility epoch: it advances on every event

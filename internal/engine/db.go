@@ -65,6 +65,7 @@ type DB struct {
 	udfs     map[string]UDF
 	triggers map[string][]InsertTrigger
 	deltas   map[string]DeltaResolver
+	wal      WAL // durability hook (SetWAL); nil = in-memory only
 
 	// analyzeMu single-flights auto-analyze: when concurrent queries all
 	// notice stale statistics, one rebuilds while the rest keep planning
@@ -161,8 +162,21 @@ func (db *DB) EffectiveScanWorkers() int {
 // Dialect returns the DB's dialect.
 func (db *DB) Dialect() Dialect { return db.dialect }
 
-// CreateTable registers a new table.
+// CreateTable registers a new table, logging the DDL when a WAL is
+// attached.
 func (db *DB) CreateTable(name string, schema *storage.Schema) (*storage.Table, error) {
+	if w := db.walFor(name); w != nil {
+		commit, err := w.AppendCreateTable(name, schema, func() error {
+			if _, exists := db.Table(name); exists {
+				return fmt.Errorf("engine: table %q already exists", name)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer commit()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, exists := db.tables[name]; exists {
@@ -191,11 +205,24 @@ func (db *DB) MustTable(name string) *storage.Table {
 	return t
 }
 
-// CreateIndex builds an index on table.col.
+// CreateIndex builds an index on table.col, logging the DDL when a WAL is
+// attached.
 func (db *DB) CreateIndex(table, col string) error {
 	t, ok := db.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
+	}
+	if w := db.walFor(table); w != nil {
+		commit, err := w.AppendCreateIndex(table, col, func() error {
+			if t.Schema.ColumnIndex(col) < 0 {
+				return fmt.Errorf("table %s: no column %q to index", table, col)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		defer commit()
 	}
 	_, err := t.CreateIndex(col)
 	return err
@@ -203,12 +230,34 @@ func (db *DB) CreateIndex(table, col string) error {
 
 // Insert adds a row and fires the table's insert triggers.
 func (db *DB) Insert(table string, row storage.Row) error {
+	_, err := db.InsertRow(table, row)
+	return err
+}
+
+// InsertRow adds a row, fires the table's insert triggers, and returns
+// the assigned RowID. When a WAL is attached the row is logged (and
+// synced) before the heap apply: the id stays deterministic under replay
+// because the log's serialisation lock is held across append+apply.
+func (db *DB) InsertRow(table string, row storage.Row) (storage.RowID, error) {
 	t, ok := db.Table(table)
 	if !ok {
-		return fmt.Errorf("engine: no table %q", table)
+		return -1, fmt.Errorf("engine: no table %q", table)
 	}
-	if _, err := t.Insert(row); err != nil {
-		return err
+	if w := db.walFor(table); w != nil {
+		commit, err := w.AppendInsert(table, row, func() error {
+			if err := t.Schema.Validate(row); err != nil {
+				return fmt.Errorf("table %s: %w", table, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return -1, err
+		}
+		defer commit()
+	}
+	id, err := t.Insert(row)
+	if err != nil {
+		return -1, err
 	}
 	db.mu.RLock()
 	trs := db.triggers[table]
@@ -216,14 +265,75 @@ func (db *DB) Insert(table string, row storage.Row) error {
 	for _, tr := range trs {
 		tr(table, row)
 	}
-	return nil
+	return id, nil
 }
 
-// BulkInsert loads rows without firing triggers (bulk load path).
+// Update replaces the row at id in place, fixing indexes; logged when a
+// WAL is attached.
+func (db *DB) Update(table string, id storage.RowID, row storage.Row) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if w := db.walFor(table); w != nil {
+		commit, err := w.AppendUpdate(table, id, row, func() error {
+			if err := t.Schema.Validate(row); err != nil {
+				return fmt.Errorf("table %s: %w", table, err)
+			}
+			if _, live := t.Get(id); !live {
+				return fmt.Errorf("table %s: update of missing row %d", table, id)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		defer commit()
+	}
+	return t.Update(id, row)
+}
+
+// Delete tombstones the row at id; logged when a WAL is attached.
+func (db *DB) Delete(table string, id storage.RowID) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if w := db.walFor(table); w != nil {
+		commit, err := w.AppendDelete(table, id, func() error {
+			if _, live := t.Get(id); !live {
+				return fmt.Errorf("table %s: delete of missing row %d", table, id)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		defer commit()
+	}
+	return t.Delete(id)
+}
+
+// BulkInsert loads rows without firing triggers (bulk load path); logged
+// as one record when a WAL is attached.
 func (db *DB) BulkInsert(table string, rows []storage.Row) error {
 	t, ok := db.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
+	}
+	if w := db.walFor(table); w != nil {
+		commit, err := w.AppendBulkInsert(table, rows, func() error {
+			for _, r := range rows {
+				if err := t.Schema.Validate(r); err != nil {
+					return fmt.Errorf("table %s: %w", table, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		defer commit()
 	}
 	return t.BulkInsert(rows)
 }
@@ -349,11 +459,21 @@ func (db *DB) StatsRefreshed(table string) (*storage.TableStats, bool) {
 
 // Compact rewrites the table's heap without tombstones (copy-on-write, so
 // in-flight scans finish on the old heap) and refreshes statistics when
-// the table has been analyzed before.
+// the table has been analyzed before. Compact renumbers RowIDs, so it is
+// WAL-logged like any other mutation: replay renumbers at the same point
+// in the record stream and later update/delete records resolve against
+// the same ids they were logged with.
 func (db *DB) Compact(table string) error {
 	t, ok := db.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
+	}
+	if w := db.walFor(table); w != nil {
+		commit, err := w.AppendCompact(table, func() error { return nil })
+		if err != nil {
+			return err
+		}
+		defer commit()
 	}
 	t.Compact()
 	if _, analyzed := db.Stats(table); analyzed {

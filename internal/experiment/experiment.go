@@ -94,6 +94,10 @@ type Config struct {
 	PolicyScaleQueriers []int
 	PolicyScaleGroups   int
 	PolicyScaleZipf     float64
+	// RecoveryRecords is the WAL-length sweep of the recovery
+	// experiment: each entry is a record count to load, snapshot, and
+	// cold-recover (paper-scale target: 10⁴–10⁶).
+	RecoveryRecords []int
 }
 
 // TestConfig finishes in a few seconds; used by unit tests.
@@ -113,6 +117,8 @@ func TestConfig() Config {
 		PolicyScaleQueriers: []int{200},
 		PolicyScaleGroups:   10,
 		PolicyScaleZipf:     1.3,
+
+		RecoveryRecords: []int{1000, 5000},
 	}
 }
 
@@ -133,6 +139,7 @@ func MediumConfig() Config {
 	cfg.PolicyScalePolicies = []int{1000, 5000, 20000}
 	cfg.PolicyScaleQueriers = []int{2000}
 	cfg.PolicyScaleGroups = 50
+	cfg.RecoveryRecords = []int{10000, 100000}
 	return cfg
 }
 
@@ -155,6 +162,10 @@ func BenchConfig() Config {
 		PolicyScaleQueriers: []int{1000, 10000},
 		PolicyScaleGroups:   100,
 		PolicyScaleZipf:     1.2,
+
+		// The ISSUE's durability sweep: cold recovery at 10⁴–10⁶
+		// logged records.
+		RecoveryRecords: []int{10000, 100000, 1000000},
 	}
 }
 

@@ -61,6 +61,10 @@ type Store struct {
 	clock  int64
 
 	count atomic.Int64
+
+	// durMu guards the durability hook pointer (set at wiring time).
+	durMu sync.RWMutex
+	dur   Durability
 }
 
 func shardOf(name string) uint32 {
@@ -214,6 +218,20 @@ func (s *Store) Insert(p *Policy) error {
 		return err
 	}
 
+	// Log before apply: the AddPolicy record (the whole policy, id and
+	// timestamp included) reaches the WAL and is synced before the cache
+	// or the relations change, so a crash after the ack can never forget
+	// the grant. The commit closure holds the log's serialisation lock
+	// across the cache+relation apply below; the rP/rOC inserts inside are
+	// not row-logged (LogsTable excludes them), so there is no reentry.
+	if d := s.durability(); d != nil {
+		commit, err := d.AppendPolicyInsert(p, nil)
+		if err != nil {
+			return err
+		}
+		defer commit()
+	}
+
 	s.cache(p)
 	if err := s.db.Insert(TableP, storage.Row{
 		storage.NewInt(p.ID), storage.NewInt(p.Owner), storage.NewString(p.Querier),
@@ -312,22 +330,37 @@ var ocSeq int64
 // rows: ⟨id, policy_id, attr, op, val⟩ with val as SQL literal text, ranges
 // split into two rows as in the paper's Table 5.
 func conditionRows(p *Policy) ([]storage.Row, error) {
-	mk := func(attr, op, val string) storage.Row {
+	ts, err := conditionTriples(p)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]storage.Row, len(ts))
+	for i, c := range ts {
 		ocSeq++
-		return storage.Row{
+		rows[i] = storage.Row{
 			storage.NewInt(ocSeq), storage.NewInt(p.ID),
-			storage.NewString(attr), storage.NewString(op), storage.NewString(val),
+			storage.NewString(c.Attr), storage.NewString(c.Op), storage.NewString(c.Val),
 		}
 	}
+	return rows, nil
+}
+
+// conditionTriples is the textual serialisation behind conditionRows and
+// the WAL's AddPolicy record: ⟨attr, op, val⟩ with val as SQL literal
+// text, owner first, ranges split into two triples.
+func conditionTriples(p *Policy) ([]ConditionText, error) {
+	mk := func(attr, op, val string) ConditionText {
+		return ConditionText{Attr: attr, Op: op, Val: val}
+	}
 	lit := func(v storage.Value) string { return sqlparser.PrintExpr(sqlparser.Lit(v)) }
-	rows := []storage.Row{mk(OwnerAttr, "=", lit(storage.NewInt(p.Owner)))}
+	ts := []ConditionText{mk(OwnerAttr, "=", lit(storage.NewInt(p.Owner)))}
 	for _, c := range p.Conditions {
 		switch c.Kind {
 		case CondCompare:
-			rows = append(rows, mk(c.Attr, c.Op.String(), lit(c.Val)))
+			ts = append(ts, mk(c.Attr, c.Op.String(), lit(c.Val)))
 		case CondRange:
-			rows = append(rows, mk(c.Attr, c.LoOp.String(), lit(c.Lo)))
-			rows = append(rows, mk(c.Attr, c.HiOp.String(), lit(c.Hi)))
+			ts = append(ts, mk(c.Attr, c.LoOp.String(), lit(c.Lo)))
+			ts = append(ts, mk(c.Attr, c.HiOp.String(), lit(c.Hi)))
 		case CondIn, CondNotIn:
 			op := "IN"
 			if c.Kind == CondNotIn {
@@ -337,14 +370,14 @@ func conditionRows(p *Policy) ([]storage.Row, error) {
 			for i, v := range c.Vals {
 				vals[i] = lit(v)
 			}
-			rows = append(rows, mk(c.Attr, op, "("+strings.Join(vals, ", ")+")"))
+			ts = append(ts, mk(c.Attr, op, "("+strings.Join(vals, ", ")+")"))
 		case CondSubquery:
-			rows = append(rows, mk(c.Attr, c.Op.String(), "("+c.Subquery+")"))
+			ts = append(ts, mk(c.Attr, c.Op.String(), "("+c.Subquery+")"))
 		default:
 			return nil, fmt.Errorf("policy: cannot serialise condition kind %d", c.Kind)
 		}
 	}
-	return rows, nil
+	return ts, nil
 }
 
 // Revoke removes a policy from the store and its relations (§6: policies
@@ -355,6 +388,29 @@ func conditionRows(p *Policy) ([]storage.Row, error) {
 // the post-revocation set — the reverse order would let a stale set be
 // re-validated as fresh.
 func (s *Store) Revoke(id int64) (*Policy, error) {
+	// Log before apply. The existence check runs inside the log's
+	// serialisation lock (as the append's check closure), so a record is
+	// only written for a policy that is still present — two racing revokes
+	// of the same id serialise on the log, and the loser is rejected
+	// before it can append.
+	if d := s.durability(); d != nil {
+		commit, err := d.AppendPolicyRevoke(id, func() error {
+			if _, ok := s.ByID(id); !ok {
+				return fmt.Errorf("policy: no policy %d to revoke", id)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer commit()
+	}
+	return s.applyRevoke(id)
+}
+
+// applyRevoke removes a policy from the cache and its persisted rows; the
+// in-memory shrink happens first (see Revoke's ordering contract).
+func (s *Store) applyRevoke(id int64) (*Policy, error) {
 	is := &s.ids[idShardOf(id)]
 	is.mu.Lock()
 	p, ok := is.byID[id]
@@ -467,9 +523,18 @@ func (s *Store) loadFromTables() error {
 // adjacent ≥/≤ rows on the same attribute into ranges and dropping the
 // owner row (implied by rP.owner).
 func parseConditions(rows []storage.Row) ([]ObjectCondition, error) {
+	ts := make([]ConditionText, len(rows))
+	for i, r := range rows {
+		ts[i] = ConditionText{Attr: r[2].S, Op: r[3].S, Val: r[4].S}
+	}
+	return parseConditionTriples(ts)
+}
+
+// parseConditionTriples is the inverse of conditionTriples.
+func parseConditionTriples(rows []ConditionText) ([]ObjectCondition, error) {
 	var out []ObjectCondition
 	for i := 0; i < len(rows); i++ {
-		attr, opText, valText := rows[i][2].S, rows[i][3].S, rows[i][4].S
+		attr, opText, valText := rows[i].Attr, rows[i].Op, rows[i].Val
 		if attr == OwnerAttr && opText == "=" {
 			continue
 		}
@@ -513,10 +578,10 @@ func parseConditions(rows []storage.Row) ([]ObjectCondition, error) {
 		case *sqlparser.Literal:
 			// Re-pair a lower bound with an immediately following upper
 			// bound on the same attribute into a range condition.
-			if (op == sqlparser.CmpGe || op == sqlparser.CmpGt) && i+1 < len(rows) && rows[i+1][2].S == attr {
-				nextOp, err := parseCmpOp(rows[i+1][3].S)
+			if (op == sqlparser.CmpGe || op == sqlparser.CmpGt) && i+1 < len(rows) && rows[i+1].Attr == attr {
+				nextOp, err := parseCmpOp(rows[i+1].Op)
 				if err == nil && (nextOp == sqlparser.CmpLe || nextOp == sqlparser.CmpLt) {
-					hiVal, err := sqlparser.ParseExpr(rows[i+1][4].S)
+					hiVal, err := sqlparser.ParseExpr(rows[i+1].Val)
 					if hiLit, ok := hiVal.(*sqlparser.Literal); err == nil && ok {
 						out = append(out, ObjectCondition{Attr: attr, Kind: CondRange,
 							Lo: v.Val, LoOp: op, Hi: hiLit.Val, HiOp: nextOp})

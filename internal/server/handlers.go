@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/sieve-db/sieve/internal/backend"
@@ -29,6 +30,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}/stmts/{sid}", s.auth(s.withSession(s.handleStmtClose)))
 	s.mux.HandleFunc("POST /v1/policies", s.auth(s.handleAddPolicy))
 	s.mux.HandleFunc("DELETE /v1/policies/{id}", s.auth(s.handleRevokePolicy))
+	s.mux.HandleFunc("POST /v1/tables/{table}/rows", s.auth(s.handleInsertRow))
+	s.mux.HandleFunc("PUT /v1/tables/{table}/rows/{rid}", s.auth(s.handleUpdateRow))
+	s.mux.HandleFunc("DELETE /v1/tables/{table}/rows/{rid}", s.auth(s.handleDeleteRow))
 }
 
 // jsonError writes the protocol's uniform error body.
@@ -106,7 +110,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	ec := s.m.DB().CountersSnapshot()
 	cs := s.m.CacheStats()
-	jsonOK(w, map[string]int64{
+	body := map[string]int64{
 		"guard_cache_hits":         cs.GuardCacheHits,
 		"guard_cache_misses":       cs.GuardCacheMisses,
 		"guard_regens":             cs.GuardRegens,
@@ -128,12 +132,19 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		"sessions_open":            s.vz.SessionsOpen.Load(),
 		"stmts_prepared":           s.vz.StmtsPrepared.Load(),
 		"policy_changes":           s.vz.PolicyChanges.Load(),
+		"row_changes":              s.vz.RowChanges.Load(),
 		"policy_epoch":             int64(s.m.Epoch()),
 		"engine_tuples_read":       ec.TuplesRead,
 		"engine_segments_pruned":   ec.SegmentsPruned,
 		"engine_owner_dict_pruned": ec.OwnerDictPruned,
 		"engine_policy_evals":      ec.PolicyEvals,
-	})
+	}
+	if s.cfg.ExtraVarz != nil {
+		for k, v := range s.cfg.ExtraVarz() {
+			body[k] = v
+		}
+	}
+	jsonOK(w, body)
 }
 
 func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request, prin Principal) {
@@ -420,6 +431,108 @@ func (s *Server) handleAddPolicy(w http.ResponseWriter, r *http.Request, prin Pr
 	}
 	s.vz.PolicyChanges.Add(1)
 	jsonOK(w, PolicyResponse{ID: p.ID})
+}
+
+// resolveRowTarget validates an admin row-mutation request: admin token,
+// not draining, and a plain data table — the middleware's own relations
+// (rP, rOC, guard cache) are managed through the policy endpoints and
+// internal machinery, never raw row writes.
+func (s *Server) resolveRowTarget(w http.ResponseWriter, r *http.Request, prin Principal) (string, bool) {
+	if !prin.Admin {
+		jsonError(w, http.StatusForbidden, "row administration needs an admin token")
+		return "", false
+	}
+	if s.draining.Load() {
+		s.vz.RejectedDraining.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return "", false
+	}
+	table := r.PathValue("table")
+	if strings.HasPrefix(table, "sieve_") {
+		jsonError(w, http.StatusForbidden, "%s is a middleware-internal relation; use the policy endpoints", table)
+		return "", false
+	}
+	if _, ok := s.m.DB().Table(table); !ok {
+		jsonError(w, http.StatusNotFound, "no such table %q", table)
+		return "", false
+	}
+	return table, true
+}
+
+// parseRowID resolves the {rid} wildcard.
+func parseRowID(w http.ResponseWriter, r *http.Request) (storage.RowID, bool) {
+	id, err := strconv.ParseInt(r.PathValue("rid"), 10, 64)
+	if err != nil || id < 0 {
+		jsonError(w, http.StatusBadRequest, "bad row id %q", r.PathValue("rid"))
+		return 0, false
+	}
+	return storage.RowID(id), true
+}
+
+func (s *Server) handleInsertRow(w http.ResponseWriter, r *http.Request, prin Principal) {
+	table, ok := s.resolveRowTarget(w, r, prin)
+	if !ok {
+		return
+	}
+	var req RowRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	row, err := DecodeArgs(req.Values)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.m.DB().InsertRow(table, storage.Row(row))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.vz.RowChanges.Add(1)
+	jsonOK(w, RowResponse{RowID: int64(id)})
+}
+
+func (s *Server) handleUpdateRow(w http.ResponseWriter, r *http.Request, prin Principal) {
+	table, ok := s.resolveRowTarget(w, r, prin)
+	if !ok {
+		return
+	}
+	id, ok := parseRowID(w, r)
+	if !ok {
+		return
+	}
+	var req RowRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	row, err := DecodeArgs(req.Values)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.m.DB().Update(table, id, storage.Row(row)); err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.vz.RowChanges.Add(1)
+	jsonOK(w, RowResponse{RowID: int64(id)})
+}
+
+func (s *Server) handleDeleteRow(w http.ResponseWriter, r *http.Request, prin Principal) {
+	table, ok := s.resolveRowTarget(w, r, prin)
+	if !ok {
+		return
+	}
+	id, ok := parseRowID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.m.DB().Delete(table, id); err != nil {
+		jsonError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.vz.RowChanges.Add(1)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleRevokePolicy(w http.ResponseWriter, r *http.Request, prin Principal) {

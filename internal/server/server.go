@@ -19,6 +19,9 @@
 //	DELETE /v1/sessions/{id}/stmts/{sid}
 //	POST   /v1/policies                    add a policy (admin)
 //	DELETE /v1/policies/{id}               revoke one (admin)
+//	POST   /v1/tables/{table}/rows         insert a row (admin)
+//	PUT    /v1/tables/{table}/rows/{id}    update a row in place (admin)
+//	DELETE /v1/tables/{table}/rows/{id}    delete a row (admin)
 //	GET    /healthz                        liveness (503 while draining)
 //	GET    /varz                           counters, JSON
 //
@@ -76,6 +79,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger receives one structured line per request; nil discards.
 	Logger *slog.Logger
+	// ExtraVarz, when non-nil, contributes additional counters to GET
+	// /varz — cmd/sieve-server plugs the WAL manager's durability
+	// counters in here. Keys collide last-writer-wins; prefix them.
+	ExtraVarz func() map[string]int64
 }
 
 // Server is the middleware with a listener in front. Create with New,
@@ -117,6 +124,7 @@ type varz struct {
 	SessionsOpen     atomic.Int64
 	StmtsPrepared    atomic.Int64
 	PolicyChanges    atomic.Int64
+	RowChanges       atomic.Int64
 }
 
 // liveSession is one open wire session: the principal it authenticated

@@ -183,6 +183,18 @@ type PolicyResponse struct {
 	ID int64 `json:"id"`
 }
 
+// RowRequest carries one row for the admin row-mutation endpoints, in
+// the table's column order.
+type RowRequest struct {
+	Values []WireValue `json:"values"`
+}
+
+// RowResponse reports the row id an insert assigned (or an update/delete
+// touched), usable with PUT/DELETE /v1/tables/{table}/rows/{id}.
+type RowResponse struct {
+	RowID int64 `json:"row_id"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON response.
 type ErrorResponse struct {
 	Error string `json:"error"`

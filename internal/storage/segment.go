@@ -230,6 +230,38 @@ func (v *View) ScanSegment(seg int, dst []Row) []Row {
 	return dst
 }
 
+// NumSlots returns the captured heap length in slots, tombstones included.
+// Together with SegmentSlots it lets a snapshot writer serialise the heap
+// exactly — preserving slot numbering so row ids stay stable across a
+// recovery replay.
+func (v *View) NumSlots() int { return len(v.rows) }
+
+// SegmentSlots calls fn for every heap slot of segment seg in slot order,
+// tombstones included (live=false, r=nil). Returning false stops the
+// iteration. The walk happens under the table's read lock, against the
+// captured heap; rows must not be retained past a concurrent Compact
+// unless cloned.
+func (v *View) SegmentSlots(seg int, fn func(id RowID, r Row, live bool) bool) {
+	v.t.mu.RLock()
+	defer v.t.mu.RUnlock()
+	lo := seg * v.segSize
+	hi := lo + v.segSize
+	if hi > len(v.rows) {
+		hi = len(v.rows)
+	}
+	for i := lo; i < hi; i++ {
+		if v.deleted[i] {
+			if !fn(RowID(i), nil, false) {
+				return
+			}
+			continue
+		}
+		if !fn(RowID(i), v.rows[i], true) {
+			return
+		}
+	}
+}
+
 // Get returns the row for id within the view, ok=false for tombstoned or
 // out-of-range ids. Ids refer to the captured heap, so index fetch lists
 // resolved against the same view stay consistent across a concurrent

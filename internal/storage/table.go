@@ -216,6 +216,46 @@ func (t *Table) IndexedColumns() []string {
 	return out
 }
 
+// SegmentRows returns the table's segment size in heap slots.
+func (t *Table) SegmentRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.segSize
+}
+
+// RestoreHeap replaces the table's heap with exactly the given slots — a
+// row per live slot, nil per tombstone — rebuilding segment metadata and
+// every existing index from scratch. This is the recovery path: a snapshot
+// serialises the heap tombstones included, so restored RowIDs are identical
+// to the ones the WAL's update/delete records were logged against. The
+// table takes ownership of both slices.
+func (t *Table) RestoreHeap(rows []Row, deleted []bool) error {
+	if len(rows) != len(deleted) {
+		return fmt.Errorf("table %s: restore with %d rows but %d tombstone flags", t.Name, len(rows), len(deleted))
+	}
+	live := 0
+	for i, r := range rows {
+		if deleted[i] {
+			continue
+		}
+		if err := t.Schema.Validate(r); err != nil {
+			return fmt.Errorf("table %s: restore slot %d: %w", t.Name, i, err)
+		}
+		live++
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = rows
+	t.deleted = deleted
+	t.live = live
+	t.segs = buildSegments(t.Schema.Len(), t.rows, t.deleted, t.segSize, 0, t.ownerCol)
+	for _, idx := range t.indexes {
+		idx.rebuild(t)
+	}
+	t.muts.Add(int64(live))
+	return nil
+}
+
 // Compact rewrites the heap without tombstones. The new heap, tombstone
 // bitmap, segment metadata and indexes are all built aside and swapped in
 // atomically under one write lock (copy-on-write), so a streaming scan that

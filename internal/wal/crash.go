@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// CrashEnv is the environment variable the crash-injection hook reads:
+// "<point>:<n>[:<k>]" kills the process (SIGKILL, no cleanup) when the
+// named point is reached for the nth time. Points:
+//
+//	append-torn   write only k bytes of the nth record's frame, then die
+//	              (k defaults to half the frame — a torn tail mid-record)
+//	fsync-before  die immediately before the nth fsync
+//	fsync-after   die immediately after the nth fsync returns
+//	snapshot-mid  die after writing the nth snapshot's tmp file partially
+//
+// The crash-restart harness sets this on a child sieve-server process to
+// reproduce kill points deterministically from a seed; production code
+// never sets it and pays one atomic load per append.
+const CrashEnv = "SIEVE_WAL_CRASH"
+
+// crashPlan is the parsed CrashEnv: fire at the nth hit of point.
+type crashPlan struct {
+	point string
+	n     int64
+	k     int // append-torn: frame bytes to write before dying (0 = half)
+
+	hits atomic.Int64
+}
+
+// parseCrashEnv reads CrashEnv; a nil plan means no injection.
+func parseCrashEnv() *crashPlan {
+	raw := os.Getenv(CrashEnv)
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ":")
+	if len(parts) < 2 {
+		fmt.Fprintf(os.Stderr, "wal: ignoring malformed %s=%q\n", CrashEnv, raw)
+		return nil
+	}
+	n, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "wal: ignoring malformed %s=%q\n", CrashEnv, raw)
+		return nil
+	}
+	p := &crashPlan{point: parts[0], n: n}
+	if len(parts) > 2 {
+		if k, err := strconv.Atoi(parts[2]); err == nil && k >= 0 {
+			p.k = k
+		}
+	}
+	return p
+}
+
+// at reports whether the named point just reached its fatal hit count.
+func (p *crashPlan) at(point string) bool {
+	if p == nil || p.point != point {
+		return false
+	}
+	return p.hits.Add(1) == p.n
+}
+
+// crashNow kills the process without running deferred cleanup — the
+// injected equivalent of a power cut. SIGKILL cannot be caught, so no
+// flush, no close, no rename runs after this line.
+func crashNow() {
+	proc, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = proc.Kill()
+	}
+	// Kill delivery is asynchronous; never execute past the crash point.
+	select {}
+}

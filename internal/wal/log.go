@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File layout inside the data directory:
+//
+//	wal-%016d.log    log segment; the number is the LSN of its first record
+//	snap-%016d.snap  snapshot; the number is the last LSN it covers
+//
+// Segments rotate at every snapshot (and at Options.SegmentBytes), so a
+// snapshot always sits on a segment boundary: every segment older than the
+// active one is fully covered by the newest snapshot and deleted after it
+// lands.
+
+// frameHeader is the per-record framing: uint32 payload length, uint32
+// CRC32 (IEEE) of the payload, both little-endian.
+const frameHeader = 8
+
+var crcTable = crc32.IEEETable
+
+// appendFrame wraps payload in a length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// readFrame extracts the frame starting at off. A short header, short
+// body, oversized length, or CRC mismatch returns an error — the caller
+// decides whether that is a torn tail (truncate) or corruption (fail).
+func readFrame(data []byte, off int) (payload []byte, next int, err error) {
+	if off+frameHeader > len(data) {
+		return nil, off, fmt.Errorf("wal: truncated frame header at offset %d", off)
+	}
+	n := binary.LittleEndian.Uint32(data[off:])
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxPayload {
+		return nil, off, fmt.Errorf("wal: frame at offset %d claims %d bytes", off, n)
+	}
+	body := data[off+frameHeader:]
+	if uint32(len(body)) < n {
+		return nil, off, fmt.Errorf("wal: truncated frame body at offset %d (want %d, have %d)", off, n, len(body))
+	}
+	payload = body[:n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, off, fmt.Errorf("wal: CRC mismatch at offset %d", off)
+	}
+	return payload, off + frameHeader + int(n), nil
+}
+
+func segmentName(firstLSN uint64) string { return fmt.Sprintf("wal-%016d.log", firstLSN) }
+func snapshotName(lastLSN uint64) string { return fmt.Sprintf("snap-%016d.snap", lastLSN) }
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listFiles scans the data directory for segments and snapshots, sorted
+// ascending by their embedded LSN.
+func listFiles(dir string) (segs, snaps []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, n)
+		}
+		if n, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// logFile is the active segment being appended to.
+type logFile struct {
+	f        *os.File
+	path     string
+	firstLSN uint64
+	size     int64
+}
+
+// openSegment creates (or re-opens for append) the segment whose first
+// record carries firstLSN.
+func openSegment(dir string, firstLSN uint64) (*logFile, error) {
+	path := filepath.Join(dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &logFile{f: f, path: path, firstLSN: firstLSN, size: st.Size()}, nil
+}
+
+func (l *logFile) write(b []byte) error {
+	n, err := l.f.Write(b)
+	l.size += int64(n)
+	return err
+}
+
+func (l *logFile) sync() error { return l.f.Sync() }
+
+func (l *logFile) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs the directory entry so created/renamed/removed files
+// survive a crash of the file system cache.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// segmentRecord is one decoded record plus the byte offset its frame
+// starts at, for torn-tail truncation.
+type segmentRecord struct {
+	rec *Record
+	off int
+}
+
+// scanSegment decodes every record of one segment file. tail is the byte
+// offset after the last intact frame; err (non-nil only for read failures)
+// aborts, while frame/decode errors merely stop the scan — the caller
+// classifies them via intactEnd < fileSize.
+func scanSegment(path string) (recs []segmentRecord, tail int, size int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	off := 0
+	for off < len(data) {
+		payload, next, ferr := readFrame(data, off)
+		if ferr != nil {
+			break
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			break
+		}
+		recs = append(recs, segmentRecord{rec: rec, off: off})
+		off = next
+	}
+	return recs, off, len(data), nil
+}

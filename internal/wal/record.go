@@ -1,0 +1,355 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// Record types. Row and DDL records mirror the engine's mutation surface;
+// policy records are logical (the whole policy, not its rP/rOC rows) and
+// Protect records persist the middleware's enforcement perimeter.
+const (
+	recInsert       = byte(1)  // table, row
+	recUpdate       = byte(2)  // table, rowid, row
+	recDelete       = byte(3)  // table, rowid
+	recBulkInsert   = byte(4)  // table, rows
+	recCreateTable  = byte(5)  // name, schema
+	recCreateIndex  = byte(6)  // table, column
+	recCompact      = byte(7)  // table
+	recAddPolicy    = byte(8)  // full policy incl. id, timestamp, conditions
+	recRevokePolicy = byte(9)  // policy id
+	recProtect      = byte(10) // relation
+)
+
+// maxPayload bounds one record's payload. A corrupt length prefix can
+// claim anything; refusing lengths beyond this cap turns such corruption
+// into a detected torn tail instead of an attempted 4 GiB allocation.
+const maxPayload = 64 << 20
+
+// Record is one decoded WAL record. Type selects which fields are
+// meaningful.
+type Record struct {
+	LSN  uint64
+	Type byte
+
+	Table string // row + DDL records; also index target
+	RowID storage.RowID
+	Row   storage.Row
+	Rows  []storage.Row
+	Cols  []storage.Column // recCreateTable
+	Col   string           // recCreateIndex
+
+	Policy   *policy.Policy // recAddPolicy
+	PolicyID int64          // recRevokePolicy
+	Relation string         // recProtect
+}
+
+// ---- value / row codec ----
+
+func appendValue(b []byte, v storage.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case storage.KindNull:
+	case storage.KindFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case storage.KindString:
+		b = binary.AppendUvarint(b, uint64(len(v.S)))
+		b = append(b, v.S...)
+	default: // Int, Bool, Time, Date share the integer payload
+		b = binary.AppendVarint(b, v.I)
+	}
+	return b
+}
+
+// reader walks a payload with sticky error state, so decode paths stay
+// linear and every truncation or overflow is reported once.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("wal: truncated record (want byte)")
+		return 0
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("wal: bad uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("wal: bad varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// count reads a uvarint element count and bounds it by the bytes that
+// remain (each element costs at least min bytes), so a corrupt count can
+// never drive a huge allocation.
+func (r *reader) count(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(r.b)/min)+1 {
+		r.fail("wal: count %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	if n > len(r.b) {
+		r.fail("wal: truncated string (want %d bytes, have %d)", n, len(r.b))
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) value() storage.Value {
+	k := storage.Kind(r.byte())
+	if r.err != nil {
+		return storage.Null
+	}
+	switch k {
+	case storage.KindNull:
+		return storage.Null
+	case storage.KindFloat:
+		if len(r.b) < 8 {
+			r.fail("wal: truncated float value")
+			return storage.Null
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+		r.b = r.b[8:]
+		return storage.Value{K: k, F: f}
+	case storage.KindString:
+		return storage.Value{K: k, S: r.str()}
+	case storage.KindInt, storage.KindBool, storage.KindTime, storage.KindDate:
+		return storage.Value{K: k, I: r.varint()}
+	}
+	r.fail("wal: unknown value kind %d", k)
+	return storage.Null
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendRow(b []byte, row storage.Row) []byte {
+	b = binary.AppendUvarint(b, uint64(len(row)))
+	for _, v := range row {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func (r *reader) row() storage.Row {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	row := make(storage.Row, n)
+	for i := range row {
+		row[i] = r.value()
+	}
+	return row
+}
+
+// ---- record codec ----
+
+// encodeRecord serialises one record's payload: type byte, LSN, body.
+func encodeRecord(rec *Record) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = append(b, rec.Type)
+	b = binary.AppendUvarint(b, rec.LSN)
+	switch rec.Type {
+	case recInsert:
+		b = appendStr(b, rec.Table)
+		b = appendRow(b, rec.Row)
+	case recUpdate:
+		b = appendStr(b, rec.Table)
+		b = binary.AppendVarint(b, int64(rec.RowID))
+		b = appendRow(b, rec.Row)
+	case recDelete:
+		b = appendStr(b, rec.Table)
+		b = binary.AppendVarint(b, int64(rec.RowID))
+	case recBulkInsert:
+		b = appendStr(b, rec.Table)
+		b = binary.AppendUvarint(b, uint64(len(rec.Rows)))
+		for _, row := range rec.Rows {
+			b = appendRow(b, row)
+		}
+	case recCreateTable:
+		b = appendStr(b, rec.Table)
+		b = binary.AppendUvarint(b, uint64(len(rec.Cols)))
+		for _, c := range rec.Cols {
+			b = appendStr(b, c.Name)
+			b = append(b, byte(c.Type))
+		}
+	case recCreateIndex:
+		b = appendStr(b, rec.Table)
+		b = appendStr(b, rec.Col)
+	case recCompact:
+		b = appendStr(b, rec.Table)
+	case recAddPolicy:
+		p := rec.Policy
+		ts, err := policy.MarshalConditionText(p)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.AppendVarint(b, p.ID)
+		b = binary.AppendVarint(b, p.Owner)
+		b = appendStr(b, p.Querier)
+		b = appendStr(b, p.Relation)
+		b = appendStr(b, p.Purpose)
+		b = appendStr(b, string(p.Action))
+		b = binary.AppendVarint(b, p.InsertedAt)
+		b = binary.AppendUvarint(b, uint64(len(ts)))
+		for _, t := range ts {
+			b = appendStr(b, t.Attr)
+			b = appendStr(b, t.Op)
+			b = appendStr(b, t.Val)
+		}
+	case recRevokePolicy:
+		b = binary.AppendVarint(b, rec.PolicyID)
+	case recProtect:
+		b = appendStr(b, rec.Relation)
+	default:
+		return nil, fmt.Errorf("wal: cannot encode record type %d", rec.Type)
+	}
+	if len(b) > maxPayload {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds the %d cap", len(b), maxPayload)
+	}
+	return b, nil
+}
+
+// decodeRecord parses one payload back into a Record. It must survive
+// arbitrary bytes (FuzzWALDecode): every length is bounds-checked against
+// the remaining payload and unknown types or trailing garbage are errors.
+func decodeRecord(payload []byte) (*Record, error) {
+	r := &reader{b: payload}
+	rec := &Record{Type: r.byte()}
+	rec.LSN = r.uvarint()
+	switch rec.Type {
+	case recInsert:
+		rec.Table = r.str()
+		rec.Row = r.row()
+	case recUpdate:
+		rec.Table = r.str()
+		rec.RowID = storage.RowID(r.varint())
+		rec.Row = r.row()
+	case recDelete:
+		rec.Table = r.str()
+		rec.RowID = storage.RowID(r.varint())
+	case recBulkInsert:
+		rec.Table = r.str()
+		n := r.count(1)
+		if r.err == nil {
+			rec.Rows = make([]storage.Row, n)
+			for i := range rec.Rows {
+				rec.Rows[i] = r.row()
+			}
+		}
+	case recCreateTable:
+		rec.Table = r.str()
+		n := r.count(2)
+		if r.err == nil {
+			rec.Cols = make([]storage.Column, n)
+			for i := range rec.Cols {
+				rec.Cols[i].Name = r.str()
+				rec.Cols[i].Type = storage.Kind(r.byte())
+				if r.err == nil && rec.Cols[i].Type > storage.KindDate {
+					r.fail("wal: unknown column kind %d", rec.Cols[i].Type)
+				}
+			}
+		}
+	case recCreateIndex:
+		rec.Table = r.str()
+		rec.Col = r.str()
+	case recCompact:
+		rec.Table = r.str()
+	case recAddPolicy:
+		p := &policy.Policy{}
+		p.ID = r.varint()
+		p.Owner = r.varint()
+		p.Querier = r.str()
+		p.Relation = r.str()
+		p.Purpose = r.str()
+		p.Action = policy.Action(r.str())
+		p.InsertedAt = r.varint()
+		n := r.count(3)
+		if r.err == nil {
+			ts := make([]policy.ConditionText, n)
+			for i := range ts {
+				ts[i].Attr = r.str()
+				ts[i].Op = r.str()
+				ts[i].Val = r.str()
+			}
+			if r.err == nil {
+				conds, err := policy.UnmarshalConditionText(ts)
+				if err != nil {
+					return nil, err
+				}
+				p.Conditions = conds
+			}
+		}
+		rec.Policy = p
+	case recRevokePolicy:
+		rec.PolicyID = r.varint()
+	case recProtect:
+		rec.Relation = r.str()
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after record", len(r.b))
+	}
+	return rec, nil
+}

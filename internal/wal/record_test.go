@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/sqlparser"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// sampleRecords covers every record type with representative payloads.
+// No *testing.T: the fuzz target seeds its corpus from these too.
+func sampleRecords() []*Record {
+	pol := &policy.Policy{
+		ID: 7, Owner: 42, Querier: "alice", Relation: "wifi",
+		Purpose: policy.AnyPurpose, Action: policy.Allow, InsertedAt: 99,
+		Conditions: []policy.ObjectCondition{
+			policy.Compare("ap", sqlparser.CmpEq, storage.NewString("ap-3")),
+			policy.RangeClosed("ts", storage.NewInt(100), storage.NewInt(200)),
+			policy.In("building", storage.NewString("clark"), storage.NewString("dbh")),
+		},
+	}
+	row := storage.Row{storage.NewInt(1), storage.NewString("x"), storage.NewFloat(1.5),
+		storage.NewBool(true), storage.Null}
+	return []*Record{
+		{LSN: 1, Type: recInsert, Table: "wifi", Row: row},
+		{LSN: 2, Type: recUpdate, Table: "wifi", RowID: 17, Row: row},
+		{LSN: 3, Type: recDelete, Table: "wifi", RowID: 17},
+		{LSN: 4, Type: recBulkInsert, Table: "wifi", Rows: []storage.Row{row, row}},
+		{LSN: 5, Type: recCreateTable, Table: "aux", Cols: []storage.Column{
+			{Name: "id", Type: storage.KindInt}, {Name: "name", Type: storage.KindString}}},
+		{LSN: 6, Type: recCreateIndex, Table: "wifi", Col: "ap"},
+		{LSN: 7, Type: recCompact, Table: "wifi"},
+		{LSN: 8, Type: recAddPolicy, Policy: pol},
+		{LSN: 9, Type: recRevokePolicy, PolicyID: 7},
+		{LSN: 10, Type: recProtect, Relation: "wifi"},
+	}
+}
+
+// TestRecordRoundTrip checks encode→decode→encode is the identity for
+// every record type: same LSN, same fields, byte-identical re-encoding.
+func TestRecordRoundTrip(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		payload, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encode type %d: %v", rec.Type, err)
+		}
+		got, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatalf("decode type %d: %v", rec.Type, err)
+		}
+		if got.LSN != rec.LSN || got.Type != rec.Type {
+			t.Fatalf("type %d: header mismatch: got LSN=%d type=%d", rec.Type, got.LSN, got.Type)
+		}
+		again, err := encodeRecord(got)
+		if err != nil {
+			t.Fatalf("re-encode type %d: %v", rec.Type, err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("type %d: re-encoding differs:\n  %x\n  %x", rec.Type, payload, again)
+		}
+	}
+}
+
+// TestDecodeRejectsDamage flips or truncates bytes of valid payloads and
+// expects the decoder to error (never panic, never misread).
+func TestDecodeRejectsDamage(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		payload, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := decodeRecord(payload[:cut]); err == nil {
+				t.Fatalf("type %d: decode accepted %d/%d-byte prefix", rec.Type, cut, len(payload))
+			}
+		}
+		grown := append(append([]byte(nil), payload...), 0x01)
+		if _, err := decodeRecord(grown); err == nil {
+			t.Fatalf("type %d: decode accepted trailing garbage", rec.Type)
+		}
+	}
+}
+
+// TestFrameRejectsCorruption checks the CRC layer catches payload damage.
+func TestFrameRejectsCorruption(t *testing.T) {
+	payload := []byte("hello wal")
+	frame := appendFrame(nil, payload)
+	got, next, err := readFrame(frame, 0)
+	if err != nil || next != len(frame) || !bytes.Equal(got, payload) {
+		t.Fatalf("clean frame: got %q next=%d err=%v", got, next, err)
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := readFrame(bad, 0); err == nil {
+			// Flipping a length-prefix bit can still yield a valid shorter
+			// frame only if the CRC happens to match — effectively never.
+			t.Fatalf("corrupt byte %d accepted", i)
+		}
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := readFrame(frame[:cut], 0); err == nil {
+			t.Fatalf("truncated frame (%d bytes) accepted", cut)
+		}
+	}
+}

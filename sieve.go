@@ -80,6 +80,7 @@ import (
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
+	"github.com/sieve-db/sieve/internal/wal"
 )
 
 // Core re-exported types. The implementation lives in internal packages;
@@ -236,6 +237,40 @@ var (
 	BackendStmtQuery = backend.StmtQuery
 	// BackendTypedRows re-types decoded rows to expected column kinds.
 	BackendTypedRows = backend.TypedRows
+)
+
+// Durability: the write-ahead log + snapshot subsystem that makes an
+// embedded deployment survive crashes (docs/durability.md). Wire it with
+// DB.SetWAL, Store.SetDurability and Middleware.SetDurability after
+// Manager.Start; cmd/sieve-server's -data-dir flag does all of this.
+type (
+	// WALManager owns one durability directory: the active log segment,
+	// snapshots, and crash recovery.
+	WALManager = wal.Manager
+	// WALOptions configures a WALManager (sync policy, segment size,
+	// checkpoint cadence).
+	WALOptions = wal.Options
+	// WALRecovered reports what a recovery restored and replayed.
+	WALRecovered = wal.Recovered
+	// WALSyncPolicy selects when appends reach stable storage.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+var (
+	// OpenWAL prepares a durability manager over a data directory.
+	OpenWAL = wal.Open
+	// ParseWALSyncPolicy maps the textual policies always|interval|none.
+	ParseWALSyncPolicy = wal.ParseSyncPolicy
+)
+
+// WAL sync policies.
+const (
+	// WALSyncAlways fsyncs every append before it is acknowledged.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs on a background ticker.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNever leaves flushing to the OS page cache.
+	WALSyncNever = wal.SyncNever
 )
 
 // NewDB creates an empty embedded database.
