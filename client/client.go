@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/server"
 	"github.com/sieve-db/sieve/internal/storage"
 )
@@ -227,6 +228,17 @@ func (s *Session) Query(ctx context.Context, sql string, args ...any) (*Rows, er
 	return s.c.stream(ctx, "/v1/sessions/"+s.id+"/query", server.QueryRequest{SQL: sql, Args: wargs})
 }
 
+// QueryTrace is Query with server-side phase tracing enabled: the done
+// line carries the query's span tree, available from Rows.Trace after
+// iteration completes. Tracing costs a few clock reads per phase.
+func (s *Session) QueryTrace(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	wargs, err := encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.stream(ctx, "/v1/sessions/"+s.id+"/query?trace=1", server.QueryRequest{SQL: sql, Args: wargs})
+}
+
 // Rewrite returns the policy-rewritten form of sql without executing it.
 // dialect "" (or "sieve") yields the middleware's own dialect; "mysql" /
 // "postgres" yield emitted SQL plus its lifted bound args.
@@ -272,6 +284,17 @@ func (st *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 		return nil, err
 	}
 	return st.s.c.stream(ctx, "/v1/sessions/"+st.s.id+"/stmts/"+st.id+"/query",
+		server.StmtQueryRequest{Args: wargs})
+}
+
+// QueryTrace is Query with server-side phase tracing enabled; see
+// Session.QueryTrace.
+func (st *Stmt) QueryTrace(ctx context.Context, args ...any) (*Rows, error) {
+	wargs, err := encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.s.c.stream(ctx, "/v1/sessions/"+st.s.id+"/stmts/"+st.id+"/query?trace=1",
 		server.StmtQueryRequest{Args: wargs})
 }
 
@@ -415,6 +438,8 @@ type Rows struct {
 	closed bool
 	err    error
 	stats  *server.StreamCounters
+	trace  *obs.SpanNode
+	reqID  string
 }
 
 // Columns returns the result column names.
@@ -456,6 +481,8 @@ func (r *Rows) Next() bool {
 		r.done = true
 		r.n = line.Rows
 		r.stats = line.Counters
+		r.trace = line.Trace
+		r.reqID = line.RequestID
 	case line.Row != nil:
 		row, err := decodeAnys(line.Row)
 		if err != nil {
@@ -484,6 +511,16 @@ func (r *Rows) N() int64 { return r.n }
 // Counters returns the query's server-side work tally when the done line
 // carried one (embedded backend only); nil otherwise.
 func (r *Rows) Counters() *server.StreamCounters { return r.stats }
+
+// Trace returns the query's server-side span tree when it ran with
+// tracing (QueryTrace); nil otherwise. Populated once the stream
+// completes — after Next returned false with a nil Err.
+func (r *Rows) Trace() *obs.SpanNode { return r.trace }
+
+// RequestID returns the id the server assigned this query's request —
+// the same value in the server's log lines and X-Request-Id header.
+// Populated once the stream completes.
+func (r *Rows) RequestID() string { return r.reqID }
 
 // Close stops iteration; closing before exhaustion disconnects the
 // stream and the server abandons the scan.

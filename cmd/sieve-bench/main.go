@@ -78,6 +78,7 @@ var experiments = []exp{
 	{"vector", "Vectorised vs row-at-a-time guard evaluation", experiment.VectorComparison},
 	{"policyscale", "Million-policy regime: signature-shared plans, scoped invalidation", experiment.PolicyScale},
 	{"recovery", "Durability: WAL append, snapshot MB/s, replay rec/s, cold recovery", experiment.Recovery},
+	{"latency", "Per-query latency over the examples corpus, tracing off vs on", experiment.Latency},
 }
 
 func main() {

@@ -14,6 +14,7 @@ import (
 
 	sieve "github.com/sieve-db/sieve"
 	"github.com/sieve-db/sieve/internal/cli"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/workload"
 )
@@ -101,9 +102,20 @@ func main() {
 	// guarded-scan operator engages when the table is large enough, and
 	// report the executor's actual segment accounting.
 	campus.DB.ResetCounters()
-	res, err := sess.Execute(context.Background(), opts.Query)
+	ctx := context.Background()
+	var tr *obs.Span
+	if opts.Trace {
+		tr = obs.NewTrace("query")
+		ctx = obs.WithSpan(ctx, tr)
+	}
+	res, err := sess.Execute(ctx, opts.Query)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tr != nil {
+		tr.Finish()
+		fmt.Println("\ntrace:")
+		tr.Node().Format(os.Stdout)
 	}
 	c := campus.DB.CountersSnapshot()
 	fmt.Printf("\nresult: %d rows\n", len(res.Rows))

@@ -8,6 +8,7 @@
 //	\querier u:42        switch querier identity (opens a new session)
 //	\purpose analytics   switch query purpose (opens a new session)
 //	\rewrite             toggle printing the rewritten SQL
+//	\trace               toggle printing each query's per-phase span tree
 //	\prepare <sql>       prepare a statement; run it with \exec
 //	\exec                execute the prepared statement for this session
 //	\backend <spec>      route queries through an execution backend:
@@ -33,6 +34,7 @@ import (
 	sieve "github.com/sieve-db/sieve"
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/backend/backendtest"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/workload"
 )
 
@@ -45,6 +47,7 @@ type repl struct {
 	sess        *sieve.Session
 	prepared    *sieve.Stmt
 	showRewrite bool
+	showTrace   bool
 
 	backend     sieve.Backend
 	backendFake *backendtest.Fake
@@ -135,10 +138,16 @@ func main() {
 }
 
 // run executes one query under an interrupt-cancellable context and
-// streams its rows to the terminal, closing early past maxRows.
+// streams its rows to the terminal, closing early past maxRows. With
+// \trace on, the query runs under a span tree printed after its rows.
 func (r *repl) run(open func(ctx context.Context) (*sieve.Rows, error)) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var tr *obs.Span
+	if r.showTrace {
+		tr = obs.NewTrace("query")
+		ctx = obs.WithSpan(ctx, tr)
+	}
 	rows, err := open(ctx)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -146,6 +155,10 @@ func (r *repl) run(open func(ctx context.Context) (*sieve.Rows, error)) {
 	}
 	defer rows.Close()
 	printRows(rows)
+	if tr != nil {
+		tr.Finish()
+		tr.Node().Format(os.Stdout)
+	}
 }
 
 // runOnBackend ships one query through the active backend: rewrite, emit
@@ -231,7 +244,7 @@ func (r *repl) handleMeta(line string) (quit bool) {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\prepare <sql> | \\exec | \\backend <spec> | \\policies | \\guards | \\quit")
+		fmt.Println("\\querier <id> | \\purpose <p> | \\rewrite | \\trace | \\prepare <sql> | \\exec | \\backend <spec> | \\policies | \\guards | \\quit")
 	case "\\querier":
 		if len(fields) > 1 {
 			qm.Querier = fields[1]
@@ -247,6 +260,9 @@ func (r *repl) handleMeta(line string) (quit bool) {
 	case "\\rewrite":
 		r.showRewrite = !r.showRewrite
 		fmt.Println("show rewrite =", r.showRewrite)
+	case "\\trace":
+		r.showTrace = !r.showTrace
+		fmt.Println("show trace =", r.showTrace)
 	case "\\prepare":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\prepare"))
 		if sql == "" {

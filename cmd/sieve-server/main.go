@@ -35,6 +35,7 @@ import (
 	sieve "github.com/sieve-db/sieve"
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/cli"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/server"
 	"github.com/sieve-db/sieve/internal/wal"
 	"github.com/sieve-db/sieve/internal/workload"
@@ -55,6 +56,8 @@ func run(opts *cli.ServerOpts) error {
 		MaxSessionsPerTenant: opts.SessionLimit,
 		MaxConcurrentQueries: opts.MaxQueries,
 		RequestTimeout:       opts.RequestTimeout,
+		SlowQuery:            opts.SlowQuery,
+		Registry:             obs.NewRegistry(),
 	}
 	if opts.Tokens != "" {
 		f, err := os.Open(opts.Tokens)
@@ -86,6 +89,11 @@ func run(opts *cli.ServerOpts) error {
 		}
 		demo, mgr = &dd.Demo, dd.Manager
 		cfg.ExtraVarz = mgr.Varz
+		// The WAL's histograms land in the same registry the server
+		// scrapes at /metrics, and traced queries learn the log's share
+		// of their latency from the cumulative append/fsync clocks.
+		mgr.SetRegistry(cfg.Registry)
+		cfg.WALTimings = func() (int64, int64) { return mgr.AppendNanos(), mgr.FsyncNanos() }
 		if rec := dd.Recovered; rec != nil {
 			fmt.Printf("recovered %s: snapshot lsn %d + %d replayed records in %v (torn tail: %d bytes)\n",
 				opts.DataDir, rec.SnapshotLSN, rec.Replayed, rec.Duration.Round(time.Millisecond), rec.TornBytes)

@@ -55,6 +55,7 @@ type ExplainOpts struct {
 	Querier string
 	Purpose string
 	Workers int
+	Trace   bool
 }
 
 // explainIntro is the header line of sieve-explain's usage text.
@@ -77,6 +78,7 @@ func ExplainFlags(defaultQuery string) (*flag.FlagSet, *ExplainOpts) {
 	fs.StringVar(&opts.Querier, "querier", "auto", "querier identity ('auto' picks the busiest)")
 	fs.StringVar(&opts.Purpose, "purpose", "analytics", "query purpose")
 	fs.IntVar(&opts.Workers, "workers", 0, "parallel scan workers (0 = engine default, NumCPU)")
+	fs.BoolVar(&opts.Trace, "trace", false, "print the execution's per-phase span tree")
 	setUsage(fs, explainIntro)
 	return fs, opts
 }
@@ -91,6 +93,7 @@ type ServerOpts struct {
 	WALSync        string
 	RequestTimeout time.Duration
 	DrainTimeout   time.Duration
+	SlowQuery      time.Duration
 	MaxQueries     int
 	SessionLimit   int
 	Verbose        bool
@@ -103,8 +106,11 @@ Serves the demo campus behind SIEVE's policy-enforcing middleware over a
 versioned HTTP/JSON protocol: bearer-token sessions, streamed NDJSON
 results, server-side prepared statements, policy administration, and a
 graceful SIGTERM drain. With -data-dir, mutations are write-ahead logged
-and snapshotted there, and a restart recovers the acknowledged state. See
-docs/server.md for the protocol and docs/durability.md for the log.
+and snapshotted there, and a restart recovers the acknowledged state.
+GET /metrics serves Prometheus metrics, ?trace=1 on a query returns its
+per-phase span tree, and -slow-query logs slow statements with a phase
+breakdown. See docs/server.md for the protocol, docs/durability.md for
+the log, and docs/observability.md for metrics and tracing.
 
 Flags:
 `
@@ -121,6 +127,7 @@ func ServerFlags() (*flag.FlagSet, *ServerOpts) {
 	fs.StringVar(&opts.WALSync, "wal-sync", "always", "WAL fsync policy with -data-dir: always | interval | none")
 	fs.DurationVar(&opts.RequestTimeout, "request-timeout", 30*time.Second, "per-query execution deadline, streaming included (0 = none)")
 	fs.DurationVar(&opts.DrainTimeout, "drain-timeout", 15*time.Second, "SIGTERM: how long in-flight requests may finish before connections close")
+	fs.DurationVar(&opts.SlowQuery, "slow-query", 0, "log queries at least this slow with a per-phase breakdown (0 = off)")
 	fs.IntVar(&opts.MaxQueries, "max-queries", 64, "concurrent query cap across all sessions (0 = unlimited)")
 	fs.IntVar(&opts.SessionLimit, "session-limit", 0, "open sessions allowed per querier (0 = unlimited)")
 	fs.BoolVar(&opts.Verbose, "v", false, "log one structured line per request to stderr")

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -55,6 +57,14 @@ func (m *Middleware) RewriteQuery(sql string, qm policy.Metadata) (*sqlparser.Se
 // under m.mu — so the token always describes exactly the guards in the
 // rewritten statement, however policy churn interleaves with the rewrite.
 func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadata) (*sqlparser.SelectStmt, *Report, error) {
+	return m.rewriteParsedSpan(stmt, qm, nil)
+}
+
+// rewriteParsedSpan is rewriteParsed attributing its guard-cache
+// resolution to a "guard-resolve" child of sp (with hit/regen counts);
+// the rest of the rewrite — strategy choice, CTE construction, printing
+// — stays on sp itself. sp may be nil (tracing off).
+func (m *Middleware) rewriteParsedSpan(stmt *sqlparser.SelectStmt, qm policy.Metadata, sp *obs.Span) (*sqlparser.SelectStmt, *Report, error) {
 	if qm.Querier == "" {
 		return nil, nil, fmt.Errorf("sieve: query metadata must identify the querier")
 	}
@@ -63,7 +73,20 @@ func (m *Middleware) rewriteParsed(stmt *sqlparser.SelectStmt, qm policy.Metadat
 	var tok strings.Builder
 	for _, relation := range relations {
 		refName := topLevelRefName(stmt, relation)
+		var t0 time.Time
+		if sp != nil {
+			t0 = time.Now()
+		}
 		st, pending, hit, err := m.guardedExpressionFor(qm, relation)
+		if sp != nil {
+			gsp := sp.Child("guard-resolve")
+			gsp.AddSince(t0)
+			if hit {
+				gsp.Count("hits", 1)
+			} else {
+				gsp.Count("regens", 1)
+			}
+		}
 		if err != nil {
 			return nil, nil, err
 		}

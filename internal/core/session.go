@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -58,7 +59,7 @@ func (s *Session) Groups() []string { return s.groups }
 // and closing the Rows early releases the scan (LIMIT-style early
 // termination without a LIMIT clause).
 func (s *Session) Query(ctx context.Context, sql string) (*engine.Rows, error) {
-	stmt, rep, err := s.rewrite(sql)
+	stmt, rep, err := s.rewriteArgsCtx(ctx, sql, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +83,7 @@ func cacheSeed(rep *Report) engine.Counters {
 // Execute rewrites sql under the session's policies, runs it under ctx,
 // and materialises the result.
 func (s *Session) Execute(ctx context.Context, sql string) (*engine.Result, error) {
-	stmt, _, err := s.rewrite(sql)
+	stmt, _, err := s.rewriteArgsCtx(ctx, sql, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +123,7 @@ func (s *Session) RewriteSQL(sql, dialect string, opts ...engine.EmitOption) (*e
 // conjuncts and index sargs see real literals — exactly as if the caller
 // had inlined them. The argument count must match the placeholder count.
 func (s *Session) QueryArgs(ctx context.Context, sql string, args []storage.Value) (*engine.Rows, error) {
-	stmt, rep, err := s.rewriteArgs(sql, args)
+	stmt, rep, err := s.rewriteArgsCtx(ctx, sql, args)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +137,7 @@ func (s *Session) QueryArgs(ctx context.Context, sql string, args []storage.Valu
 
 // ExecuteArgs is Execute with inbound bind arguments (see QueryArgs).
 func (s *Session) ExecuteArgs(ctx context.Context, sql string, args []storage.Value) (*engine.Result, error) {
-	stmt, _, err := s.rewriteArgs(sql, args)
+	stmt, _, err := s.rewriteArgsCtx(ctx, sql, args)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +155,18 @@ func (s *Session) rewrite(sql string) (*sqlparser.SelectStmt, *Report, error) {
 // rewriteArgs parses, binds placeholders (erroring on a count mismatch,
 // including args given to a placeholder-free statement), and rewrites.
 func (s *Session) rewriteArgs(sql string, args []storage.Value) (*sqlparser.SelectStmt, *Report, error) {
+	return s.rewriteArgsCtx(context.Background(), sql, args)
+}
+
+// rewriteArgsCtx is rewriteArgs attributing its phases — parse, then
+// rewrite with its guard-resolve sub-phase — to the trace span carried
+// by ctx, when one is (obs.SpanFrom is nil and every span method a no-op
+// otherwise).
+func (s *Session) rewriteArgsCtx(ctx context.Context, sql string, args []storage.Value) (*sqlparser.SelectStmt, *Report, error) {
+	sp := obs.SpanFrom(ctx)
+	psp := sp.StartChild("parse")
 	parsed, err := sqlparser.Parse(sql)
+	psp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -162,5 +174,7 @@ func (s *Session) rewriteArgs(sql string, args []storage.Value) (*sqlparser.Sele
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.m.rewriteParsed(bound, s.qm)
+	rsp := sp.StartChild("rewrite")
+	defer rsp.End()
+	return s.m.rewriteParsedSpan(bound, s.qm, rsp)
 }

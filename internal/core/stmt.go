@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -103,7 +104,7 @@ func (st *Stmt) NumInput() int { return st.numInput }
 // reused while the signature holds; otherwise the statement is
 // re-rewritten from the pristine parse.
 func (st *Stmt) Query(ctx context.Context, s *Session) (*engine.Rows, error) {
-	p, seed, err := st.planFor(s.qm)
+	p, seed, err := st.planForSpan(s.qm, obs.SpanFrom(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +119,7 @@ func (st *Stmt) Query(ctx context.Context, s *Session) (*engine.Rows, error) {
 // Execute runs the prepared statement for the session and materialises
 // the result.
 func (st *Stmt) Execute(ctx context.Context, s *Session) (*engine.Result, error) {
-	p, _, err := st.planFor(s.qm)
+	p, _, err := st.planForSpan(s.qm, obs.SpanFrom(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func (st *Stmt) QueryArgs(ctx context.Context, s *Session, args []storage.Value)
 	if st.numInput == 0 && len(args) == 0 {
 		return st.Query(ctx, s)
 	}
-	stmt, rep, err := st.bindRewrite(s.qm, args)
+	stmt, rep, err := st.bindRewriteCtx(ctx, s.qm, args)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +157,7 @@ func (st *Stmt) ExecuteArgs(ctx context.Context, s *Session, args []storage.Valu
 	if st.numInput == 0 && len(args) == 0 {
 		return st.Execute(ctx, s)
 	}
-	stmt, _, err := st.bindRewrite(s.qm, args)
+	stmt, _, err := st.bindRewriteCtx(ctx, s.qm, args)
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +167,12 @@ func (st *Stmt) ExecuteArgs(ctx context.Context, s *Session, args []storage.Valu
 // bindRewrite binds args against the pristine AST (BindStmt deep-copies,
 // so st.ast stays reusable) and policy-rewrites the bound statement.
 func (st *Stmt) bindRewrite(qm policy.Metadata, args []storage.Value) (*sqlparser.SelectStmt, *Report, error) {
+	return st.bindRewriteCtx(context.Background(), qm, args)
+}
+
+// bindRewriteCtx is bindRewrite attributing the per-call rewrite to the
+// trace span carried by ctx, when one is.
+func (st *Stmt) bindRewriteCtx(ctx context.Context, qm policy.Metadata, args []storage.Value) (*sqlparser.SelectStmt, *Report, error) {
 	bound, err := sqlparser.BindStmt(st.ast, args)
 	if err != nil {
 		return nil, nil, err
@@ -173,7 +180,9 @@ func (st *Stmt) bindRewrite(qm policy.Metadata, args []storage.Value) (*sqlparse
 	if bound == st.ast { // zero placeholders: rewrite must not mutate the pristine parse
 		bound = sqlparser.CloneStmt(st.ast)
 	}
-	stmt, rep, err := st.m.rewriteParsed(bound, qm)
+	rsp := obs.SpanFrom(ctx).StartChild("rewrite")
+	stmt, rep, err := st.m.rewriteParsedSpan(bound, qm, rsp)
+	rsp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -264,28 +273,43 @@ const maxCachedPlans = 1024
 // from every future resolution). seed carries the guard/plan cache
 // counters for streaming paths to fold into the query's engine counters.
 func (st *Stmt) planFor(qm policy.Metadata) (*preparedPlan, engine.Counters, error) {
+	return st.planForSpan(qm, nil)
+}
+
+// planForSpan is planFor attributing its work to a trace: token
+// resolution and cache probing land on a "plan" child of sp (with
+// hit/miss counts), and a miss's re-rewrite lands on a "rewrite" child
+// alongside it. sp may be nil.
+func (st *Stmt) planForSpan(qm policy.Metadata, sp *obs.Span) (*preparedPlan, engine.Counters, error) {
 	var seed engine.Counters
 	if st.numInput > 0 {
 		return nil, seed, fmt.Errorf("core: statement has %d placeholder(s); run it with QueryArgs/ExecuteArgs", st.numInput)
 	}
+	psp := sp.StartChild("plan")
 	tok, seed, err := st.m.planTokenFor(qm, st.tables)
 	if err != nil {
+		psp.End()
 		return nil, seed, err
 	}
 	st.mu.Lock()
 	p := st.plans[tok]
 	st.mu.Unlock()
+	psp.End()
 	if p != nil {
+		psp.Count("hits", 1)
 		seed.PlanCacheHits++
 		st.m.planHits.Add(1)
 		return p, seed, nil
 	}
+	psp.Count("misses", 1)
 	seed.PlanCacheMisses++
 	st.m.planMisses.Add(1)
 	if st.hookAfterToken != nil {
 		st.hookAfterToken()
 	}
-	stmt, rep, err := st.m.rewriteParsed(sqlparser.CloneStmt(st.ast), qm)
+	rsp := sp.StartChild("rewrite")
+	stmt, rep, err := st.m.rewriteParsedSpan(sqlparser.CloneStmt(st.ast), qm, rsp)
+	rsp.End()
 	if err != nil {
 		return nil, seed, err
 	}

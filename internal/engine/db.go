@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -541,7 +542,13 @@ func (db *DB) QueryStmtCtx(ctx context.Context, stmt *sqlparser.SelectStmt) (*Re
 	}
 	ex := db.newExecutor(ctx)
 	defer ex.flush(db)
-	return ex.selectStmt(stmt, newScope(nil), nil)
+	if ex.span == nil {
+		return ex.selectStmt(stmt, newScope(nil), nil)
+	}
+	t0 := time.Now()
+	res, err := ex.selectStmt(stmt, newScope(nil), nil)
+	ex.span.AddSince(t0)
+	return res, err
 }
 
 // Stream parses and opens a SQL statement as a streaming result.

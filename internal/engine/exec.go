@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
 )
@@ -70,12 +71,27 @@ type executor struct {
 	local    Counters
 	tick     int
 	flushed  bool
+
+	// Trace spans, resolved once from ctx at construction; all nil when
+	// tracing is off, so the scan hot paths pay a single nil check.
+	// span is the engine's "scan" phase; spPrune and spVector are its
+	// zone-refutation and vectorised-batch sub-phases. Pre-resolving
+	// avoids a name lookup per segment.
+	span     *obs.Span
+	spPrune  *obs.Span
+	spVector *obs.Span
 }
 
-// newExecutor builds a per-query executor bound to ctx.
+// newExecutor builds a per-query executor bound to ctx. When ctx carries
+// a trace span, the executor's work is attributed to a "scan" child.
 func (db *DB) newExecutor(ctx context.Context) *executor {
 	ex := &executor{db: db, ctx: ctx}
 	ex.counters = &ex.local
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		ex.span = sp.Child("scan")
+		ex.spPrune = ex.span.Child("prune")
+		ex.spVector = ex.span.Child("vector")
+	}
 	return ex
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -95,6 +96,11 @@ func (it *parallelScanIter) start() {
 	for i := range it.pool {
 		child := &executor{db: it.ex.db, ctx: it.ex.ctx}
 		child.counters = &child.local
+		// Workers share the parent's trace spans: Span accumulation is
+		// concurrency-safe, so per-segment prune/vector timings from every
+		// worker merge into the same phase nodes, and the aggregate worker
+		// busy time lands on a "workers" child of the scan span.
+		child.span, child.spPrune, child.spVector = it.ex.span, it.ex.spPrune, it.ex.spVector
 		it.pool[i] = child
 		it.wg.Add(1)
 		go it.worker(child, work)
@@ -154,7 +160,16 @@ func (it *parallelScanIter) worker(child *executor, work <-chan segTask) {
 		case <-it.done:
 			return
 		}
+		var t0 time.Time
+		if child.span != nil {
+			t0 = time.Now()
+		}
 		res, alive := it.scanSegment(child, ws, tk.seg)
+		if child.span != nil {
+			sp := child.span.Child("workers")
+			sp.AddSince(t0)
+			sp.Count("segments", 1)
+		}
 		if !alive {
 			return // done closed mid-segment; consumer is gone
 		}

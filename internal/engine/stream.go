@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -51,7 +52,14 @@ func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
 	}
+	var t0 time.Time
+	if r.ex.span != nil {
+		t0 = time.Now()
+	}
 	row, err := r.it.Next()
+	if r.ex.span != nil {
+		r.ex.span.AddSince(t0)
+	}
 	if err != nil {
 		r.err = err
 		r.release()
@@ -268,7 +276,21 @@ func (it *tableIter) nextSegment() (bool, error) {
 	for it.seg < it.view.NumSegments() {
 		seg := it.seg
 		it.seg++
-		if refuted, dict := segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, it.zbuf, it.wantOwners); refuted {
+		var t0 time.Time
+		if it.ex.spPrune != nil {
+			t0 = time.Now()
+		}
+		refuted, dict := segmentRefuted(it.view, seg, it.plan.zonePreds, it.plan.zoneCols, it.zbuf, it.wantOwners)
+		if it.ex.spPrune != nil {
+			it.ex.spPrune.AddSince(t0)
+			if refuted {
+				it.ex.spPrune.Count("segments", 1)
+				if dict {
+					it.ex.spPrune.Count("owner_dict", 1)
+				}
+			}
+		}
+		if refuted {
 			it.ex.counters.SegmentsPruned++
 			if dict {
 				it.ex.counters.OwnerDictPruned++
@@ -276,7 +298,14 @@ func (it *tableIter) nextSegment() (bool, error) {
 			continue
 		}
 		if it.prog != nil {
+			if it.ex.spVector != nil {
+				t0 = time.Now()
+			}
 			n, err := scanSegmentVectorised(it.ex, it.prog, it.view, seg, &it.batch, it.ev, it.schema, it.outer, nil)
+			if it.ex.spVector != nil {
+				it.ex.spVector.AddSince(t0)
+				it.ex.spVector.Count("batches", 1)
+			}
 			if err != nil {
 				return false, err
 			}

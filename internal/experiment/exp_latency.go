@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/obs"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/workload"
+)
+
+// LatencyFile is where Latency writes its machine-readable results.
+const LatencyFile = "BENCH_latency.json"
+
+// latencyCell is one corpus query's tracing-off vs tracing-on comparison
+// in BENCH_latency.json. Durations are microseconds. "Off" is the
+// production path — every instrumentation site sees a nil span and takes
+// no timestamp; "on" runs the same query under a full obs.Span tree.
+type latencyCell struct {
+	Name   string  `json:"name"`
+	Rows   int     `json:"rows"`
+	OffP50 float64 `json:"off_p50_us"`
+	OffP95 float64 `json:"off_p95_us"`
+	OffP99 float64 `json:"off_p99_us"`
+	OnP50  float64 `json:"on_p50_us"`
+	OnP95  float64 `json:"on_p95_us"`
+	OnP99  float64 `json:"on_p99_us"`
+	// OverheadP50Pct is (on p50 − off p50) / off p50 × 100: what turning
+	// the span tree on costs this query shape at the median.
+	OverheadP50Pct float64 `json:"overhead_p50_pct"`
+	// Phases is the number of distinct phase names the traced runs
+	// produced, a drift canary for the lifecycle coverage.
+	Phases int `json:"phases"`
+}
+
+// latencyResult is the BENCH_latency.json document.
+type latencyResult struct {
+	Iters   int    `json:"iters"`
+	Querier string `json:"querier"`
+	// MedianOverheadPct aggregates OverheadP50Pct across the corpus — the
+	// headline "what does tracing cost" number.
+	MedianOverheadPct float64       `json:"median_overhead_pct"`
+	Cells             []latencyCell `json:"cells"`
+}
+
+// Latency measures per-query latency over the examples corpus with
+// tracing off (the nil-span production path) and on (a full span tree per
+// execution), reporting p50/p95/p99 for both and the median-of-medians
+// overhead. Results also land in BENCH_latency.json, written and
+// re-parsed so a malformed document fails the run.
+func Latency(cfg Config) (*Table, error) {
+	return LatencyToFile(cfg, LatencyFile)
+}
+
+// LatencyToFile is Latency writing its JSON document to path.
+func LatencyToFile(cfg Config, path string) (*Table, error) {
+	if cfg.LatencyIters < 1 {
+		return nil, fmt.Errorf("experiment: latency iteration count is empty (set LatencyIters)")
+	}
+	env, err := NewCampusEnv(cfg, engine.MySQL())
+	if err != nil {
+		return nil, err
+	}
+	querier := workload.TopQueriers(env.Policies, 1, 1)
+	if len(querier) == 0 {
+		return nil, fmt.Errorf("experiment: no queriers hold policies")
+	}
+	sess := env.M.NewSession(policy.Metadata{Querier: querier[0], Purpose: "analytics"})
+	ctx := context.Background()
+
+	tab := &Table{
+		ID:      "Latency",
+		Title:   "Per-query latency: tracing off vs on (µs)",
+		Headers: []string{"query", "rows", "off p50", "off p95", "off p99", "on p50", "on p99", "overhead"},
+		Notes: []string{
+			"off = the production path (nil span, zero timestamps); on = a full per-phase span tree built per execution",
+			"iterations interleave off/on so both samples see the same cache and scheduler conditions",
+		},
+	}
+	res := latencyResult{Iters: cfg.LatencyIters, Querier: querier[0]}
+	for _, q := range env.Campus.CorpusQueries() {
+		// Warm the guard cache and plan state so both samples measure
+		// steady-state execution, then record the row count once.
+		base, err := sess.Execute(ctx, q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: latency %s: %w", q.Name, err)
+		}
+		off := make([]time.Duration, 0, cfg.LatencyIters)
+		on := make([]time.Duration, 0, cfg.LatencyIters)
+		phases := map[string]bool{}
+		for i := 0; i < cfg.LatencyIters; i++ {
+			start := time.Now()
+			if _, err := sess.Execute(ctx, q.SQL); err != nil {
+				return nil, fmt.Errorf("experiment: latency %s (off): %w", q.Name, err)
+			}
+			off = append(off, time.Since(start))
+
+			tr := obs.NewTrace("query")
+			tctx := obs.WithSpan(ctx, tr)
+			start = time.Now()
+			if _, err := sess.Execute(tctx, q.SQL); err != nil {
+				return nil, fmt.Errorf("experiment: latency %s (on): %w", q.Name, err)
+			}
+			tr.Finish()
+			on = append(on, time.Since(start))
+			for _, p := range tr.Node().Phases() {
+				phases[p] = true
+			}
+		}
+		cell := latencyCell{
+			Name: q.Name, Rows: len(base.Rows), Phases: len(phases),
+			OffP50: latencyPercentileUS(off, 50),
+			OffP95: latencyPercentileUS(off, 95),
+			OffP99: latencyPercentileUS(off, 99),
+			OnP50:  latencyPercentileUS(on, 50),
+			OnP95:  latencyPercentileUS(on, 95),
+			OnP99:  latencyPercentileUS(on, 99),
+		}
+		if cell.OffP50 > 0 {
+			cell.OverheadP50Pct = (cell.OnP50 - cell.OffP50) / cell.OffP50 * 100
+		}
+		res.Cells = append(res.Cells, cell)
+		tab.Rows = append(tab.Rows, []string{
+			q.Name,
+			fmt.Sprintf("%d", cell.Rows),
+			fmt.Sprintf("%.0f", cell.OffP50),
+			fmt.Sprintf("%.0f", cell.OffP95),
+			fmt.Sprintf("%.0f", cell.OffP99),
+			fmt.Sprintf("%.0f", cell.OnP50),
+			fmt.Sprintf("%.0f", cell.OnP99),
+			fmt.Sprintf("%+.1f%%", cell.OverheadP50Pct),
+		})
+	}
+	overheads := make([]float64, len(res.Cells))
+	for i, c := range res.Cells {
+		overheads[i] = c.OverheadP50Pct
+	}
+	sort.Float64s(overheads)
+	res.MedianOverheadPct = overheads[len(overheads)/2]
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("median p50 overhead of tracing on: %+.1f%% over %d corpus queries, %d iterations each",
+			res.MedianOverheadPct, len(res.Cells), cfg.LatencyIters))
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var check latencyResult
+	if err := json.Unmarshal(raw, &check); err != nil {
+		return nil, fmt.Errorf("experiment: %s does not parse: %w", path, err)
+	}
+	if len(check.Cells) == 0 {
+		return nil, fmt.Errorf("experiment: %s has no cells", path)
+	}
+	tab.Notes = append(tab.Notes, fmt.Sprintf("wrote %s (%d cells)", path, len(check.Cells)))
+	return tab, nil
+}
+
+// latencyPercentileUS reads the p-th percentile (0..100) of an unsorted
+// duration sample in microseconds.
+func latencyPercentileUS(sample []time.Duration, p int) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Microsecond)
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLatencyArtifact runs the observability-overhead benchmark at test
+// scale and asserts the BENCH_latency.json document — the artifact
+// downstream tooling consumes — parses and carries sane numbers.
+func TestLatencyArtifact(t *testing.T) {
+	cfg := TestConfig()
+	cfg.LatencyIters = 3
+	path := filepath.Join(t.TempDir(), "BENCH_latency.json")
+	tab, err := LatencyToFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("latency table is empty")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res latencyResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if res.Iters != cfg.LatencyIters {
+		t.Fatalf("artifact iters = %d, want %d", res.Iters, cfg.LatencyIters)
+	}
+	if res.Querier == "" {
+		t.Fatal("artifact names no querier")
+	}
+	if len(res.Cells) != len(tab.Rows) {
+		t.Fatalf("artifact has %d cells, table has %d rows", len(res.Cells), len(tab.Rows))
+	}
+	for i, cell := range res.Cells {
+		if cell.Name == "" {
+			t.Fatalf("cell %d has no query name", i)
+		}
+		if cell.OffP50 <= 0 || cell.OnP50 <= 0 {
+			t.Fatalf("cell %d (%s): non-positive p50: off=%f on=%f", i, cell.Name, cell.OffP50, cell.OnP50)
+		}
+		if cell.OffP95 < cell.OffP50 || cell.OnP95 < cell.OnP50 ||
+			cell.OffP99 < cell.OffP95 || cell.OnP99 < cell.OnP95 {
+			t.Fatalf("cell %d (%s): percentiles not monotone: %+v", i, cell.Name, cell)
+		}
+		// Every traced execution must produce a real span tree; corpus
+		// queries over the protected relation hit at least parse, rewrite,
+		// and scan.
+		if cell.Phases < 3 {
+			t.Fatalf("cell %d (%s): traced runs saw only %d phases", i, cell.Name, cell.Phases)
+		}
+	}
+
+	// The sweep must refuse to run unsized rather than write a hollow file.
+	cfg.LatencyIters = 0
+	if _, err := LatencyToFile(cfg, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("zero-iteration sweep produced an artifact")
+	}
+}

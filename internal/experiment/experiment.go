@@ -98,6 +98,9 @@ type Config struct {
 	// experiment: each entry is a record count to load, snapshot, and
 	// cold-recover (paper-scale target: 10⁴–10⁶).
 	RecoveryRecords []int
+	// LatencyIters is the per-query sample size of the latency
+	// experiment (tracing off vs on over the examples corpus).
+	LatencyIters int
 }
 
 // TestConfig finishes in a few seconds; used by unit tests.
@@ -119,6 +122,7 @@ func TestConfig() Config {
 		PolicyScaleZipf:     1.3,
 
 		RecoveryRecords: []int{1000, 5000},
+		LatencyIters:    5,
 	}
 }
 
@@ -140,6 +144,7 @@ func MediumConfig() Config {
 	cfg.PolicyScaleQueriers = []int{2000}
 	cfg.PolicyScaleGroups = 50
 	cfg.RecoveryRecords = []int{10000, 100000}
+	cfg.LatencyIters = 15
 	return cfg
 }
 
@@ -166,6 +171,8 @@ func BenchConfig() Config {
 		// The ISSUE's durability sweep: cold recovery at 10⁴–10⁶
 		// logged records.
 		RecoveryRecords: []int{10000, 100000, 1000000},
+
+		LatencyIters: 31,
 	}
 }
 

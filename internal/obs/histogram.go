@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed histogram of non-negative int64
+// observations (typically nanosecond durations or row counts) with a
+// bounded relative quantile error.
+//
+// Values below 2^histSubBits land in exact unit-width buckets; above
+// that, each power-of-two octave is split into 2^histSubBits linear
+// sub-buckets, so a bucket's width is at most 1/2^histSubBits of its
+// lower bound. Quantile() answers with the bucket midpoint, which bounds
+// the relative error at ~1/2^(histSubBits+1) (≈1.6% at 5 sub-bits) plus
+// the rank quantisation within one bucket — ≤3.2% overall, which the
+// oracle test in registry_test.go pins down. Observations are a single
+// atomic add; snapshots are lock-free and may trail in-flight writes by
+// a few observations, which is fine for monitoring reads.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+const (
+	histSubBits = 5 // 32 sub-buckets per octave
+	histSubSize = 1 << histSubBits
+	// Indexes: [0, histSubSize) are exact unit buckets; octave e
+	// (histSubBits ≤ e ≤ 63) occupies histSubSize indexes starting at
+	// (e-histSubBits+1)*histSubSize.
+	histBuckets = (64 - histSubBits) * histSubSize
+)
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubSize {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // position of the msb, ≥ histSubBits
+	sub := int((v >> (uint(e) - histSubBits)) & (histSubSize - 1))
+	return (e-histSubBits+1)*histSubSize + sub
+}
+
+// bucketBounds returns the inclusive [lo, hi] range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < histSubSize {
+		return int64(i), int64(i)
+	}
+	e := uint(i/histSubSize + histSubBits - 1)
+	sub := int64(i % histSubSize)
+	width := int64(1) << (e - histSubBits)
+	lo = (int64(1) << e) + sub*width
+	return lo, lo + width - 1
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the midpoint of the
+// bucket holding the target rank. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1 // 1-based rank of the nearest-rank estimate
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot, with its
+// cumulative count (Prometheus `le` semantics: observations ≤ Upper).
+type HistogramBucket struct {
+	Upper      int64
+	Cumulative int64
+}
+
+// Snapshot returns the non-empty buckets in ascending order with
+// cumulative counts, plus the total count and sum.
+func (h *Histogram) Snapshot() (buckets []HistogramBucket, count, sum int64) {
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := bucketBounds(i)
+		buckets = append(buckets, HistogramBucket{Upper: hi, Cumulative: cum})
+	}
+	return buckets, h.count.Load(), h.sum.Load()
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` line per family, then
+// one sample line per member. Histograms render their non-empty buckets
+// cumulatively with `le` bounds plus `_sum`/`_count`; the `+Inf` bucket
+// and `_count` both use the bucket total so the series is internally
+// consistent even while writers race the scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshotMetrics()
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			typ := "counter"
+			switch m.kind {
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if err := writeSample(w, m.name, m.labels, m.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if err := writeSample(w, m.name, m.labels, m.gauge.Value()); err != nil {
+				return err
+			}
+		case kindGaugeFunc:
+			r.mu.RLock()
+			fn := m.fn
+			r.mu.RUnlock()
+			var v int64
+			if fn != nil {
+				v = fn()
+			}
+			if err := writeSample(w, m.name, m.labels, v); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writeHistogram(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(w io.Writer, name, labels string, v int64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+	return err
+}
+
+// writeHistogram emits the `_bucket`/`_sum`/`_count` series of one
+// histogram member.
+func writeHistogram(w io.Writer, m *metric) error {
+	buckets, _, sum := m.hist.Snapshot()
+	var total int64
+	bucketLabels := func(le string) string {
+		if m.labels == "" {
+			return fmt.Sprintf("le=%q", le)
+		}
+		return m.labels + "," + fmt.Sprintf("le=%q", le)
+	}
+	for _, b := range buckets {
+		total = b.Cumulative
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.name, bucketLabels(fmt.Sprintf("%d", b.Upper)), b.Cumulative); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.name, bucketLabels("+Inf"), total); err != nil {
+		return err
+	}
+	suffix := ""
+	if m.labels != "" {
+		suffix = "{" + m.labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.name, suffix, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, suffix, total)
+	return err
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one counter, one gauge, and one
+// histogram from many goroutines; run under -race this is the registry's
+// publication-safety proof, and the totals must still be exact.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				// Get-or-create on every iteration: the lookup path is
+				// part of what the race detector must see.
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h_ns", "phase", "scan").Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter lost updates: %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("h_ns", "phase", "scan")
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram lost observations: %d, want %d", got, workers*perWorker)
+	}
+	buckets, count, _ := h.Snapshot()
+	if count != workers*perWorker {
+		t.Fatalf("snapshot count %d, want %d", count, workers*perWorker)
+	}
+	if len(buckets) == 0 || buckets[len(buckets)-1].Cumulative != count {
+		t.Fatalf("cumulative buckets do not sum to count: %v", buckets)
+	}
+}
+
+// TestHistogramQuantileOracle pins the histogram's advertised error
+// bound against an exact-sort oracle across several distributions: every
+// quantile estimate must land within 3.2% relative error (or ±1
+// absolutely, for the unit-bucket range).
+func TestHistogramQuantileOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform":   func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exp-ish":   func(r *rand.Rand) int64 { return int64(1) << uint(r.Intn(40)) },
+		"lognormal": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"small":     func(r *rand.Rand) int64 { return r.Int63n(20) },
+	}
+	quantiles := []float64{0, 0.5, 0.9, 0.95, 0.99, 1}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := newHistogram()
+			vals := make([]int64, 20000)
+			for i := range vals {
+				vals[i] = gen(rng)
+				h.Observe(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, q := range quantiles {
+				rank := int(q * float64(len(vals)-1))
+				exact := vals[rank]
+				got := h.Quantile(q)
+				relErr := 0.0
+				if exact > 0 {
+					diff := float64(got - exact)
+					if diff < 0 {
+						diff = -diff
+					}
+					relErr = diff / float64(exact)
+				}
+				absErr := got - exact
+				if absErr < 0 {
+					absErr = -absErr
+				}
+				if relErr > 0.032 && absErr > 1 {
+					t.Errorf("q=%.2f: estimate %d vs exact %d (rel err %.4f)", q, got, exact, relErr)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramBuckets sanity-checks the index/bounds round trip over
+// the whole int64 range: a value must land inside its own bucket's
+// bounds, and bounds must tile without gaps.
+func TestHistogramBuckets(t *testing.T) {
+	probe := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, (1 << 40) + 12345, 1<<62 + 999}
+	for _, v := range probe {
+		i := bucketIndex(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Errorf("value %d landed in bucket %d [%d,%d]", v, i, lo, hi)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		_, prevHi := bucketBounds(i - 1)
+		lo, _ := bucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", i-1, prevHi, i, lo)
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+// TestWritePrometheus validates the exposition output with the same
+// minimal parser CI's scrape check relies on (ParseExposition): every
+// family has a TYPE line, histograms carry consistent cumulative
+// buckets, and the whole document round-trips.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sieve_queries_total").Add(7)
+	r.Gauge("sieve_sessions_open").Set(3)
+	r.GaugeFunc("sieve_answer", func() int64 { return 42 })
+	h := r.Histogram("sieve_query_duration_ns", "endpoint", "query")
+	for _, v := range []int64{10, 100, 1000, 10000, 100000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	want := map[string]string{
+		"sieve_queries_total":     "counter",
+		"sieve_sessions_open":     "gauge",
+		"sieve_answer":            "gauge",
+		"sieve_query_duration_ns": "histogram",
+	}
+	for name, typ := range want {
+		f, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %s missing from exposition:\n%s", name, b.String())
+		}
+		if f.Type != typ {
+			t.Errorf("family %s has type %s, want %s", name, f.Type, typ)
+		}
+	}
+	qf := fams["sieve_query_duration_ns"]
+	if qf.HistogramCount != 5 {
+		t.Errorf("histogram count %d, want 5", qf.HistogramCount)
+	}
+	if !qf.SawInf {
+		t.Error("histogram has no +Inf bucket")
+	}
+}

@@ -1,0 +1,52 @@
+package obs_test
+
+import (
+	"net/http"
+	"os"
+	"testing"
+
+	"github.com/sieve-db/sieve/internal/obs"
+)
+
+// TestLiveMetricsScrape is the CI gate on a running server's GET
+// /metrics: set SIEVE_METRICS_URL (and optionally SIEVE_METRICS_TOKEN)
+// and the test fetches the endpoint and holds it to the exposition
+// parser plus a minimal family contract. It skips when the env var is
+// unset, so plain `go test ./...` never needs a server.
+func TestLiveMetricsScrape(t *testing.T) {
+	url := os.Getenv("SIEVE_METRICS_URL")
+	if url == "" {
+		t.Skip("SIEVE_METRICS_URL not set; live scrape runs in CI's boot smoke")
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok := os.Getenv("SIEVE_METRICS_TOKEN"); tok != "" {
+		req.Header.Set("Authorization", "Bearer "+tok)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"sieve_requests_total", "sieve_queries_total",
+		"sieve_query_duration_us", "sieve_phase_duration_us",
+		"sieve_goroutines",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("live /metrics is missing family %s", want)
+		}
+	}
+	if f := fams["sieve_query_duration_us"]; f != nil && f.Type == "histogram" && !f.SawInf {
+		t.Error("latency histogram has no +Inf bucket")
+	}
+}

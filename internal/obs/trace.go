@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one node of a per-query trace tree. A span accumulates
+// duration — either bracketed (Begin/End) for sequential phases or added
+// directly (Add/AddSince) from hot loops and worker goroutines — and
+// child spans are get-or-create by name, so repeated work in the same
+// phase (per-segment pruning, per-batch vector runs) merges into one
+// node instead of exploding the tree.
+//
+// Every method is safe on a nil *Span and does nothing, so call sites
+// instrument unconditionally and pay only a nil check when tracing is
+// off. Mutating methods are safe for concurrent use.
+type Span struct {
+	name string
+	dur  atomic.Int64 // accumulated nanoseconds
+
+	mu       sync.Mutex
+	start    time.Time
+	children []*Span
+	byName   map[string]*Span
+	counts   map[string]int64
+	attrs    map[string]string
+}
+
+// NewTrace starts a new trace and returns its root span, already begun;
+// call Finish (or End) on the root when the traced work completes.
+func NewTrace(name string) *Span {
+	s := &Span{name: name}
+	s.start = time.Now()
+	return s
+}
+
+// Child returns the named child span, creating it on first use.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.byName[name]; ok {
+		return c
+	}
+	if s.byName == nil {
+		s.byName = map[string]*Span{}
+	}
+	c := &Span{name: name}
+	s.byName[name] = c
+	s.children = append(s.children, c)
+	return c
+}
+
+// StartChild returns the named child with its bracket clock started;
+// pair with End.
+func (s *Span) StartChild(name string) *Span {
+	c := s.Child(name)
+	if c != nil {
+		c.mu.Lock()
+		c.start = time.Now()
+		c.mu.Unlock()
+	}
+	return c
+}
+
+// End closes the bracket opened by StartChild (or NewTrace), adding the
+// elapsed time to the span's accumulated duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	start := s.start
+	s.start = time.Time{}
+	s.mu.Unlock()
+	if !start.IsZero() {
+		s.dur.Add(int64(time.Since(start)))
+	}
+}
+
+// Finish is End for the trace root, named for call-site clarity.
+func (s *Span) Finish() { s.End() }
+
+// Add accumulates d into the span.
+func (s *Span) Add(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.dur.Add(int64(d))
+}
+
+// AddSince accumulates the time elapsed since t.
+func (s *Span) AddSince(t time.Time) {
+	if s == nil {
+		return
+	}
+	s.dur.Add(int64(time.Since(t)))
+}
+
+// Count adds n to the named counter annotation on the span (cache hits,
+// segments pruned, rows, …).
+func (s *Span) Count(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = map[string]int64{}
+	}
+	s.counts[key] += n
+	s.mu.Unlock()
+}
+
+// Attr sets a string annotation on the span (request id, strategy, …).
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Duration returns the span's accumulated duration so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.dur.Load())
+}
+
+// SpanNode is the exported snapshot of a span: what travels on the
+// NDJSON done line, prints under sieve-explain -trace, and returns from
+// client.Rows.Trace(). Durations are microseconds; SelfUS is the span's
+// duration minus its children's (clamped at zero), so summing SelfUS
+// over a tree recovers the root's wall time.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	DurUS    int64             `json:"dur_us"`
+	SelfUS   int64             `json:"self_us"`
+	Counts   map[string]int64  `json:"counts,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Node snapshots the span tree. Safe to call while writers are still
+// adding (a monitoring read), though the canonical use is after Finish.
+func (s *Span) Node() *SpanNode {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	n := &SpanNode{Name: s.name}
+	if len(s.counts) > 0 {
+		n.Counts = make(map[string]int64, len(s.counts))
+		for k, v := range s.counts {
+			n.Counts[k] = v
+		}
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+
+	var childNS int64
+	for _, c := range children {
+		cn := c.Node()
+		n.Children = append(n.Children, cn)
+		childNS += cn.DurUS
+	}
+	n.DurUS = s.dur.Load() / 1e3
+	n.SelfUS = n.DurUS - childNS
+	if n.SelfUS < 0 {
+		n.SelfUS = 0
+	}
+	return n
+}
+
+// Phases returns the tree's distinct span names (root included), sorted.
+func (n *SpanNode) Phases() []string {
+	seen := map[string]bool{}
+	var walk func(*SpanNode)
+	walk = func(x *SpanNode) {
+		if x == nil {
+			return
+		}
+		seen[x.Name] = true
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns the first node with the given name in depth-first order,
+// or nil.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Format writes the tree as an indented text rendering for terminals
+// (sieve-explain -trace, the repl's \trace).
+func (n *SpanNode) Format(w io.Writer) {
+	n.format(w, 0)
+}
+
+func (n *SpanNode) format(w io.Writer, depth int) {
+	if n == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%-*s %9.3fms", indent, 14-len(indent), n.name(), float64(n.DurUS)/1e3)
+	if len(n.Children) > 0 {
+		line += fmt.Sprintf("  (self %.3fms)", float64(n.SelfUS)/1e3)
+	}
+	if len(n.Counts) > 0 {
+		keys := make([]string, 0, len(n.Counts))
+		for k := range n.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, n.Counts[k])
+		}
+		line += "  [" + strings.Join(parts, " ") + "]"
+	}
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%s", k, n.Attrs[k])
+		}
+		line += "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range n.Children {
+		c.format(w, depth+1)
+	}
+}
+
+func (n *SpanNode) name() string {
+	if n.Name == "" {
+		return "(unnamed)"
+	}
+	return n.Name
+}
+
+// ctxKey keys the active span in a context.Context.
+type ctxKey struct{}
+
+// WithSpan returns a context carrying sp as the active span.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFrom returns the active span carried by ctx, or nil when tracing
+// is off — the nil flows through every Span method as a no-op.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNilSafety exercises every Span method through a nil receiver —
+// the disabled-tracing fast path must be a true no-op.
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.Add(time.Millisecond)
+	sp.AddSince(time.Now())
+	sp.Count("rows", 3)
+	sp.Attr("k", "v")
+	sp.End()
+	sp.Finish()
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if c := sp.StartChild("x"); c != nil {
+		t.Fatal("nil span produced a started child")
+	}
+	if sp.Node() != nil {
+		t.Fatal("nil span produced a node")
+	}
+	if sp.Duration() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	if got := SpanFrom(context.Background()); got != nil {
+		t.Fatal("empty context carried a span")
+	}
+}
+
+// TestSpanTree builds a small tree and checks accumulation, get-or-create
+// child merging, self-time arithmetic, and JSON shape.
+func TestSpanTree(t *testing.T) {
+	root := NewTrace("query")
+	root.Attr("req_id", "abc123")
+
+	parse := root.StartChild("parse")
+	time.Sleep(2 * time.Millisecond)
+	parse.End()
+
+	scan := root.Child("scan")
+	scan.Add(10 * time.Millisecond)
+	scan.Child("prune").Add(3 * time.Millisecond)
+	scan.Child("prune").Add(1 * time.Millisecond) // same name must merge
+	scan.Child("prune").Count("segments", 7)
+	root.Finish()
+
+	n := root.Node()
+	if n.Name != "query" || n.Attrs["req_id"] != "abc123" {
+		t.Fatalf("root node wrong: %+v", n)
+	}
+	prune := n.Find("prune")
+	if prune == nil {
+		t.Fatal("prune span missing")
+	}
+	if got := prune.DurUS; got < 3900 || got > 4100 {
+		t.Fatalf("prune did not merge accumulations: %dµs", got)
+	}
+	if prune.Counts["segments"] != 7 {
+		t.Fatalf("prune counts = %v", prune.Counts)
+	}
+	scanNode := n.Find("scan")
+	if self := scanNode.DurUS - prune.DurUS; scanNode.SelfUS != self {
+		t.Fatalf("scan self-time %d, want %d", scanNode.SelfUS, self)
+	}
+	wantPhases := []string{"parse", "prune", "query", "scan"}
+	if got := n.Phases(); strings.Join(got, ",") != strings.Join(wantPhases, ",") {
+		t.Fatalf("phases = %v, want %v", got, wantPhases)
+	}
+
+	raw, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanNode
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Find("prune") == nil || back.Find("prune").Counts["segments"] != 7 {
+		t.Fatalf("JSON round trip lost data: %s", raw)
+	}
+
+	var b strings.Builder
+	n.Format(&b)
+	for _, phase := range wantPhases {
+		if !strings.Contains(b.String(), phase) {
+			t.Fatalf("text rendering missing %q:\n%s", phase, b.String())
+		}
+	}
+}
+
+// TestSpanConcurrent has many goroutines accumulating into the same
+// child names — the worker fan-out shape. Run under -race.
+func TestSpanConcurrent(t *testing.T) {
+	root := NewTrace("query")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				root.Child("scan").Child("workers").Add(time.Microsecond)
+				root.Child("scan").Count("tuples", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	n := root.Node()
+	if got := n.Find("workers").DurUS; got != workers*iters {
+		t.Fatalf("workers span accumulated %dµs, want %d", got, workers*iters)
+	}
+	if got := n.Find("scan").Counts["tuples"]; got != workers*iters {
+		t.Fatalf("scan tuples = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestWithSpan checks context carriage.
+func TestWithSpan(t *testing.T) {
+	root := NewTrace("q")
+	ctx := WithSpan(context.Background(), root)
+	if SpanFrom(ctx) != root {
+		t.Fatal("span did not round-trip the context")
+	}
+	child := root.Child("inner")
+	if SpanFrom(WithSpan(ctx, child)) != child {
+		t.Fatal("nested WithSpan did not override")
+	}
+}

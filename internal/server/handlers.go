@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/policy"
 	"github.com/sieve-db/sieve/internal/sqlparser"
 	"github.com/sieve-db/sieve/internal/storage"
@@ -21,6 +23,15 @@ import (
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Profiling stays behind bearer auth: a CPU profile or heap dump is
+	// operational data no anonymous caller should pull.
+	s.mux.HandleFunc("GET /debug/pprof/", s.auth(pprofHandler(pprof.Index)))
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", s.auth(pprofHandler(pprof.Cmdline)))
+	s.mux.HandleFunc("GET /debug/pprof/profile", s.auth(pprofHandler(pprof.Profile)))
+	s.mux.HandleFunc("GET /debug/pprof/symbol", s.auth(pprofHandler(pprof.Symbol)))
+	s.mux.HandleFunc("POST /debug/pprof/symbol", s.auth(pprofHandler(pprof.Symbol)))
+	s.mux.HandleFunc("GET /debug/pprof/trace", s.auth(pprofHandler(pprof.Trace)))
 	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleOpenSession))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.withSession(s.handleCloseSession)))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.auth(s.withSession(s.handleQuery)))
@@ -64,7 +75,13 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 // authedHandler is a handler that has passed bearer authentication.
 type authedHandler func(w http.ResponseWriter, r *http.Request, prin Principal)
 
-// auth authenticates the request, counts it, and logs its completion.
+// pprofHandler adapts a net/http/pprof handler to sit behind auth.
+func pprofHandler(h http.HandlerFunc) authedHandler {
+	return func(w http.ResponseWriter, r *http.Request, _ Principal) { h(w, r) }
+}
+
+// auth authenticates the request, assigns its request id, counts it, and
+// logs its completion.
 func (s *Server) auth(h authedHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.vz.Requests.Add(1)
@@ -74,11 +91,14 @@ func (s *Server) auth(h authedHandler) http.HandlerFunc {
 			jsonError(w, http.StatusUnauthorized, "missing or unknown bearer token")
 			return
 		}
+		rid := newRequestID()
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(withRequestID(r.Context(), rid))
 		start := time.Now()
 		h(w, r, prin)
 		s.log.Info("request",
 			"method", r.Method, "path", r.URL.Path,
-			"querier", prin.Querier, "dur", time.Since(start))
+			"querier", prin.Querier, "req_id", rid, "dur", time.Since(start))
 	}
 }
 
@@ -96,7 +116,7 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *liveSes
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := HealthResponse{Status: "ok", Backend: s.backendName(), Sessions: s.vz.SessionsOpen.Load()}
+	body := HealthResponse{Status: "ok", Backend: s.backendName(), Sessions: s.vz.SessionsOpen.Value()}
 	if s.draining.Load() {
 		body.Status = "draining"
 		w.Header().Set("Content-Type", "application/json")
@@ -121,18 +141,18 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		"claims_invalidated":       cs.ClaimsInvalidated,
 		"plan_cache_hits":          cs.PlanCacheHits,
 		"plan_cache_misses":        cs.PlanCacheMisses,
-		"requests_total":           s.vz.Requests.Load(),
-		"auth_failures":            s.vz.AuthFailures.Load(),
-		"queries_total":            s.vz.Queries.Load(),
-		"rows_streamed":            s.vz.RowsStreamed.Load(),
-		"early_disconnects":        s.vz.EarlyDisconnects.Load(),
-		"rejected_draining":        s.vz.RejectedDraining.Load(),
-		"rejected_limit":           s.vz.RejectedLimit.Load(),
-		"sessions_opened":          s.vz.SessionsOpened.Load(),
-		"sessions_open":            s.vz.SessionsOpen.Load(),
-		"stmts_prepared":           s.vz.StmtsPrepared.Load(),
-		"policy_changes":           s.vz.PolicyChanges.Load(),
-		"row_changes":              s.vz.RowChanges.Load(),
+		"requests_total":           s.vz.Requests.Value(),
+		"auth_failures":            s.vz.AuthFailures.Value(),
+		"queries_total":            s.vz.Queries.Value(),
+		"rows_streamed":            s.vz.RowsStreamed.Value(),
+		"early_disconnects":        s.vz.EarlyDisconnects.Value(),
+		"rejected_draining":        s.vz.RejectedDraining.Value(),
+		"rejected_limit":           s.vz.RejectedLimit.Value(),
+		"sessions_opened":          s.vz.SessionsOpened.Value(),
+		"sessions_open":            s.vz.SessionsOpen.Value(),
+		"stmts_prepared":           s.vz.StmtsPrepared.Value(),
+		"policy_changes":           s.vz.PolicyChanges.Value(),
+		"row_changes":              s.vz.RowChanges.Value(),
 		"policy_epoch":             int64(s.m.Epoch()),
 		"engine_tuples_read":       ec.TuplesRead,
 		"engine_segments_pruned":   ec.SegmentsPruned,
@@ -297,6 +317,13 @@ type rowStream interface {
 // batched so a large result does not pay a syscall per row, but the
 // columns line flushes immediately — a client learns its query was
 // accepted before the first row materialises.
+//
+// With ?trace=1 (or a configured SlowQuery threshold) the query runs
+// under a span tree: the engine phases accumulate through the context,
+// the server adds emit (NDJSON encoding), stream (flushes), and — when
+// WALTimings is wired — the wal share of durable DML, and the finished
+// tree rides the done line as `trace` and feeds the per-phase duration
+// histograms on /metrics.
 func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ctx context.Context) (rowStream, error)) {
 	if s.draining.Load() {
 		s.vz.RejectedDraining.Add(1)
@@ -304,6 +331,16 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 		return
 	}
 	ctx := r.Context()
+	rid := requestIDFrom(ctx)
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	var tr *obs.Span
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		tr = obs.NewTrace("query")
+		if rid != "" {
+			tr.Attr("req_id", rid)
+		}
+		ctx = obs.WithSpan(ctx, tr)
+	}
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -317,6 +354,12 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 	}
 	defer release()
 	s.vz.Queries.Add(1)
+	start := time.Now()
+	defer func() { s.vz.QueryDurationUS.Observe(time.Since(start).Microseconds()) }()
+	var walAppend0, walFsync0 int64
+	if tr != nil && s.cfg.WALTimings != nil {
+		walAppend0, walFsync0 = s.cfg.WALTimings()
+	}
 
 	rows, err := run(ctx)
 	if err != nil {
@@ -328,12 +371,35 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	spEmit := tr.Child("emit")     // nil-safe: both stay nil when
+	spStream := tr.Child("stream") // tracing is off
 	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
+		if flusher == nil {
+			return
+		}
+		var t0 time.Time
+		if spStream != nil {
+			t0 = time.Now()
+		}
+		flusher.Flush()
+		if spStream != nil {
+			spStream.AddSince(t0)
+			spStream.Count("flushes", 1)
 		}
 	}
-	if err := enc.Encode(StreamLine{Columns: rows.Columns()}); err != nil {
+	emit := func(line StreamLine) error {
+		var t0 time.Time
+		if spEmit != nil {
+			t0 = time.Now()
+		}
+		err := enc.Encode(line)
+		if spEmit != nil {
+			spEmit.AddSince(t0)
+			spEmit.Count("lines", 1)
+		}
+		return err
+	}
+	if err := emit(StreamLine{Columns: rows.Columns()}); err != nil {
 		s.vz.EarlyDisconnects.Add(1)
 		return
 	}
@@ -341,7 +407,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 
 	var n int64
 	for rows.Next() {
-		if err := enc.Encode(StreamLine{Row: EncodeRow(rows.Row())}); err != nil {
+		if err := emit(StreamLine{Row: EncodeRow(rows.Row())}); err != nil {
 			// The write side failed: the client went away. Closing rows
 			// stops the scan so abandoned queries do not finish for an
 			// audience of nobody.
@@ -354,6 +420,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 		}
 	}
 	s.vz.RowsStreamed.Add(n)
+	s.vz.QueryRows.Observe(n)
 	if err := rows.Err(); err != nil {
 		if ctx.Err() != nil && r.Context().Err() != nil {
 			// The request context died first: a disconnect, not a query
@@ -361,11 +428,11 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 			s.vz.EarlyDisconnects.Add(1)
 			return
 		}
-		_ = enc.Encode(StreamLine{Error: err.Error()})
+		_ = emit(StreamLine{Error: err.Error(), RequestID: rid})
 		flush()
 		return
 	}
-	done := StreamLine{Done: true, Rows: n}
+	done := StreamLine{Done: true, Rows: n, RequestID: rid}
 	if er, ok := rows.(*engine.Rows); ok {
 		c := er.Counters()
 		done.Counters = &StreamCounters{
@@ -381,10 +448,38 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, run func(ct
 			PlanCacheMisses:  c.PlanCacheMisses,
 		}
 		s.log.Info("query",
-			"rows", n, "tuples_read", c.TuplesRead,
+			"req_id", rid, "rows", n, "tuples_read", c.TuplesRead,
 			"segments_pruned", c.SegmentsPruned, "policy_evals", c.PolicyEvals)
 	}
-	_ = enc.Encode(done)
+	if tr != nil {
+		if s.cfg.WALTimings != nil {
+			// Attribute the WAL's share of a durable DML statement. The
+			// cumulative counters are process-wide, so concurrent writers
+			// can smear across traces; for latency attribution that is
+			// the right bias — the query did wait on those appends.
+			walAppend1, walFsync1 := s.cfg.WALTimings()
+			if d := walAppend1 - walAppend0; d > 0 {
+				wsp := tr.Child("wal")
+				wsp.Add(time.Duration(d))
+				if f := walFsync1 - walFsync0; f > 0 {
+					wsp.Child("fsync").Add(time.Duration(f))
+				}
+			}
+		}
+		tr.Count("rows", n)
+		tr.Finish()
+		node := tr.Node()
+		s.recordPhases(node)
+		if wantTrace {
+			done.Trace = node
+		}
+		if dur := time.Since(start); s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery {
+			s.log.Warn("slow query",
+				"req_id", rid, "dur", dur, "rows", n,
+				"phases", phaseBreakdown(node))
+		}
+	}
+	_ = emit(done)
 	flush()
 }
 

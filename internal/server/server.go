@@ -48,6 +48,7 @@ import (
 
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/policy"
 )
 
@@ -83,6 +84,20 @@ type Config struct {
 	// /varz — cmd/sieve-server plugs the WAL manager's durability
 	// counters in here. Keys collide last-writer-wins; prefix them.
 	ExtraVarz func() map[string]int64
+	// Registry receives the server's metrics (GET /metrics, and the
+	// counters behind /varz). Nil gets a private registry; share one to
+	// merge in external families (the WAL manager's histograms).
+	Registry *obs.Registry
+	// SlowQuery, when positive, logs a structured line with a per-phase
+	// duration breakdown for every query at least this slow. Setting it
+	// traces every query (the breakdown needs the span tree), which
+	// costs a few time.Now calls per phase.
+	SlowQuery time.Duration
+	// WALTimings, when non-nil, samples the WAL's cumulative append and
+	// fsync nanoseconds (wal.Manager.AppendNanos/FsyncNanos). Traced
+	// queries diff it around execution so durable DML shows a "wal"
+	// phase with the log's share of the latency.
+	WALTimings func() (appendNS, fsyncNS int64)
 }
 
 // Server is the middleware with a listener in front. Create with New,
@@ -107,24 +122,8 @@ type Server struct {
 
 	httpSrv *http.Server
 
-	vz varz
-}
-
-// varz is the server's operational counter set, all atomics, exposed as
-// JSON at GET /varz.
-type varz struct {
-	Requests         atomic.Int64
-	AuthFailures     atomic.Int64
-	Queries          atomic.Int64
-	RowsStreamed     atomic.Int64
-	EarlyDisconnects atomic.Int64
-	RejectedDraining atomic.Int64
-	RejectedLimit    atomic.Int64
-	SessionsOpened   atomic.Int64
-	SessionsOpen     atomic.Int64
-	StmtsPrepared    atomic.Int64
-	PolicyChanges    atomic.Int64
-	RowChanges       atomic.Int64
+	reg *obs.Registry
+	vz  varz
 }
 
 // liveSession is one open wire session: the principal it authenticated
@@ -154,12 +153,19 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		m:         cfg.Middleware,
 		log:       cfg.Logger,
+		reg:       cfg.Registry,
 		sessions:  make(map[string]*liveSession),
 		perTenant: make(map[string]int),
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.vz = newVarz(s.reg)
+	s.registerBridges()
+	obs.RegisterRuntimeGauges(s.reg)
 	if cfg.MaxConcurrentQueries > 0 {
 		s.queryGate = make(chan struct{}, cfg.MaxConcurrentQueries)
 	}
@@ -209,17 +215,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// newSessionID returns a 16-hex-digit random session id. Randomness here
-// is capability-like: ids are bearer references within an authenticated
-// token's scope, not secrets, but guessing another tenant's id must not
-// be trivial.
-func newSessionID() string {
+// randomHex returns 16 hex digits of crypto randomness — the shape of
+// both session ids and request ids.
+func randomHex() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic(fmt.Sprintf("server: crypto/rand unavailable: %v", err))
 	}
 	return hex.EncodeToString(b[:])
 }
+
+// newSessionID returns a 16-hex-digit random session id. Randomness here
+// is capability-like: ids are bearer references within an authenticated
+// token's scope, not secrets, but guessing another tenant's id must not
+// be trivial.
+func newSessionID() string { return randomHex() }
+
+// Registry returns the server's metrics registry, for callers that want
+// to add families of their own next to the server's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // openSession registers a live session for prin, enforcing the per-tenant
 // cap. The error is user-facing.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"github.com/sieve-db/sieve/internal/obs"
 	"github.com/sieve-db/sieve/internal/storage"
 )
 
@@ -230,11 +231,18 @@ type StreamCounters struct {
 // Row per tuple, then a terminal line with either Done (plus Rows and,
 // on the embedded backend, Counters) or Error. A stream that ends without
 // a terminal line was cut mid-flight and must not be trusted as complete.
+//
+// The terminal line also carries the request id the server assigned
+// (matching the X-Request-Id response header and the server's log
+// lines), and — when the query ran with ?trace=1 — the per-phase span
+// tree of its execution.
 type StreamLine struct {
-	Columns  []string        `json:"columns,omitempty"`
-	Row      []WireValue     `json:"row,omitempty"`
-	Done     bool            `json:"done,omitempty"`
-	Rows     int64           `json:"rows,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Counters *StreamCounters `json:"counters,omitempty"`
+	Columns   []string        `json:"columns,omitempty"`
+	Row       []WireValue     `json:"row,omitempty"`
+	Done      bool            `json:"done,omitempty"`
+	Rows      int64           `json:"rows,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Counters  *StreamCounters `json:"counters,omitempty"`
+	RequestID string          `json:"req_id,omitempty"`
+	Trace     *obs.SpanNode   `json:"trace,omitempty"`
 }

@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/sieve-db/sieve/internal/engine"
 	"github.com/sieve-db/sieve/internal/policy"
@@ -55,6 +56,7 @@ func (m *Manager) append(check func() error, rec *Record) (func(), error) {
 		return nil, err
 	}
 	frame := appendFrame(make([]byte, 0, len(payload)+frameHeader), payload)
+	appendStart := time.Now()
 	if m.crash.at("append-torn") {
 		// Write a prefix of the frame and die: the torn tail recovery
 		// must detect and truncate.
@@ -78,12 +80,13 @@ func (m *Manager) append(check func() error, rec *Record) (func(), error) {
 		if m.crash.at("fsync-before") {
 			crashNow()
 		}
+		fsyncStart := time.Now()
 		if err := m.log.sync(); err != nil {
 			m.failed = err
 			m.mu.Unlock()
 			return nil, fmt.Errorf("wal: fsync failed: %w", err)
 		}
-		m.fsyncs.Add(1)
+		m.observeFsync(time.Since(fsyncStart))
 		if m.crash.at("fsync-after") {
 			crashNow()
 		}
@@ -91,7 +94,22 @@ func (m *Manager) append(check func() error, rec *Record) (func(), error) {
 	m.lsn = rec.LSN
 	m.appends.Add(1)
 	m.bytes.Add(int64(len(frame)))
+	appendDur := time.Since(appendStart)
+	m.appendNS.Add(int64(appendDur))
+	if h := m.obsHist.Load(); h != nil {
+		h.append.Observe(int64(appendDur))
+	}
 	return m.commitClosure(), nil
+}
+
+// observeFsync tallies one fsync's bookkeeping: the counter, the
+// cumulative nanoseconds, and the registry histogram when attached.
+func (m *Manager) observeFsync(d time.Duration) {
+	m.fsyncs.Add(1)
+	m.fsyncNS.Add(int64(d))
+	if h := m.obsHist.Load(); h != nil {
+		h.fsync.Observe(int64(d))
+	}
 }
 
 // commitClosure finishes one append after the caller applied the

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/obs"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -142,6 +143,13 @@ type Manager struct {
 	replayed     atomic.Int64
 	recoveryMS   atomic.Int64
 	lastSnapshot atomic.Int64 // unix ms, observability only
+	appendNS     atomic.Int64 // cumulative time in append (write + inline fsync)
+	fsyncNS      atomic.Int64 // cumulative time in fsync calls
+
+	// obsHist holds the registry histograms appends/fsyncs observe into;
+	// nil until SetRegistry. Stored atomically so SetRegistry may race
+	// in-flight appends.
+	obsHist atomic.Pointer[walHistograms]
 
 	syncStop chan struct{}
 	syncDone chan struct{}
@@ -245,10 +253,11 @@ func (m *Manager) Sync() error {
 	if m.log == nil || m.closed {
 		return nil
 	}
+	t0 := time.Now()
 	if err := m.log.sync(); err != nil {
 		return err
 	}
-	m.fsyncs.Add(1)
+	m.observeFsync(time.Since(t0))
 	return nil
 }
 
@@ -370,3 +379,41 @@ func (m *Manager) Varz() map[string]int64 {
 		"wal_last_recovery_ms": m.recoveryMS.Load(),
 	}
 }
+
+// walHistograms are the latency distributions appends feed when a
+// registry is attached.
+type walHistograms struct {
+	append *obs.Histogram
+	fsync  *obs.Histogram
+}
+
+// SetRegistry attaches a metrics registry: every subsequent append and
+// fsync observes its duration into sieve_wal_append_ns /
+// sieve_wal_fsync_ns, and the wal_* counters register as gauge funcs so
+// a /metrics scrape sees them without the server's /varz bridge.
+func (m *Manager) SetRegistry(r *obs.Registry) {
+	if r == nil {
+		m.obsHist.Store(nil)
+		return
+	}
+	m.obsHist.Store(&walHistograms{
+		append: r.Histogram("sieve_wal_append_ns"),
+		fsync:  r.Histogram("sieve_wal_fsync_ns"),
+	})
+	gauge := func(name string, v *atomic.Int64) { r.GaugeFunc(name, v.Load) }
+	gauge("sieve_wal_appends", &m.appends)
+	gauge("sieve_wal_bytes", &m.bytes)
+	gauge("sieve_wal_fsyncs", &m.fsyncs)
+	gauge("sieve_wal_snapshots", &m.snapshots)
+	gauge("sieve_wal_records_replayed", &m.replayed)
+	gauge("sieve_wal_append_ns_total", &m.appendNS)
+	gauge("sieve_wal_fsync_ns_total", &m.fsyncNS)
+}
+
+// AppendNanos returns the cumulative time spent in the append path
+// (frame write plus any inline fsync). Server request handlers diff it
+// around a durable apply to attribute WAL time to a trace's "wal" span.
+func (m *Manager) AppendNanos() int64 { return m.appendNS.Load() }
+
+// FsyncNanos returns the cumulative time spent in fsync calls.
+func (m *Manager) FsyncNanos() int64 { return m.fsyncNS.Load() }
