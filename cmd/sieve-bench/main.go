@@ -4,8 +4,18 @@
 //
 //	sieve-bench -scale test -run all
 //	sieve-bench -scale bench -run fig5,fig6
+//	sieve-bench -run traffic -seed 1
 //	sieve-bench -micro
 //	sieve-bench -backend fake-postgres
+//
+// -seed drives every workload generator and the traffic harness from one
+// master seed, recorded in the BENCH_*.json artifacts.
+//
+// -run traffic is the closed-loop load harness: concurrent Zipf-skewed
+// queriers mix streaming, exhaustive, prepared, and backend-shipped
+// queries over the campus, mall, and hospital workloads — in process and
+// through a real sieve-server — under live policy churn, with every
+// returned row invariant-checked. See docs/benchmarks.md.
 //
 // -micro measures the execution-surface amortisations instead: prepared
 // statements (parse + rewrite paid once) versus per-call Execute, and
@@ -28,7 +38,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"net"
 	"os"
@@ -41,6 +50,7 @@ import (
 	"github.com/sieve-db/sieve/client"
 	"github.com/sieve-db/sieve/internal/backend"
 	"github.com/sieve-db/sieve/internal/backend/backendtest"
+	"github.com/sieve-db/sieve/internal/cli"
 	"github.com/sieve-db/sieve/internal/experiment"
 	"github.com/sieve-db/sieve/internal/server"
 	"github.com/sieve-db/sieve/internal/workload"
@@ -79,39 +89,34 @@ var experiments = []exp{
 	{"policyscale", "Million-policy regime: signature-shared plans, scoped invalidation", experiment.PolicyScale},
 	{"recovery", "Durability: WAL append, snapshot MB/s, replay rec/s, cold recovery", experiment.Recovery},
 	{"latency", "Per-query latency over the examples corpus, tracing off vs on", experiment.Latency},
+	{"traffic", "Heavy-traffic mixed workload under churn, invariant-checked", experiment.Traffic},
 }
 
 func main() {
-	scale := flag.String("scale", "test", "corpus scale: test | medium | bench")
-	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	micro := flag.Bool("micro", false, "measure the Session/Stmt/Rows execution surface and exit")
-	backendSpec := flag.String("backend", "", "run the examples corpus through a backend (embedded | fake-mysql | fake-postgres | driver://dsn) and exit")
-	serverMode := flag.Bool("server", false, "benchmark the corpus over the wire against an in-process sieve-server, write BENCH_server.json, and exit")
-	workers := flag.Int("workers", 0, "parallel scan workers per engine (0 = NumCPU); adds a scaling dimension to every experiment")
-	flag.Parse()
+	fs, opts := cli.BenchFlags()
+	_ = fs.Parse(os.Args[1:])
 
-	if *list {
+	if opts.List {
 		for _, e := range experiments {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)
 		}
 		return
 	}
-	if *micro {
+	if opts.Micro {
 		if err := runMicro(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *backendSpec != "" {
-		if err := runBackendCorpus(*backendSpec); err != nil {
+	if opts.Backend != "" {
+		if err := runBackendCorpus(opts.Backend); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *serverMode {
+	if opts.Server {
 		if err := runServerBench(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -120,7 +125,7 @@ func main() {
 	}
 
 	var cfg experiment.Config
-	switch *scale {
+	switch opts.Scale {
 	case "test":
 		cfg = experiment.TestConfig()
 	case "medium":
@@ -128,19 +133,21 @@ func main() {
 	case "bench":
 		cfg = experiment.BenchConfig()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", opts.Scale)
 		os.Exit(2)
 	}
-	cfg.Workers = *workers
+	cfg.Workers = opts.Workers
+	cfg.ApplySeed(opts.Seed)
 
 	wanted := map[string]bool{}
-	if *run != "all" {
-		for _, id := range strings.Split(*run, ",") {
+	if opts.Run != "all" {
+		for _, id := range strings.Split(opts.Run, ",") {
 			wanted[strings.TrimSpace(id)] = true
 		}
 	}
 
-	fmt.Printf("sieve-bench scale=%s (devices=%d days=%d)\n\n", *scale, cfg.Campus.Devices, cfg.Campus.Days)
+	fmt.Printf("sieve-bench scale=%s seed=%d (devices=%d days=%d)\n\n",
+		opts.Scale, cfg.Seed, cfg.Campus.Devices, cfg.Campus.Days)
 	failed := 0
 	for _, e := range experiments {
 		if len(wanted) > 0 && !wanted[e.id] {

@@ -135,6 +135,54 @@ func ServerFlags() (*flag.FlagSet, *ServerOpts) {
 	return fs, opts
 }
 
+// BenchOpts are sieve-bench's parsed flags.
+type BenchOpts struct {
+	Scale   string
+	Run     string
+	List    bool
+	Micro   bool
+	Backend string
+	Server  bool
+	Workers int
+	Seed    int64
+}
+
+// benchIntro is the header line of sieve-bench's usage text.
+const benchIntro = `Usage: sieve-bench [flags]
+
+Regenerates the paper's evaluation tables and figures on the embedded
+engine and prints them in the paper's layout. -run picks experiments by
+id (see -list), -scale the corpus size, and -seed drives every workload
+generator and load harness from one master seed, recorded in the JSON
+artifacts (BENCH_*.json) the heavier experiments write. -run traffic is
+the closed-loop load harness: concurrent Zipf-skewed queriers mix
+streaming, exhaustive, prepared, and backend-shipped queries over the
+campus, mall, and hospital workloads — in process and through a real
+sieve-server — under live policy churn, with every returned row checked
+against the policies legal during its query's lifetime. The run fails,
+and sieve-bench exits non-zero, on any invariant violation. -micro,
+-backend, and -server are corpus-level modes described in
+docs/benchmarks.md.
+
+Flags:
+`
+
+// BenchFlags builds sieve-bench's flag set bound to an options struct.
+func BenchFlags() (*flag.FlagSet, *BenchOpts) {
+	opts := &BenchOpts{}
+	fs := flag.NewFlagSet("sieve-bench", flag.ExitOnError)
+	fs.StringVar(&opts.Scale, "scale", "test", "corpus scale: test | medium | bench")
+	fs.StringVar(&opts.Run, "run", "all", "comma-separated experiment ids, or 'all'")
+	fs.BoolVar(&opts.List, "list", false, "list experiment ids and exit")
+	fs.BoolVar(&opts.Micro, "micro", false, "measure the Session/Stmt/Rows execution surface and exit")
+	fs.StringVar(&opts.Backend, "backend", "", "run the examples corpus through a backend (embedded | fake-mysql | fake-postgres | driver://dsn) and exit")
+	fs.BoolVar(&opts.Server, "server", false, "benchmark the corpus over the wire against an in-process sieve-server, write BENCH_server.json, and exit")
+	fs.IntVar(&opts.Workers, "workers", 0, "parallel scan workers per engine (0 = NumCPU); adds a scaling dimension to every experiment")
+	fs.Int64Var(&opts.Seed, "seed", 1, "master seed for workload generation and the traffic harness (1 = the committed baselines)")
+	setUsage(fs, benchIntro)
+	return fs, opts
+}
+
 // setUsage points the flag set's -h output at UsageText.
 func setUsage(fs *flag.FlagSet, intro string) {
 	fs.Usage = func() {
@@ -171,4 +219,10 @@ func ExplainUsage(defaultQuery string) string {
 func ServerUsage() string {
 	fs, _ := ServerFlags()
 	return usageText(fs, serverIntro)
+}
+
+// BenchUsage returns the exact text `sieve-bench -h` prints.
+func BenchUsage() string {
+	fs, _ := BenchFlags()
+	return usageText(fs, benchIntro)
 }

@@ -27,6 +27,7 @@ func TestUsageDocsDrift(t *testing.T) {
 		"sieve-rewrite": RewriteUsage(),
 		"sieve-explain": ExplainUsage("SELECT * FROM " + workload.TableWiFi),
 		"sieve-server":  ServerUsage(),
+		"sieve-bench":   BenchUsage(),
 	}
 	found := map[string]int{}
 

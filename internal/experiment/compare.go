@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CompareOptions sets the tolerance thresholds for the traffic baseline
+// gate. The defaults are deliberately loose — CI machines differ wildly,
+// so the gate is meant to catch order-of-magnitude regressions and
+// structural rot (missing cells, violations, errors), not single-digit
+// percent drift.
+type CompareOptions struct {
+	// MaxLatencyRatio fails a cell whose candidate p95 exceeds
+	// baseline p95 × ratio.
+	MaxLatencyRatio float64
+	// MinThroughputRatio fails a cell whose candidate ops/sec drops
+	// below baseline ops/sec × ratio.
+	MinThroughputRatio float64
+}
+
+// DefaultCompareOptions is the CI gate configuration.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{MaxLatencyRatio: 25, MinThroughputRatio: 0.04}
+}
+
+// CompareTraffic diffs a candidate traffic run against a baseline and
+// returns every breach found. An empty slice means the candidate passes:
+// structurally sound (all baseline cells present, zero violations, zero
+// errors, monotone percentiles, checker active) and within the perf
+// tolerances.
+func CompareTraffic(base, cand *TrafficResult, opts CompareOptions) []string {
+	var breaches []string
+	fail := func(format string, args ...any) {
+		breaches = append(breaches, fmt.Sprintf(format, args...))
+	}
+	if opts.MaxLatencyRatio <= 0 {
+		opts.MaxLatencyRatio = DefaultCompareOptions().MaxLatencyRatio
+	}
+	if opts.MinThroughputRatio <= 0 {
+		opts.MinThroughputRatio = DefaultCompareOptions().MinThroughputRatio
+	}
+
+	cells := map[string]*TrafficCell{}
+	for i := range cand.Cells {
+		c := &cand.Cells[i]
+		cells[c.Workload+"/"+c.Mode] = c
+	}
+	for i := range base.Cells {
+		b := &base.Cells[i]
+		key := b.Workload + "/" + b.Mode
+		c := cells[key]
+		if c == nil {
+			fail("%s: cell present in baseline but missing from candidate", key)
+			continue
+		}
+		if c.Errors > 0 {
+			fail("%s: %d op errors", key, c.Errors)
+		}
+		if n := c.Violations.Total(); n > 0 {
+			fail("%s: %d invariant violations %+v", key, n, c.Violations)
+		}
+		if c.Ops <= 0 {
+			fail("%s: no ops completed", key)
+			continue
+		}
+		if !(c.P50us <= c.P95us && c.P95us <= c.P99us) {
+			fail("%s: percentiles not monotone: p50=%.0f p95=%.0f p99=%.0f", key, c.P50us, c.P95us, c.P99us)
+		}
+		if c.RowsChecked <= 0 {
+			fail("%s: invariant checker saw no rows", key)
+		}
+		if c.ChurnAdds <= 0 || c.ChurnRevokes <= 0 {
+			fail("%s: churn did not run (adds=%d revokes=%d)", key, c.ChurnAdds, c.ChurnRevokes)
+		}
+		if b.P95us > 0 && c.P95us > b.P95us*opts.MaxLatencyRatio {
+			fail("%s: p95 regression: %.0fµs vs baseline %.0fµs (limit ×%.1f)",
+				key, c.P95us, b.P95us, opts.MaxLatencyRatio)
+		}
+		if b.OpsPerSec > 0 && c.OpsPerSec < b.OpsPerSec*opts.MinThroughputRatio {
+			fail("%s: throughput collapse: %.1f ops/s vs baseline %.1f (floor ×%.2f)",
+				key, c.OpsPerSec, b.OpsPerSec, opts.MinThroughputRatio)
+		}
+	}
+	if len(cand.ViolationSamples) > 0 {
+		fail("candidate carries violation samples: %v", cand.ViolationSamples)
+	}
+	return breaches
+}
+
+// CompareTrafficFiles runs CompareTraffic over two BENCH_traffic.json
+// files and errors if the candidate breaches the gate.
+func CompareTrafficFiles(basePath, candPath string, opts CompareOptions) error {
+	read := func(path string) (*TrafficResult, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r TrafficResult
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("%s does not parse: %w", path, err)
+		}
+		if len(r.Cells) == 0 {
+			return nil, fmt.Errorf("%s has no cells", path)
+		}
+		return &r, nil
+	}
+	base, err := read(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := read(candPath)
+	if err != nil {
+		return err
+	}
+	if breaches := CompareTraffic(base, cand, opts); len(breaches) > 0 {
+		for _, b := range breaches {
+			fmt.Fprintln(os.Stderr, "bench_compare: "+b)
+		}
+		return fmt.Errorf("traffic baseline gate: %d breaches", len(breaches))
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// compareFixture is a plausible two-cell traffic result for gate tests.
+func compareFixture() TrafficResult {
+	cell := func(wl, mode string) TrafficCell {
+		return TrafficCell{
+			Workload: wl, Mode: mode, Workers: 8,
+			Ops: 80, Rows: 4000, P50us: 100, P95us: 400, P99us: 900,
+			OpsPerSec: 2000, RowsPerSec: 100000,
+			ChurnAdds: 20, ChurnRevokes: 20, RowsChecked: 3000,
+		}
+	}
+	return TrafficResult{
+		Seed: 1, Workers: 8, OpsPerWorker: 10,
+		Cells: []TrafficCell{cell("campus", "inproc"), cell("campus", "server")},
+	}
+}
+
+// TestCompareTraffic drives the baseline gate through its pass and every
+// fail mode the CI step relies on.
+func TestCompareTraffic(t *testing.T) {
+	opts := DefaultCompareOptions()
+	base := compareFixture()
+
+	t.Run("identical passes", func(t *testing.T) {
+		cand := compareFixture()
+		if br := CompareTraffic(&base, &cand, opts); len(br) != 0 {
+			t.Fatalf("identical runs breached: %v", br)
+		}
+	})
+	t.Run("mild drift passes", func(t *testing.T) {
+		cand := compareFixture()
+		cand.Cells[0].P95us *= 3
+		cand.Cells[0].P99us *= 3
+		cand.Cells[1].OpsPerSec /= 3
+		if br := CompareTraffic(&base, &cand, opts); len(br) != 0 {
+			t.Fatalf("in-tolerance drift breached: %v", br)
+		}
+	})
+	breach := func(name string, mutate func(*TrafficResult), want string) {
+		t.Run(name, func(t *testing.T) {
+			cand := compareFixture()
+			mutate(&cand)
+			br := CompareTraffic(&base, &cand, opts)
+			if len(br) == 0 {
+				t.Fatalf("%s not flagged", name)
+			}
+			if !strings.Contains(strings.Join(br, "\n"), want) {
+				t.Fatalf("%s: breaches %v do not mention %q", name, br, want)
+			}
+		})
+	}
+	breach("latency regression", func(c *TrafficResult) { c.Cells[0].P95us = 400 * 26 }, "p95 regression")
+	breach("throughput collapse", func(c *TrafficResult) { c.Cells[1].OpsPerSec = 2 }, "throughput collapse")
+	breach("missing cell", func(c *TrafficResult) { c.Cells = c.Cells[:1] }, "missing from candidate")
+	breach("violations", func(c *TrafficResult) { c.Cells[0].Violations.RevokedRows = 1 }, "invariant violations")
+	breach("op errors", func(c *TrafficResult) { c.Cells[0].Errors = 3 }, "op errors")
+	breach("dead checker", func(c *TrafficResult) { c.Cells[0].RowsChecked = 0 }, "checker saw no rows")
+	breach("no churn", func(c *TrafficResult) { c.Cells[0].ChurnAdds = 0 }, "churn did not run")
+	breach("broken percentiles", func(c *TrafficResult) { c.Cells[0].P50us = 1e9 }, "not monotone")
+}
+
+// TestCompareTrafficFiles pins the file-level entry point the CI step
+// invokes via scripts/bench_compare.go.
+func TestCompareTrafficFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r TrafficResult) string {
+		raw, err := json.MarshalIndent(&r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", compareFixture())
+	if err := CompareTrafficFiles(basePath, write("same.json", compareFixture()), CompareOptions{}); err != nil {
+		t.Fatalf("identical files breached: %v", err)
+	}
+	bad := compareFixture()
+	bad.Cells[0].Violations.UnjustifiedRows = 2
+	if err := CompareTrafficFiles(basePath, write("bad.json", bad), CompareOptions{}); err == nil {
+		t.Fatal("violating candidate passed the gate")
+	}
+	if err := CompareTrafficFiles(basePath, filepath.Join(dir, "absent.json"), CompareOptions{}); err == nil {
+		t.Fatal("missing candidate file passed the gate")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "garbage.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareTrafficFiles(basePath, filepath.Join(dir, "garbage.json"), CompareOptions{}); err == nil {
+		t.Fatal("unparseable candidate passed the gate")
+	}
+}

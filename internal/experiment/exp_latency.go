@@ -40,6 +40,7 @@ type latencyCell struct {
 
 // latencyResult is the BENCH_latency.json document.
 type latencyResult struct {
+	Seed    int64  `json:"seed"`
 	Iters   int    `json:"iters"`
 	Querier string `json:"querier"`
 	// MedianOverheadPct aggregates OverheadP50Pct across the corpus — the
@@ -82,7 +83,7 @@ func LatencyToFile(cfg Config, path string) (*Table, error) {
 			"iterations interleave off/on so both samples see the same cache and scheduler conditions",
 		},
 	}
-	res := latencyResult{Iters: cfg.LatencyIters, Querier: querier[0]}
+	res := latencyResult{Seed: cfg.Seed, Iters: cfg.LatencyIters, Querier: querier[0]}
 	for _, q := range env.Campus.CorpusQueries() {
 		// Warm the guard cache and plan state so both samples measure
 		// steady-state execution, then record the row count once.

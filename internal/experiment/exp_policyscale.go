@@ -47,6 +47,7 @@ type policyScaleCell struct {
 
 // policyScaleResult is the BENCH_policy_scale.json document.
 type policyScaleResult struct {
+	Seed   int64             `json:"seed"`
 	Groups int               `json:"groups"`
 	ZipfS  float64           `json:"zipf_s"`
 	Cells  []policyScaleCell `json:"cells"`
@@ -76,7 +77,7 @@ func PolicyScaleToFile(cfg Config, path string) (*Table, error) {
 			"churn columns: one AddPolicy against the most-populous group; only that signature's claims and plans are touched",
 		},
 	}
-	res := policyScaleResult{Groups: cfg.PolicyScaleGroups, ZipfS: cfg.PolicyScaleZipf}
+	res := policyScaleResult{Seed: cfg.Seed, Groups: cfg.PolicyScaleGroups, ZipfS: cfg.PolicyScaleZipf}
 	for _, nq := range cfg.PolicyScaleQueriers {
 		for _, np := range cfg.PolicyScalePolicies {
 			cell, err := policyScaleCellRun(cfg, np, nq)

@@ -42,6 +42,7 @@ type recoveryCell struct {
 
 // recoveryResult is the BENCH_recovery.json document.
 type recoveryResult struct {
+	Seed  int64          `json:"seed"`
 	Table string         `json:"table"`
 	Cells []recoveryCell `json:"cells"`
 }
@@ -69,7 +70,7 @@ func RecoveryToFile(cfg Config, path string) (*Table, error) {
 			"appends run under SyncNever so the numbers isolate logging cost from the disk's fsync latency",
 		},
 	}
-	res := recoveryResult{Table: recoveryTable}
+	res := recoveryResult{Seed: cfg.Seed, Table: recoveryTable}
 	for _, n := range cfg.RecoveryRecords {
 		cell, err := recoveryCellRun(n)
 		if err != nil {

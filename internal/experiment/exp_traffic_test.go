@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrafficArtifact runs the heavy-traffic harness at a small scale and
+// asserts BENCH_traffic.json — the artifact bench_compare gates CI on —
+// parses, covers every (workload, mode) cell, and carries sane numbers.
+func TestTrafficArtifact(t *testing.T) {
+	cfg := TestConfig()
+	cfg.TrafficWorkers = 6
+	cfg.TrafficOps = 6
+	path := filepath.Join(t.TempDir(), "BENCH_traffic.json")
+	tab, err := TrafficToFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("table has %d rows, want 6", len(tab.Rows))
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res TrafficResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if res.Seed != cfg.Seed {
+		t.Fatalf("artifact seed = %d, want %d", res.Seed, cfg.Seed)
+	}
+	if res.Workers != cfg.TrafficWorkers || res.OpsPerWorker != cfg.TrafficOps {
+		t.Fatalf("artifact config %d×%d, want %d×%d", res.Workers, res.OpsPerWorker, cfg.TrafficWorkers, cfg.TrafficOps)
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		seen[c.Workload+"/"+c.Mode] = true
+		if c.Ops <= 0 {
+			t.Errorf("%s/%s: no ops completed", c.Workload, c.Mode)
+		}
+		if c.Errors != 0 {
+			t.Errorf("%s/%s: %d op errors: %v", c.Workload, c.Mode, c.Errors, res.ErrorSamples)
+		}
+		if c.Violations.Total() != 0 {
+			t.Errorf("%s/%s: %d invariant violations: %v", c.Workload, c.Mode, c.Violations.Total(), res.ViolationSamples)
+		}
+		if !(c.P50us <= c.P95us && c.P95us <= c.P99us) {
+			t.Errorf("%s/%s: percentiles not monotone: p50=%.0f p95=%.0f p99=%.0f",
+				c.Workload, c.Mode, c.P50us, c.P95us, c.P99us)
+		}
+		if c.P50us <= 0 || c.OpsPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive measurement: p50=%.0f ops/s=%.2f", c.Workload, c.Mode, c.P50us, c.OpsPerSec)
+		}
+		if c.RowsChecked <= 0 {
+			t.Errorf("%s/%s: invariant checker saw no rows", c.Workload, c.Mode)
+		}
+		if c.ChurnAdds <= 0 || c.ChurnRevokes <= 0 {
+			t.Errorf("%s/%s: churn did not run: adds=%d revokes=%d", c.Workload, c.Mode, c.ChurnAdds, c.ChurnRevokes)
+		}
+		if c.Mode == "server" {
+			if c.WireQueries <= 0 {
+				t.Errorf("%s/server: /varz reported no queries", c.Workload)
+			}
+			if c.MetricsFamilies <= 0 {
+				t.Errorf("%s/server: /metrics exposition empty", c.Workload)
+			}
+		}
+	}
+	for _, wl := range []string{"campus", "mall", "hospital"} {
+		for _, mode := range []string{"inproc", "server"} {
+			if !seen[wl+"/"+mode] {
+				t.Errorf("artifact missing cell %s/%s", wl, mode)
+			}
+		}
+	}
+
+	// The harness must refuse an empty config rather than write a hollow file.
+	cfg.TrafficWorkers = 0
+	if _, err := TrafficToFile(cfg, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("empty traffic config produced an artifact")
+	}
+}

@@ -65,9 +65,14 @@ func (t *Table) String() string {
 // Config scales an experiment run. Test configs finish in seconds; bench
 // configs approximate the paper's corpus.
 type Config struct {
+	// Seed is the master seed every bench run is reproducible from; it
+	// is recorded in the JSON artifacts. ApplySeed rebases the per-
+	// generator seeds below on it.
+	Seed            int64
 	Campus          workload.CampusConfig
 	Policy          workload.PolicyConfig
 	Mall            workload.MallConfig
+	Hospital        workload.HospitalConfig
 	MallPerCustomer int
 	// Reps is the measurement repetitions per query (paper: 5, warm).
 	Reps int
@@ -101,14 +106,40 @@ type Config struct {
 	// LatencyIters is the per-query sample size of the latency
 	// experiment (tracing off vs on over the examples corpus).
 	LatencyIters int
+	// TrafficWorkers is the concurrent querier count of the traffic
+	// harness; TrafficOps is each worker's closed-loop op count.
+	TrafficWorkers int
+	TrafficOps     int
+	// TrafficStreamLimit is how many rows a streaming op drains before
+	// its early Close.
+	TrafficStreamLimit int
+	// TrafficZipf skews querier and query selection (s > 1).
+	TrafficZipf float64
+	// TrafficChurnHold is a churn grant's lifetime before revocation.
+	TrafficChurnHold time.Duration
+	// TrafficDenyEvery makes every Nth worker a default-deny querier.
+	TrafficDenyEvery int
+}
+
+// ApplySeed rebases every generator seed in the config on one master
+// seed, making a whole bench run reproducible from a single -seed flag.
+// Seed 1 reproduces the default configs exactly.
+func (c *Config) ApplySeed(seed int64) {
+	c.Seed = seed
+	c.Campus.Seed = seed
+	c.Policy.Seed = seed + 1
+	c.Mall.Seed = seed + 2
+	c.Hospital.Seed = seed + 3
 }
 
 // TestConfig finishes in a few seconds; used by unit tests.
 func TestConfig() Config {
 	return Config{
+		Seed:            1,
 		Campus:          workload.TestCampusConfig(),
 		Policy:          workload.TestPolicyConfig(),
 		Mall:            workload.TestMallConfig(),
+		Hospital:        workload.TestHospitalConfig(),
 		MallPerCustomer: 6,
 		Reps:            1,
 		QueriesPerCell:  2,
@@ -123,6 +154,13 @@ func TestConfig() Config {
 
 		RecoveryRecords: []int{1000, 5000},
 		LatencyIters:    5,
+
+		TrafficWorkers:     8,
+		TrafficOps:         10,
+		TrafficStreamLimit: 6,
+		TrafficZipf:        1.3,
+		TrafficChurnHold:   2 * time.Millisecond,
+		TrafficDenyEvery:   4,
 	}
 }
 
@@ -145,15 +183,21 @@ func MediumConfig() Config {
 	cfg.PolicyScaleGroups = 50
 	cfg.RecoveryRecords = []int{10000, 100000}
 	cfg.LatencyIters = 15
+	cfg.Hospital.Patients = 1200
+	cfg.Hospital.Days = 30
+	cfg.TrafficWorkers = 64
+	cfg.TrafficOps = 25
 	return cfg
 }
 
 // BenchConfig approximates the paper's scale (≈1/8 of the TIPPERS corpus).
 func BenchConfig() Config {
 	return Config{
+		Seed:            1,
 		Campus:          workload.BenchCampusConfig(),
 		Policy:          workload.BenchPolicyConfig(),
 		Mall:            workload.BenchMallConfig(),
+		Hospital:        workload.BenchHospitalConfig(),
 		MallPerCustomer: 8,
 		Reps:            3,
 		QueriesPerCell:  3,
@@ -173,6 +217,15 @@ func BenchConfig() Config {
 		RecoveryRecords: []int{10000, 100000, 1000000},
 
 		LatencyIters: 31,
+
+		// Hundreds of concurrent queriers per cell; 2 modes × 3
+		// workloads puts the run into the thousands of sessions.
+		TrafficWorkers:     320,
+		TrafficOps:         40,
+		TrafficStreamLimit: 8,
+		TrafficZipf:        1.3,
+		TrafficChurnHold:   time.Millisecond,
+		TrafficDenyEvery:   8,
 	}
 }
 
@@ -246,6 +299,44 @@ func NewMallEnv(cfg Config, dialect engine.Dialect, opts ...core.Option) (*MallE
 		return nil, err
 	}
 	return &MallEnv{Mall: ml, Policies: ps, Store: store, M: m}, nil
+}
+
+// HospitalEnv bundles the hospital equivalents.
+type HospitalEnv struct {
+	Hospital *workload.Hospital
+	Policies []*policy.Policy
+	Store    *policy.Store
+	M        *core.Middleware
+}
+
+// NewHospitalEnv builds the hospital experiment environment: the deep
+// group hierarchy (hospital → department → ward → role) resolves through
+// the middleware's group support, and the vitals relation is protected.
+func NewHospitalEnv(cfg Config, dialect engine.Dialect, opts ...core.Option) (*HospitalEnv, error) {
+	h, err := workload.BuildHospital(cfg.Hospital, dialect)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		h.DB.ScanWorkers = cfg.Workers
+	}
+	ps := h.GeneratePolicies(cfg.Hospital.Seed + 1)
+	store, err := policy.NewStore(h.DB)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.BulkLoad(ps); err != nil {
+		return nil, err
+	}
+	opts = append([]core.Option{core.WithGroups(h.Groups())}, opts...)
+	m, err := core.New(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Protect(workload.TableVitals); err != nil {
+		return nil, err
+	}
+	return &HospitalEnv{Hospital: h, Policies: ps, Store: store, M: m}, nil
 }
 
 // timed measures fn averaged over reps after one warm-up run, honouring the

@@ -1,0 +1,257 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sieve-db/sieve/client"
+	"github.com/sieve-db/sieve/internal/backend"
+	"github.com/sieve-db/sieve/internal/backend/backendtest"
+	"github.com/sieve-db/sieve/internal/core"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// stmtCache shares prepared statements across workers: core.Stmt is
+// concurrency-safe and caches one plan per guard signature, so hundreds
+// of workers hitting the same SQL exercise the shared-plan path.
+type stmtCache struct {
+	m  *core.Middleware
+	mu sync.Mutex
+	st map[string]*core.Stmt
+}
+
+func (c *stmtCache) get(sql string) (*core.Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.st[sql]; ok {
+		return st, nil
+	}
+	st, err := c.m.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.st[sql] = st
+	return st, nil
+}
+
+// inprocExec runs ops on an in-process core.Session. The fake-backend op
+// ships the rewritten SQL through a per-worker recording fake driver
+// seeded with the embedded baseline, covering encode → SQL → decode.
+type inprocExec struct {
+	sc    *Scenario
+	sess  *core.Session
+	ck    *Checker
+	limit int
+	stmts *stmtCache
+	b     backend.Backend
+	fake  *backendtest.Fake
+}
+
+// NewInProcFactory builds executors running directly on the scenario's
+// middleware.
+func NewInProcFactory(sc *Scenario, cfg Config) ExecutorFactory {
+	stmts := &stmtCache{m: sc.M, st: map[string]*core.Stmt{}}
+	limit := cfg.StreamLimit
+	if limit <= 0 {
+		limit = 8
+	}
+	return func(worker int, querier string, ck *Checker) (Executor, error) {
+		b, fake, err := backend.For("fake-mysql", nil)
+		if err != nil {
+			return nil, err
+		}
+		return &inprocExec{
+			sc:    sc,
+			sess:  sc.M.NewSession(policy.Metadata{Querier: querier, Purpose: sc.Purpose}),
+			ck:    ck,
+			limit: limit,
+			stmts: stmts,
+			b:     b,
+			fake:  fake,
+		}, nil
+	}
+}
+
+func (e *inprocExec) Close() { _ = e.b.Close() }
+
+func (e *inprocExec) Run(ctx context.Context, kind OpKind, q Query) ([]storage.Row, []string, error) {
+	switch kind {
+	case OpStream:
+		rows, err := e.sess.Query(ctx, q.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []storage.Row
+		for len(out) < e.limit && rows.Next() {
+			r := rows.Row()
+			cp := make(storage.Row, len(r))
+			copy(cp, r)
+			out = append(out, cp)
+		}
+		if err := rows.Err(); err != nil {
+			rows.Close()
+			return nil, nil, err
+		}
+		cols := rows.Columns()
+		rows.Close()
+		return out, cols, nil
+	case OpPrepared:
+		st, err := e.stmts.get(q.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := st.Execute(ctx, e.sess)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Rows, res.Columns, nil
+	case OpBackend:
+		clock0 := e.ck.Clock()
+		base, err := e.sess.Execute(ctx, q.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		em, err := e.sess.RewriteSQL(q.SQL, e.b.Dialect())
+		if err != nil {
+			return nil, nil, err
+		}
+		e.fake.Push(backendtest.ResultFromRows(base.Columns, base.Rows))
+		n, err := e.b.Exec(ctx, em, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		// With no churn tick across the op both rewrites saw the same
+		// policy world, so the decoded count must match the baseline.
+		if e.ck.Clock() == clock0 && n != int64(len(base.Rows)) {
+			e.ck.BackendMismatch(e.sess.Metadata().Querier, q, n, int64(len(base.Rows)))
+		}
+		return base.Rows, base.Columns, nil
+	default: // OpExhaust
+		res, err := e.sess.Execute(ctx, q.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Rows, res.Columns, nil
+	}
+}
+
+// wireExec runs ops through the sieve-server HTTP protocol with one
+// client session per worker.
+type wireExec struct {
+	sess  *client.Session
+	limit int
+	mu    sync.Mutex
+	stmts map[string]*client.Stmt
+}
+
+// NewWireFactory builds executors that talk to a sieve-server at baseURL
+// using demo tokens for the scenario's queriers.
+func NewWireFactory(baseURL string, sc *Scenario, cfg Config) ExecutorFactory {
+	limit := cfg.StreamLimit
+	if limit <= 0 {
+		limit = 8
+	}
+	return func(worker int, querier string, ck *Checker) (Executor, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sess, err := client.New(baseURL, "demo:"+querier+"|"+sc.Purpose).OpenSession(ctx, "")
+		if err != nil {
+			return nil, fmt.Errorf("open wire session for %s: %w", querier, err)
+		}
+		return &wireExec{sess: sess, limit: limit, stmts: map[string]*client.Stmt{}}, nil
+	}
+}
+
+func (e *wireExec) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = e.sess.Close(ctx)
+}
+
+// drain reads up to limit rows (limit < 0 = all) and converts them back
+// to engine values for the checker.
+func drain(rows *client.Rows, limit int) ([]storage.Row, []string, error) {
+	var out []storage.Row
+	for (limit < 0 || len(out) < limit) && rows.Next() {
+		r := rows.Row()
+		conv := make(storage.Row, len(r))
+		for i, a := range r {
+			conv[i] = valueFromWire(a)
+		}
+		out = append(out, conv)
+	}
+	if err := rows.Err(); err != nil {
+		_ = rows.Close()
+		return nil, nil, err
+	}
+	cols := rows.Columns()
+	_ = rows.Close()
+	return out, cols, nil
+}
+
+// valueFromWire is the inverse of client.FromValue.
+func valueFromWire(a any) storage.Value {
+	switch x := a.(type) {
+	case nil:
+		return storage.Null
+	case int64:
+		return storage.NewInt(x)
+	case float64:
+		return storage.NewFloat(x)
+	case string:
+		return storage.NewString(x)
+	case bool:
+		return storage.NewBool(x)
+	case client.TimeOfDay:
+		return storage.NewTime(int64(x))
+	case client.Date:
+		return storage.NewDate(int64(x))
+	}
+	return storage.Null
+}
+
+func (e *wireExec) Run(ctx context.Context, kind OpKind, q Query) ([]storage.Row, []string, error) {
+	switch kind {
+	case OpStream:
+		rows, err := e.sess.Query(ctx, q.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return drain(rows, e.limit)
+	case OpPrepared:
+		e.mu.Lock()
+		st, ok := e.stmts[q.SQL]
+		e.mu.Unlock()
+		if !ok {
+			var err error
+			st, err = e.sess.Prepare(ctx, q.SQL)
+			if err != nil {
+				return nil, nil, err
+			}
+			e.mu.Lock()
+			e.stmts[q.SQL] = st
+			e.mu.Unlock()
+		}
+		rows, err := st.Query(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return drain(rows, -1)
+	case OpBackend:
+		// Over the wire the "ship to a backend" shape is the rewrite
+		// endpoint: emission plus bound args, no local rows to check.
+		if _, _, err := e.sess.Rewrite(ctx, q.SQL, "mysql"); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, nil
+	default: // OpExhaust
+		rows, err := e.sess.Query(ctx, q.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return drain(rows, -1)
+	}
+}

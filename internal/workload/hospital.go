@@ -1,0 +1,295 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sieve-db/sieve/internal/engine"
+	"github.com/sieve-db/sieve/internal/policy"
+	"github.com/sieve-db/sieve/internal/storage"
+)
+
+// HospitalConfig scales the hospital workload: a vitals-monitoring
+// dataset whose access control runs through a deep group hierarchy
+// (hospital → department → ward → role) instead of the campus's flat
+// affinity groups. It is the traffic harness's third scenario: group
+// grants four levels up must reach the right staff and nobody else.
+type HospitalConfig struct {
+	Seed         int64
+	Patients     int
+	Departments  int
+	WardsPerDept int
+	StaffPerWard int
+	Days         int
+	// ReadingsPerPatientDay is the mean vitals readings recorded per
+	// patient per active day.
+	ReadingsPerPatientDay int
+}
+
+// TestHospitalConfig is sized for unit tests.
+func TestHospitalConfig() HospitalConfig {
+	return HospitalConfig{Seed: 4, Patients: 240, Departments: 4, WardsPerDept: 3,
+		StaffPerWard: 4, Days: 10, ReadingsPerPatientDay: 3}
+}
+
+// BenchHospitalConfig is the experiment scale.
+func BenchHospitalConfig() HospitalConfig {
+	return HospitalConfig{Seed: 4, Patients: 2400, Departments: 8, WardsPerDept: 5,
+		StaffPerWard: 8, Days: 45, ReadingsPerPatientDay: 5}
+}
+
+// Hospital relation names.
+const (
+	TableStaff  = "Hospital_Staff"
+	TableVitals = "Vitals_Dataset"
+)
+
+// HospitalRoles are the staff roles; every ward's first staff member is a
+// doctor so role-scoped grants always have a grantee.
+var HospitalRoles = []string{"doctor", "nurse", "orderly"}
+
+// StaffQuerier is the querier identity of a staff member.
+func StaffQuerier(id int64) string { return fmt.Sprintf("hs:%d", id) }
+
+// WardGroup is the group principal of one ward of one department.
+func WardGroup(dept, ward int) string { return fmt.Sprintf("ward:%d-%d", dept, ward) }
+
+// DeptGroup is the group principal of a department.
+func DeptGroup(dept int) string { return fmt.Sprintf("dept:%d", dept) }
+
+// HospitalGroup is the hospital-wide group principal.
+const HospitalGroup = "hospital:all"
+
+// RoleGroup is the hospital-wide principal of one role.
+func RoleGroup(role string) string { return "role:" + role }
+
+// DeptRoleGroup is the principal of one role within one department
+// (e.g. "the cardiology doctors").
+func DeptRoleGroup(dept int, role string) string {
+	return fmt.Sprintf("dept:%d-role:%s", dept, role)
+}
+
+// StaffMember is one hospital staff querier.
+type StaffMember struct {
+	ID   int64
+	Dept int
+	Ward int // within the department
+	Role string
+}
+
+// Querier returns the staff member's querier identity.
+func (s StaffMember) Querier() string { return StaffQuerier(s.ID) }
+
+// Patient is one vitals owner.
+type Patient struct {
+	ID   int64
+	Dept int
+	Ward int // within the department
+	// Attending is the staff ID of the patient's attending doctor.
+	Attending int64
+}
+
+// Hospital is the generated hospital database.
+type Hospital struct {
+	Cfg         HospitalConfig
+	DB          *engine.DB
+	Staff       []StaffMember
+	Patients    []Patient
+	NumReadings int
+	groups      policy.StaticGroups
+}
+
+// globalWard maps (dept, ward-within-dept) to the ward id stored in the
+// vitals relation.
+func (h *Hospital) globalWard(dept, ward int) int64 {
+	return int64(dept*h.Cfg.WardsPerDept + ward)
+}
+
+// BuildHospital generates the dataset into a fresh database, indexes the
+// vitals relation's query/guard attributes, and runs ANALYZE. Staff group
+// membership forms the four-level closure hospital → department → ward →
+// role: each staff querier belongs to its ward, its department, the
+// hospital, its role hospital-wide, and its role within its department.
+func BuildHospital(cfg HospitalConfig, dialect engine.Dialect) (*Hospital, error) {
+	db := engine.New(dialect)
+	h := &Hospital{Cfg: cfg, DB: db, groups: policy.StaticGroups{}}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	staffSchema := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "name", Type: storage.KindString},
+		storage.Column{Name: "role", Type: storage.KindString},
+		storage.Column{Name: "ward", Type: storage.KindInt},
+	)
+	vitalsSchema := storage.MustSchema(
+		storage.Column{Name: "id", Type: storage.KindInt},
+		storage.Column{Name: "ward", Type: storage.KindInt},
+		storage.Column{Name: "owner", Type: storage.KindInt},
+		storage.Column{Name: "pulse", Type: storage.KindInt},
+		storage.Column{Name: "ts_time", Type: storage.KindTime},
+		storage.Column{Name: "ts_date", Type: storage.KindDate},
+	)
+	for _, t := range []struct {
+		name   string
+		schema *storage.Schema
+	}{{TableStaff, staffSchema}, {TableVitals, vitalsSchema}} {
+		if _, err := db.CreateTable(t.name, t.schema); err != nil {
+			return nil, err
+		}
+	}
+
+	var srows []storage.Row
+	id := int64(0)
+	for d := 0; d < cfg.Departments; d++ {
+		for w := 0; w < cfg.WardsPerDept; w++ {
+			for s := 0; s < cfg.StaffPerWard; s++ {
+				role := HospitalRoles[s%len(HospitalRoles)]
+				m := StaffMember{ID: id, Dept: d, Ward: w, Role: role}
+				h.Staff = append(h.Staff, m)
+				h.groups[m.Querier()] = []string{
+					WardGroup(d, w), DeptGroup(d), HospitalGroup,
+					RoleGroup(role), DeptRoleGroup(d, role),
+				}
+				srows = append(srows, storage.Row{
+					storage.NewInt(id),
+					storage.NewString(fmt.Sprintf("staff-%04d", id)),
+					storage.NewString(role),
+					storage.NewInt(h.globalWard(d, w)),
+				})
+				id++
+			}
+		}
+	}
+	if err := db.BulkInsert(TableStaff, srows); err != nil {
+		return nil, err
+	}
+
+	h.Patients = make([]Patient, cfg.Patients)
+	for i := range h.Patients {
+		p := Patient{ID: int64(i), Dept: r.Intn(cfg.Departments), Ward: r.Intn(cfg.WardsPerDept)}
+		// The ward's first staff member is always a doctor.
+		p.Attending = int64((p.Dept*cfg.WardsPerDept + p.Ward) * cfg.StaffPerWard)
+		h.Patients[i] = p
+	}
+
+	var rows []storage.Row
+	id = 0
+	for _, p := range h.Patients {
+		ward := h.globalWard(p.Dept, p.Ward)
+		for d := 0; d < cfg.Days; d++ {
+			if r.Float64() > 0.8 {
+				continue
+			}
+			n := 1 + r.Intn(cfg.ReadingsPerPatientDay)
+			for e := 0; e < n; e++ {
+				// Vitals rounds cluster between 06:00 and 22:59.
+				secs := int64(6+r.Intn(17))*3600 + int64(r.Intn(3600))
+				pulse := int64(50 + r.Intn(81))
+				rows = append(rows, storage.Row{
+					storage.NewInt(id), storage.NewInt(ward), storage.NewInt(p.ID),
+					storage.NewInt(pulse), storage.NewTime(secs), storage.NewDate(int64(d)),
+				})
+				id++
+			}
+		}
+	}
+	h.NumReadings = len(rows)
+	if err := db.BulkInsert(TableVitals, rows); err != nil {
+		return nil, err
+	}
+	for _, col := range []string{"owner", "ward", "ts_time", "ts_date"} {
+		if err := db.CreateIndex(TableVitals, col); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Analyze(TableVitals); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Groups returns the staff group-membership resolver (the four-level
+// hierarchy closure).
+func (h *Hospital) Groups() policy.Groups { return h.groups }
+
+// GeneratePolicies builds the hospital policy corpus: every patient grants
+// their home ward's staff during the day shift and their attending doctor
+// unconditionally; some add department-doctor grants over an admission
+// window, department-wide night-shift grants, or a hospital-wide
+// high-pulse safety grant under the "safety" purpose.
+func (h *Hospital) GeneratePolicies(seed int64) []*policy.Policy {
+	r := rand.New(rand.NewSource(seed))
+	dayShift := policy.RangeClosed("ts_time", storage.MustTime("07:00"), storage.MustTime("19:00"))
+	nightShift := policy.RangeClosed("ts_time", storage.MustTime("19:00"), storage.MustTime("23:00"))
+	var out []*policy.Policy
+	for _, p := range h.Patients {
+		out = append(out, &policy.Policy{
+			Owner: p.ID, Querier: WardGroup(p.Dept, p.Ward), Purpose: "treatment",
+			Relation: TableVitals, Action: policy.Allow,
+			Conditions: []policy.ObjectCondition{dayShift},
+		})
+		out = append(out, &policy.Policy{
+			Owner: p.ID, Querier: StaffQuerier(p.Attending), Purpose: policy.AnyPurpose,
+			Relation: TableVitals, Action: policy.Allow,
+		})
+		if r.Float64() < 0.5 {
+			start := r.Intn(h.Cfg.Days)
+			out = append(out, &policy.Policy{
+				Owner: p.ID, Querier: DeptRoleGroup(p.Dept, "doctor"), Purpose: "treatment",
+				Relation: TableVitals, Action: policy.Allow,
+				Conditions: []policy.ObjectCondition{policy.RangeClosed("ts_date",
+					storage.NewDate(int64(start)), storage.NewDate(int64(start+7)))},
+			})
+		}
+		if r.Float64() < 0.25 {
+			out = append(out, &policy.Policy{
+				Owner: p.ID, Querier: DeptGroup(p.Dept), Purpose: "treatment",
+				Relation: TableVitals, Action: policy.Allow,
+				Conditions: []policy.ObjectCondition{nightShift},
+			})
+		}
+		if r.Float64() < 0.3 {
+			out = append(out, &policy.Policy{
+				Owner: p.ID, Querier: HospitalGroup, Purpose: "safety",
+				Relation: TableVitals, Action: policy.Allow,
+				Conditions: []policy.ObjectCondition{policy.RangeClosed("pulse",
+					storage.NewInt(110), storage.NewInt(200))},
+			})
+		}
+	}
+	return out
+}
+
+// CorpusQueries is the hospital examples corpus: the rounds and chart
+// lookups ward staff run, plus the aggregations a charge nurse would.
+// SELECT * shapes over the vitals relation are what the traffic harness's
+// invariant checker can justify row by row.
+func (h *Hospital) CorpusQueries() []NamedQuery {
+	totalWards := h.Cfg.Departments * h.Cfg.WardsPerDept
+	wards := ""
+	for w := 0; w < totalWards && w < 5; w++ {
+		if w > 0 {
+			wards += ", "
+		}
+		wards += fmt.Sprintf("%d", w)
+	}
+	recentLo := storage.FormatDate(storage.NewDate(int64(maxi(0, h.Cfg.Days-3))))
+	recentHi := storage.FormatDate(storage.NewDate(int64(h.Cfg.Days)))
+	return []NamedQuery{
+		{Name: "day_shift", SQL: "SELECT * FROM " + TableVitals +
+			" AS V WHERE V.ts_time BETWEEN TIME '08:00' AND TIME '12:00'"},
+		{Name: "ward_rounds", SQL: "SELECT * FROM " + TableVitals +
+			" AS V WHERE V.ward IN (" + wards + ")"},
+		{Name: "recent_vitals", SQL: fmt.Sprintf(
+			"SELECT * FROM %s AS V WHERE V.ts_date BETWEEN DATE '%s' AND DATE '%s'",
+			TableVitals, recentLo, recentHi)},
+		{Name: "patient_chart", SQL: "SELECT * FROM " + TableVitals +
+			" AS V WHERE V.owner IN (0, 1, 2, 3)"},
+		{Name: "tachycardia", SQL: "SELECT * FROM " + TableVitals +
+			" AS V WHERE V.pulse >= 110"},
+		{Name: "ward_census", SQL: "SELECT V.ward, count(*) AS readings FROM " + TableVitals +
+			" AS V GROUP BY V.ward ORDER BY readings DESC LIMIT 5"},
+		{Name: "night_volume", SQL: "SELECT count(*) FROM " + TableVitals +
+			" AS V WHERE V.ts_time BETWEEN TIME '19:00' AND TIME '23:00'"},
+	}
+}

@@ -227,3 +227,25 @@ func (m *Mall) GeneratePolicies(seed int64, perCustomer int) []*policy.Policy {
 func (m *Mall) SelectAllQuery() string {
 	return "SELECT * FROM " + TableMallWiFi
 }
+
+// CorpusQueries is the mall examples corpus used by the traffic harness:
+// the SELECT * shapes its invariant checker can justify row by row, plus
+// the aggregations a shop's analyst would run.
+func (m *Mall) CorpusQueries() []NamedQuery {
+	half := storage.FormatDate(storage.NewDate(int64(m.Cfg.Days / 2)))
+	end := storage.FormatDate(storage.NewDate(int64(m.Cfg.Days)))
+	return []NamedQuery{
+		{Name: "select_all", SQL: m.SelectAllQuery()},
+		{Name: "evening_footfall", SQL: "SELECT * FROM " + TableMallWiFi +
+			" AS W WHERE W.obs_time BETWEEN TIME '17:00' AND TIME '21:00'"},
+		{Name: "recent_visits", SQL: fmt.Sprintf(
+			"SELECT * FROM %s AS W WHERE W.obs_date BETWEEN DATE '%s' AND DATE '%s'",
+			TableMallWiFi, half, end)},
+		{Name: "shop_window", SQL: "SELECT * FROM " + TableMallWiFi +
+			" AS W WHERE W.shop_id IN (0, 1, 2)"},
+		{Name: "shop_census", SQL: "SELECT W.shop_id, count(*) AS visits FROM " + TableMallWiFi +
+			" AS W GROUP BY W.shop_id ORDER BY visits DESC LIMIT 5"},
+		{Name: "daily_volume", SQL: "SELECT count(*) FROM " + TableMallWiFi +
+			" AS W WHERE W.obs_time BETWEEN TIME '10:00' AND TIME '14:00'"},
+	}
+}

@@ -1,0 +1,39 @@
+// Command bench_compare gates CI on the committed traffic baseline: it
+// diffs a freshly generated BENCH_traffic.json against the checked-in
+// one and exits non-zero on structural rot (missing cells, invariant
+// violations, op errors) or an order-of-magnitude perf regression.
+//
+// Usage:
+//
+//	go run ./scripts -baseline BENCH_traffic.json -candidate /tmp/BENCH_traffic.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sieve-db/sieve/internal/experiment"
+)
+
+func main() {
+	def := experiment.DefaultCompareOptions()
+	baseline := flag.String("baseline", "BENCH_traffic.json", "committed baseline artifact")
+	candidate := flag.String("candidate", "", "freshly generated artifact to gate")
+	maxLat := flag.Float64("max-latency-ratio", def.MaxLatencyRatio,
+		"fail when candidate p95 exceeds baseline p95 times this")
+	minTput := flag.Float64("min-throughput-ratio", def.MinThroughputRatio,
+		"fail when candidate ops/sec drops below baseline ops/sec times this")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "bench_compare: -candidate is required")
+		os.Exit(2)
+	}
+	opts := experiment.CompareOptions{MaxLatencyRatio: *maxLat, MinThroughputRatio: *minTput}
+	if err := experiment.CompareTrafficFiles(*baseline, *candidate, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare: "+err.Error())
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: %s within tolerance of %s (p95 ×%.1f, ops/s ×%.2f)\n",
+		*candidate, *baseline, opts.MaxLatencyRatio, opts.MinThroughputRatio)
+}
